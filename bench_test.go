@@ -1,0 +1,197 @@
+package plim
+
+import (
+	"math/rand"
+	"testing"
+
+	"plim/internal/core"
+	"plim/internal/imply"
+	"plim/internal/isa"
+	"plim/internal/rewrite"
+	"plim/internal/suite"
+	"plim/internal/tables"
+)
+
+// The table benchmarks regenerate the paper's experiments. They run at
+// shrink 2 (datapaths halved) so `go test -bench .` stays in seconds;
+// cmd/plimtab reproduces the tables at full paper scale.
+const benchShrink = 2
+
+// benchSubset is a representative slice of the suite: large arithmetic
+// (div), mid-size control (i2c), wide-and-shallow (bar) and small control
+// (ctrl), covering the structural extremes of Table I.
+var benchSubset = []string{"div", "i2c", "bar", "ctrl"}
+
+// BenchmarkTable1 regenerates the paper's Table I (write distribution under
+// the five incremental endurance configurations).
+func BenchmarkTable1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		sr, err := tables.RunSuite(core.TableIConfigs(), tables.Options{
+			Benchmarks: benchSubset, Shrink: benchShrink,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		d, err := tables.TableI(sr)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(d.Cells) != len(benchSubset) {
+			b.Fatal("missing rows")
+		}
+	}
+}
+
+// BenchmarkTable2 regenerates the paper's Table II (#I and #R for naive,
+// endurance-aware rewriting, and rewriting+compilation).
+func BenchmarkTable2(b *testing.B) {
+	cfgs := []core.Config{core.Naive, core.Rewriting, core.Full}
+	for i := 0; i < b.N; i++ {
+		sr, err := tables.RunSuite(cfgs, tables.Options{
+			Benchmarks: benchSubset, Shrink: benchShrink,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := tables.TableII(sr); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable3 regenerates the paper's Table III (the maximum-write-count
+// trade-off at caps 10/20/50/100).
+func BenchmarkTable3(b *testing.B) {
+	cfgs := []core.Config{core.FullCap(10), core.FullCap(20), core.FullCap(50), core.FullCap(100)}
+	for i := 0; i < b.N; i++ {
+		sr, err := tables.RunSuite(cfgs, tables.Options{
+			Benchmarks: benchSubset, Shrink: benchShrink,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := tables.TableIII(sr); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblation runs the per-technique isolation table (extension).
+func BenchmarkAblation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		sr, err := tables.RunSuite(tables.AblationConfigs(), tables.Options{
+			Benchmarks: []string{"ctrl", "i2c"}, Shrink: benchShrink,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := tables.TableI(sr); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Micro-benchmarks of the individual subsystems.
+
+func benchmarkMIG(b *testing.B, name string) *MIG {
+	b.Helper()
+	m, err := suite.BuildScaled(name, benchShrink)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return m
+}
+
+// BenchmarkRewriteAlgorithm1 measures the DAC'16 rewriting pipeline.
+func BenchmarkRewriteAlgorithm1(b *testing.B) {
+	m := benchmarkMIG(b, "sin")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rewrite.Run(m, rewrite.Algorithm1, core.DefaultEffort)
+	}
+}
+
+// BenchmarkRewriteAlgorithm2 measures the endurance-aware rewriting.
+func BenchmarkRewriteAlgorithm2(b *testing.B) {
+	m := benchmarkMIG(b, "sin")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rewrite.Run(m, rewrite.Algorithm2, core.DefaultEffort)
+	}
+}
+
+// BenchmarkCompileFull measures endurance-aware compilation throughput
+// (nodes → RM3 instructions) on a rewritten multiplier.
+func BenchmarkCompileFull(b *testing.B) {
+	m := benchmarkMIG(b, "multiplier")
+	mr, _ := rewrite.Run(m, rewrite.Algorithm2, core.DefaultEffort)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Compile(mr, CompileOptions{Selection: 2, Alloc: 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkInterpreter measures RM3 execution speed on the crossbar model.
+func BenchmarkInterpreter(b *testing.B) {
+	m := benchmarkMIG(b, "bar")
+	rep, err := Run(m, Full, core.DefaultEffort)
+	if err != nil {
+		b.Fatal(err)
+	}
+	prog := rep.Result.Program
+	rng := rand.New(rand.NewSource(1))
+	inputs := make([]bool, len(prog.PICells))
+	for i := range inputs {
+		inputs[i] = rng.Intn(2) == 1
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := isa.Execute(prog, inputs); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(prog.NumInstructions()), "insts/op")
+}
+
+// BenchmarkEval measures word-parallel MIG simulation (64 patterns/op).
+func BenchmarkEval(b *testing.B) {
+	m := benchmarkMIG(b, "sqrt")
+	rng := rand.New(rand.NewSource(2))
+	in := make([]uint64, m.NumPIs())
+	for i := range in {
+		in[i] = rng.Uint64()
+	}
+	vals := make([]uint64, m.NumNodes())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.EvalInto(in, vals)
+	}
+}
+
+// BenchmarkSuiteGeneration measures benchmark circuit construction.
+func BenchmarkSuiteGeneration(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := suite.BuildScaled("voter", benchShrink); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkImplyBaseline compiles and executes the §II material-implication
+// baseline on a control benchmark, for comparison with BenchmarkCompileFull.
+func BenchmarkImplyBaseline(b *testing.B) {
+	m := benchmarkMIG(b, "cavlc")
+	in := make([]bool, m.NumPIs())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		prog, err := imply.Compile(m)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, _, err := prog.Execute(in); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

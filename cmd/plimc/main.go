@@ -1,0 +1,141 @@
+// plimc compiles a Boolean function (one of the paper's benchmarks or a
+// .mig netlist) into a PLiM RM3 program under a chosen endurance
+// configuration, reporting the paper's #I/#R/write-distribution metrics.
+//
+// Examples:
+//
+//	plimc -bench adder -config full
+//	plimc -bench div -config full -cap 20 -asm div.plim
+//	plimc -in design.mig -config naive -o design.bin -stats
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"plim/internal/core"
+	"plim/internal/mig"
+	"plim/internal/suite"
+)
+
+func main() {
+	var (
+		benchName = flag.String("bench", "", "benchmark name (see -list)")
+		inFile    = flag.String("in", "", "input .mig netlist (alternative to -bench)")
+		cfgName   = flag.String("config", "full", "configuration: naive|compiler21|minwrite|rewriting|full")
+		cap       = flag.Uint64("cap", 0, "maximum write count per device (0 = unlimited)")
+		effort    = flag.Int("effort", core.DefaultEffort, "MIG rewriting cycles")
+		shrink    = flag.Int("shrink", 1, "divide benchmark datapath widths (quick runs)")
+		outBin    = flag.String("o", "", "write the compiled program in binary form")
+		outAsm    = flag.String("asm", "", "write the compiled program as assembly")
+		list      = flag.Bool("list", false, "list benchmarks and exit")
+		showStats = flag.Bool("stats", true, "print compilation statistics")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, n := range suite.Names() {
+			info, _ := suite.Get(n)
+			kind := "functional"
+			if info.Synthetic {
+				kind = "synthetic"
+			}
+			fmt.Printf("%-12s %4d/%-4d %s\n", n, info.PI, info.PO, kind)
+		}
+		return
+	}
+
+	m, err := loadMIG(*benchName, *inFile, *shrink)
+	if err != nil {
+		fatal(err)
+	}
+	cfg, err := configByName(*cfgName, *cap)
+	if err != nil {
+		fatal(err)
+	}
+	rep, err := core.Run(m, cfg, *effort)
+	if err != nil {
+		fatal(err)
+	}
+	if *showStats {
+		fmt.Printf("function    %s (pi=%d po=%d maj=%d)\n", m.Name, m.NumPIs(), m.NumPOs(), m.Statistics().MajNodes)
+		fmt.Printf("config      %s\n", cfg.Name)
+		if cfg.Rewrite != core.RewriteNone {
+			fmt.Printf("rewriting   %d → %d nodes in %d cycles\n",
+				rep.Rewrite.NodesBefore, rep.Rewrite.NodesAfter, rep.Rewrite.Cycles)
+		}
+		fmt.Printf("#I          %d\n#R          %d\n", rep.NumInstructions(), rep.NumRRAMs())
+		fmt.Printf("writes      min=%d max=%d stdev=%.2f\n",
+			rep.Writes.Min, rep.Writes.Max, rep.Writes.StdDev)
+		fmt.Printf("lifetime    %d executions at endurance 1e10\n", rep.Lifetime(1e10))
+	}
+	if *outBin != "" {
+		if err := writeFile(*outBin, rep.Result.Program.WriteBinary); err != nil {
+			fatal(err)
+		}
+	}
+	if *outAsm != "" {
+		if err := writeFile(*outAsm, rep.Result.Program.WriteAsm); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+func loadMIG(bench, file string, shrink int) (*mig.MIG, error) {
+	switch {
+	case bench != "" && file != "":
+		return nil, fmt.Errorf("plimc: use either -bench or -in, not both")
+	case bench != "":
+		return suite.BuildScaled(bench, shrink)
+	case file != "":
+		f, err := os.Open(file)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return mig.Read(f)
+	}
+	return nil, fmt.Errorf("plimc: need -bench or -in (try -list)")
+}
+
+func configByName(name string, cap uint64) (core.Config, error) {
+	var cfg core.Config
+	switch name {
+	case "naive":
+		cfg = core.Naive
+	case "compiler21":
+		cfg = core.Compiler21
+	case "minwrite":
+		cfg = core.MinWrite
+	case "rewriting":
+		cfg = core.Rewriting
+	case "full":
+		cfg = core.Full
+	default:
+		return cfg, fmt.Errorf("plimc: unknown config %q", name)
+	}
+	if cap > 0 {
+		cfg.MaxWrites = cap
+		cfg.Name += fmt.Sprintf("+cap%d", cap)
+	}
+	return cfg, nil
+}
+
+func writeFile(path string, write func(w io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}

@@ -1,0 +1,181 @@
+// plimrun executes a compiled PLiM program on the RRAM crossbar simulator.
+// It can load binary or assembly programs, drive them with given or random
+// inputs, verify outputs against a reference .mig netlist, and render the
+// wear map of the array.
+//
+// Examples:
+//
+//	plimc -bench adder -config full -o adder.bin
+//	plimrun -in adder.bin -random 4 -wearmap
+//	plimrun -in adder.bin -verify adder.mig -patterns 16
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"strings"
+
+	"plim/internal/isa"
+	"plim/internal/mig"
+	"plim/internal/rram"
+	"plim/internal/stats"
+)
+
+func main() {
+	var (
+		inFile    = flag.String("in", "", "compiled program (.bin or .plim assembly)")
+		inputsHex = flag.String("inputs", "", "input bits, LSB-first string of 0/1 (length = #PI)")
+		random    = flag.Int("random", 0, "run N random input vectors instead")
+		verify    = flag.String("verify", "", "reference .mig netlist to check outputs against")
+		patterns  = flag.Int("patterns", 8, "number of random patterns for -verify")
+		seed      = flag.Int64("seed", 1, "random seed")
+		wearmap   = flag.Bool("wearmap", false, "print the crossbar wear map after the run")
+		endurance = flag.Uint64("endurance", 0, "per-device write budget (0 = unlimited)")
+	)
+	flag.Parse()
+
+	if *inFile == "" {
+		fatal(fmt.Errorf("plimrun: need -in"))
+	}
+	prog, err := loadProgram(*inFile)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("program     %s: %d instructions, %d devices, %d inputs, %d outputs\n",
+		prog.Name, prog.NumInstructions(), prog.NumCells, len(prog.PICells), len(prog.POs))
+
+	rng := rand.New(rand.NewSource(*seed))
+
+	var ref *mig.MIG
+	if *verify != "" {
+		f, err := os.Open(*verify)
+		if err != nil {
+			fatal(err)
+		}
+		ref, err = mig.Read(f)
+		f.Close()
+		if err != nil {
+			fatal(err)
+		}
+		if ref.NumPIs() != len(prog.PICells) || ref.NumPOs() != len(prog.POs) {
+			fatal(fmt.Errorf("plimrun: reference shape %d/%d does not match program %d/%d",
+				ref.NumPIs(), ref.NumPOs(), len(prog.PICells), len(prog.POs)))
+		}
+	}
+
+	runs := buildRuns(*inputsHex, *random, *patterns, ref != nil, len(prog.PICells), rng)
+	if len(runs) == 0 {
+		fatal(fmt.Errorf("plimrun: provide -inputs, -random or -verify"))
+	}
+
+	var opts []rram.Option
+	if *endurance > 0 {
+		opts = append(opts, rram.WithEndurance(*endurance))
+	}
+
+	var lastXbar *rram.Crossbar
+	for i, in := range runs {
+		out, xbar, err := isa.Execute(prog, in, opts...)
+		lastXbar = xbar
+		if err != nil {
+			fatal(fmt.Errorf("plimrun: run %d: %w", i, err))
+		}
+		if ref != nil {
+			if err := check(ref, in, out); err != nil {
+				fatal(fmt.Errorf("plimrun: run %d: %w", i, err))
+			}
+		} else {
+			fmt.Printf("run %d: in=%s out=%s\n", i, bitString(in), bitString(out))
+		}
+	}
+	if ref != nil {
+		fmt.Printf("verify      OK (%d patterns match the reference netlist)\n", len(runs))
+	}
+	if lastXbar != nil {
+		counts := lastXbar.WriteCounts(int(prog.NumCells))
+		s := stats.Summarize(counts)
+		fmt.Printf("writes      min=%d max=%d stdev=%.2f (per execution)\n", s.Min, s.Max, s.StdDev)
+		if *wearmap {
+			fmt.Println("wear map (0-9 relative, '.' = untouched):")
+			fmt.Println(lastXbar.WearMap(int(prog.NumCells)))
+		}
+	}
+}
+
+func loadProgram(path string) (*isa.Program, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	if strings.HasSuffix(path, ".plim") || strings.HasSuffix(path, ".asm") {
+		return isa.ReadAsm(f)
+	}
+	return isa.ReadBinary(f)
+}
+
+func buildRuns(inputs string, random, patterns int, verifying bool, npi int, rng *rand.Rand) [][]bool {
+	var runs [][]bool
+	if inputs != "" {
+		in := make([]bool, 0, len(inputs))
+		for _, ch := range inputs {
+			switch ch {
+			case '0':
+				in = append(in, false)
+			case '1':
+				in = append(in, true)
+			}
+		}
+		if len(in) != npi {
+			fatal(fmt.Errorf("plimrun: -inputs has %d bits, program needs %d", len(in), npi))
+		}
+		runs = append(runs, in)
+	}
+	n := random
+	if verifying && n == 0 {
+		n = patterns
+	}
+	for i := 0; i < n; i++ {
+		in := make([]bool, npi)
+		for j := range in {
+			in[j] = rng.Intn(2) == 1
+		}
+		runs = append(runs, in)
+	}
+	return runs
+}
+
+func check(ref *mig.MIG, in, out []bool) error {
+	words := make([]uint64, len(in))
+	for i, b := range in {
+		if b {
+			words[i] = 1
+		}
+	}
+	want := ref.Eval(words)
+	for i := range out {
+		if out[i] != (want[i]&1 == 1) {
+			return fmt.Errorf("output %d mismatch: crossbar %v, reference %v", i, out[i], want[i]&1 == 1)
+		}
+	}
+	return nil
+}
+
+func bitString(bits []bool) string {
+	var b strings.Builder
+	for _, v := range bits {
+		if v {
+			b.WriteByte('1')
+		} else {
+			b.WriteByte('0')
+		}
+	}
+	return b.String()
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}

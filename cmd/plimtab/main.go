@@ -1,0 +1,139 @@
+// plimtab regenerates the evaluation tables of the DATE 2017 paper:
+//
+//	plimtab -table 1                 Table I  (write distribution, 5 configs)
+//	plimtab -table 2                 Table II (#I and #R)
+//	plimtab -table 3                 Table III (max-write cap trade-off)
+//	plimtab -table ablation          per-technique isolation (extension)
+//	plimtab -table all -format md    everything, Markdown (EXPERIMENTS.md)
+//
+// Flags select benchmarks, rewriting effort, output format and a datapath
+// shrink factor for quick runs.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	"plim/internal/core"
+	"plim/internal/tables"
+)
+
+func main() {
+	var (
+		table   = flag.String("table", "all", "1|2|3|ablation|all")
+		benches = flag.String("benchmarks", "", "comma-separated subset (default: all 18)")
+		effort  = flag.Int("effort", core.DefaultEffort, "MIG rewriting cycles")
+		shrink  = flag.Int("shrink", 1, "divide datapath widths (quick runs)")
+		format  = flag.String("format", "text", "text|md|csv")
+		outFile = flag.String("out", "", "write to file instead of stdout")
+		workers = flag.Int("workers", 0, "parallel benchmark workers (0 = GOMAXPROCS)")
+		caps    = flag.String("caps", "10,20,50,100", "write caps for Table III")
+		quiet   = flag.Bool("q", false, "suppress progress output")
+	)
+	flag.Parse()
+
+	opts := tables.Options{Effort: *effort, Shrink: *shrink, Workers: *workers}
+	if *benches != "" {
+		opts.Benchmarks = strings.Split(*benches, ",")
+	}
+
+	out := io.Writer(os.Stdout)
+	if *outFile != "" {
+		f, err := os.Create(*outFile)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		out = f
+	}
+
+	render := func(g *tables.Grid) {
+		switch *format {
+		case "text":
+			fmt.Fprintln(out, g.Text())
+		case "md":
+			fmt.Fprintln(out, g.Markdown())
+		case "csv":
+			fmt.Fprintln(out, g.CSV())
+		default:
+			fatal(fmt.Errorf("plimtab: unknown format %q", *format))
+		}
+	}
+	progress := func(msg string) {
+		if !*quiet {
+			fmt.Fprintln(os.Stderr, msg)
+		}
+	}
+
+	want := func(name string) bool { return *table == "all" || *table == name }
+	start := time.Now()
+
+	if want("1") || want("2") {
+		progress("running Table I/II configurations...")
+		sr, err := tables.RunSuite(core.TableIConfigs(), opts)
+		if err != nil {
+			fatal(err)
+		}
+		if want("1") {
+			d, err := tables.TableI(sr)
+			if err != nil {
+				fatal(err)
+			}
+			render(d.Grid())
+		}
+		if want("2") {
+			d, err := tables.TableII(sr)
+			if err != nil {
+				fatal(err)
+			}
+			render(d.Grid())
+		}
+	}
+
+	if want("3") {
+		progress("running Table III cap sweep...")
+		var cfgs []core.Config
+		for _, c := range strings.Split(*caps, ",") {
+			var w uint64
+			if _, err := fmt.Sscanf(strings.TrimSpace(c), "%d", &w); err != nil {
+				fatal(fmt.Errorf("plimtab: bad cap %q", c))
+			}
+			cfgs = append(cfgs, core.FullCap(w))
+		}
+		sr, err := tables.RunSuite(cfgs, opts)
+		if err != nil {
+			fatal(err)
+		}
+		d, err := tables.TableIII(sr)
+		if err != nil {
+			fatal(err)
+		}
+		render(d.Grid())
+	}
+
+	if want("ablation") {
+		progress("running ablation configurations...")
+		sr, err := tables.RunSuite(tables.AblationConfigs(), opts)
+		if err != nil {
+			fatal(err)
+		}
+		d, err := tables.TableI(sr)
+		if err != nil {
+			fatal(err)
+		}
+		g := d.Grid()
+		g.Title = "Ablation: each endurance technique in isolation (STDEV improvement vs naive)"
+		render(g)
+	}
+
+	progress(fmt.Sprintf("done in %v", time.Since(start).Round(time.Millisecond)))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}

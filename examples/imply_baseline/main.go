@@ -1,0 +1,57 @@
+// IMP baseline (§II of the paper): compile the same functions with the
+// material-implication NAND style of Borghetti et al. and with the
+// endurance-managed RM3 flow, and compare write traffic. IMP funnels every
+// gate's result writes into a work device, so its maxima and deviations dwarf
+// the balanced RM3 programs — the observation that motivates the paper.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"plim"
+	"plim/internal/imply"
+	"plim/internal/stats"
+)
+
+func main() {
+	fmt.Println("write traffic: IMP (NAND, naive) vs RM3 (full endurance management)")
+	fmt.Println()
+	fmt.Printf("%-12s  %10s  %10s  %10s | %10s  %10s  %10s\n",
+		"benchmark", "IMP ops", "IMP max", "IMP stdev", "RM3 #I", "RM3 max", "RM3 stdev")
+
+	for _, name := range []string{"ctrl", "cavlc", "int2float", "dec", "router"} {
+		m, err := plim.Benchmark(name)
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		impProg, err := imply.Compile(m)
+		if err != nil {
+			log.Fatal(err)
+		}
+		in := make([]bool, m.NumPIs())
+		for i := range in {
+			in[i] = i%2 == 1
+		}
+		_, impWrites, err := impProg.Execute(in)
+		if err != nil {
+			log.Fatal(err)
+		}
+		impStats := stats.Summarize(impWrites)
+
+		rep, err := plim.Run(m, plim.Full, plim.DefaultEffort)
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		fmt.Printf("%-12s  %10d  %10d  %10.2f | %10d  %10d  %10.2f\n",
+			name, impProg.NumOps(), impStats.Max, impStats.StdDev,
+			rep.NumInstructions(), rep.Writes.Max, rep.Writes.StdDev)
+	}
+
+	fmt.Println()
+	fmt.Println("IMP loses commutativity (q ← p̄ ∨ q rewrites only q), so every NAND")
+	fmt.Println("concentrates three writes on its work device; RM3 spreads results")
+	fmt.Println("across three operands and the endurance-aware compiler levels the rest.")
+}

@@ -1,0 +1,366 @@
+// Package compile translates Majority-Inverter Graphs into PLiM RM3
+// programs, implementing both the baseline compiler of Soeken et al.
+// (DAC 2016, [21] in the paper) and the endurance-aware compilation of
+// Shirinzadeh et al. (DATE 2017).
+//
+// Compilation walks the MIG bottom-up. At every step a "candidate" node
+// (one whose children are all computed) is selected by the configured
+// policy, translated into one or more RM3 instructions, and the devices of
+// children that die are returned to the allocator:
+//
+//   - Selection NodeOrder compiles nodes in construction (topological id)
+//     order — the paper's naive baseline, which only benefits from node
+//     translation.
+//   - Selection Standard prefers the candidate releasing the most devices,
+//     breaking ties toward the smallest fanout level index ([21]).
+//   - Selection Endurance reverses the priorities (paper Algorithm 3):
+//     smallest fanout level index first — the candidate whose value will be
+//     consumed soonest, i.e. the shortest storage duration — then the most
+//     releasing devices.
+//
+// Node translation chooses how the three child values map onto the RM3
+// operand slots (A is read directly, B is read and inverted by the
+// operation, Z is the overwritten destination) by enumerating all six
+// assignments and picking the cheapest, reproducing the paper's cost model:
+// an ideal node — exactly one complemented fanin and a dying, cap-legal
+// uncomplemented fanin for the destination — costs a single instruction;
+// every violation costs two extra instructions and one extra device
+// (a preset plus an inverted or plain copy).
+package compile
+
+import (
+	"fmt"
+
+	"plim/internal/alloc"
+	"plim/internal/isa"
+	"plim/internal/mig"
+)
+
+// Selection chooses the node-selection policy.
+type Selection uint8
+
+// Selection policies.
+const (
+	NodeOrder Selection = iota // naive: topological id order
+	Standard                   // [21]: max releasing devices, then min fanout level
+	Endurance                  // DATE'17 Algorithm 3: min fanout level, then max releasing
+)
+
+// String names the policy.
+func (s Selection) String() string {
+	switch s {
+	case NodeOrder:
+		return "node-order"
+	case Standard:
+		return "standard"
+	case Endurance:
+		return "endurance"
+	}
+	return "?"
+}
+
+// Options configures compilation. The zero value is the paper's default
+// behaviour apart from the selection policy and allocator, which each
+// configuration names explicitly.
+type Options struct {
+	Selection Selection
+	Alloc     alloc.Kind
+	// MaxWrites is the per-device write cap of the "maximum write count
+	// strategy"; 0 disables it. Values 1–3 cannot express a preset+copy+RM3
+	// sequence and are rejected.
+	MaxWrites uint64
+	// KeepComplementedPOs leaves complemented primary outputs as a negated
+	// read instead of materializing the inverted value (2 instructions and
+	// 1 device each). The paper's cost model materializes them.
+	KeepComplementedPOs bool
+	// PinPIs prevents primary-input devices from being recycled after their
+	// last use. The paper reuses them (its #R figures are below
+	// #PI + #PO + workspace otherwise).
+	PinPIs bool
+}
+
+// Result is a compiled program plus the endurance bookkeeping the paper's
+// tables report.
+type Result struct {
+	Program *isa.Program
+	// WriteCounts is the per-device write count of one program execution,
+	// including never-written (e.g. input-only) devices. Statistics over
+	// this slice are the paper's STDEV/min/max columns.
+	WriteCounts []uint64
+	// NumInstructions is the paper's #I.
+	NumInstructions int
+	// NumRRAMs is the paper's #R: every device the program ever allocated.
+	NumRRAMs int
+}
+
+// Compile translates m into a PLiM program.
+func Compile(m *mig.MIG, opts Options) (*Result, error) {
+	if opts.MaxWrites > 0 && opts.MaxWrites < 4 {
+		return nil, fmt.Errorf("compile: max-write cap %d cannot fit a preset+copy+RM3 sequence; use 0 or ≥4", opts.MaxWrites)
+	}
+	c := newCompiler(m, opts)
+	if err := c.run(); err != nil {
+		return nil, err
+	}
+	prog := &isa.Program{
+		Name:     m.Name,
+		Insts:    c.insts,
+		NumCells: uint32(c.alloc.NumCells()),
+		PICells:  c.piCells,
+		POs:      c.pos,
+	}
+	if err := prog.Validate(); err != nil {
+		return nil, fmt.Errorf("compile: emitted invalid program: %w", err)
+	}
+	return &Result{
+		Program:         prog,
+		WriteCounts:     c.alloc.WriteCounts(),
+		NumInstructions: len(c.insts),
+		NumRRAMs:        c.alloc.NumCells(),
+	}, nil
+}
+
+type compiler struct {
+	m     *mig.MIG
+	opts  Options
+	alloc *alloc.Allocator
+
+	insts   []isa.Instruction
+	piCells []uint32
+	pos     []isa.PORef
+
+	// cell[n] is the device currently holding node n's value.
+	cell []uint32
+	// remaining[n] counts outstanding uses of node n's value: one per
+	// parent edge plus one pin per primary output it drives. When it drops
+	// to zero the device is released.
+	remaining []int32
+	// computed[n] marks nodes whose value is materialized.
+	computed []bool
+	// foLevel[n] is the fanout level index: the level of the last consumer
+	// (max over parents; PO consumers count as depth+1). It is the storage
+	// duration proxy both selection policies use.
+	foLevel []int32
+	// level[n] is the node's own level.
+	level []int32
+	live  []bool
+
+	// pending[n] counts distinct majority children of n not yet computed.
+	pending []int32
+	// parents[n] lists distinct majority parents of n.
+	parents [][]mig.NodeID
+
+	heap candidateHeap
+
+	// invPOCells memoizes materialized inverted PO values per node, and
+	// constPOCells the two constant PO cells.
+	invPOCells   map[mig.NodeID]uint32
+	constPOCells [2]int64
+}
+
+func newCompiler(m *mig.MIG, opts Options) *compiler {
+	n := m.NumNodes()
+	c := &compiler{
+		m:          m,
+		opts:       opts,
+		alloc:      alloc.New(opts.Alloc, opts.MaxWrites),
+		cell:       make([]uint32, n),
+		remaining:  make([]int32, n),
+		computed:   make([]bool, n),
+		foLevel:    make([]int32, n),
+		pending:    make([]int32, n),
+		parents:    make([][]mig.NodeID, n),
+		live:       m.LiveNodes(),
+		invPOCells: make(map[mig.NodeID]uint32),
+	}
+	c.constPOCells[0] = -1
+	c.constPOCells[1] = -1
+
+	var depth int32
+	c.level, depth = m.Levels()
+
+	// Uses, parents and pending counts over the live subgraph.
+	m.ForEachMaj(func(p mig.NodeID, ch [3]mig.Signal) {
+		if !c.live[p] {
+			return
+		}
+		seen := [3]mig.NodeID{}
+		nseen := 0
+		for _, s := range ch {
+			cn := s.Node()
+			if cn == 0 {
+				continue // constants are free operands, not devices
+			}
+			c.remaining[cn]++
+			if c.foLevel[cn] < c.level[p] {
+				c.foLevel[cn] = c.level[p]
+			}
+			dup := false
+			for i := 0; i < nseen; i++ {
+				if seen[i] == cn {
+					dup = true
+					break
+				}
+			}
+			if dup {
+				continue
+			}
+			seen[nseen] = cn
+			nseen++
+			c.parents[cn] = append(c.parents[cn], p)
+			if c.m.IsMaj(cn) {
+				// counted below via pending of p; nothing here
+				_ = cn
+			}
+		}
+		// pending = distinct maj children not yet computed.
+		cnt := int32(0)
+		for i := 0; i < nseen; i++ {
+			if c.m.IsMaj(seen[i]) {
+				cnt++
+			}
+		}
+		c.pending[p] = cnt
+	})
+
+	// Primary outputs pin their drivers and extend storage duration to the
+	// end of the program.
+	for i := 0; i < m.NumPOs(); i++ {
+		po := m.PO(i)
+		pn := po.Node()
+		if pn == 0 {
+			continue
+		}
+		c.remaining[pn]++ // permanent pin: never decremented
+		if c.foLevel[pn] < depth+1 {
+			c.foLevel[pn] = depth + 1
+		}
+	}
+	return c
+}
+
+func (c *compiler) run() error {
+	m := c.m
+
+	// Primary inputs occupy the first devices, preloaded with data (no
+	// write pulses). Unused inputs release after all assignments — not
+	// during them, or the allocator would hand the same device to two
+	// inputs.
+	c.piCells = make([]uint32, m.NumPIs())
+	for i := 0; i < m.NumPIs(); i++ {
+		pn := m.PINode(i)
+		addr := c.alloc.Acquire(0)
+		c.piCells[i] = addr
+		c.cell[pn] = addr
+		c.computed[pn] = true
+		if c.opts.PinPIs {
+			c.remaining[pn]++
+		}
+	}
+	for i := 0; i < m.NumPIs(); i++ {
+		pn := m.PINode(i)
+		if c.remaining[pn] == 0 {
+			c.alloc.Release(c.piCells[i])
+		}
+	}
+
+	// Seed candidates: live majority nodes whose children are all PIs or
+	// constants.
+	c.heap.policy = c.opts.Selection
+	m.ForEachMaj(func(n mig.NodeID, _ [3]mig.Signal) {
+		if c.live[n] && c.pending[n] == 0 {
+			c.push(n)
+		}
+	})
+
+	compiledAny := true
+	for compiledAny {
+		compiledAny = false
+		for c.heap.Len() > 0 {
+			n, ok := c.popBest()
+			if !ok {
+				continue
+			}
+			if err := c.translate(n); err != nil {
+				return err
+			}
+			compiledAny = true
+			// Unblock parents.
+			for _, p := range c.parents[n] {
+				c.pending[p]--
+				if c.pending[p] == 0 && c.live[p] {
+					c.push(p)
+				}
+			}
+		}
+	}
+
+	// Every live majority node must have been computed.
+	for i := 0; i < m.NumNodes(); i++ {
+		n := mig.NodeID(i)
+		if c.live[n] && m.IsMaj(n) && !c.computed[n] {
+			return fmt.Errorf("compile: node %d never became computable (cycle or bug)", n)
+		}
+	}
+	return c.finalizePOs()
+}
+
+// finalizePOs materializes primary outputs: constants get preset devices,
+// complemented outputs get inverted copies (unless KeepComplementedPOs).
+func (c *compiler) finalizePOs() error {
+	m := c.m
+	c.pos = make([]isa.PORef, m.NumPOs())
+	for i := 0; i < m.NumPOs(); i++ {
+		po := m.PO(i)
+		pn := po.Node()
+		if pn == 0 {
+			v := po.Complemented() // Const1 is the complement of node 0
+			idx := 0
+			if v {
+				idx = 1
+			}
+			if c.constPOCells[idx] < 0 {
+				addr := c.alloc.Acquire(1)
+				c.emitPreset(addr, v)
+				c.constPOCells[idx] = int64(addr)
+			}
+			c.pos[i] = isa.PORef{Addr: uint32(c.constPOCells[idx])}
+			continue
+		}
+		if !c.computed[pn] {
+			return fmt.Errorf("compile: PO %d driver %d not computed", i, pn)
+		}
+		src := c.cell[pn]
+		if !po.Complemented() {
+			c.pos[i] = isa.PORef{Addr: src}
+			continue
+		}
+		if c.opts.KeepComplementedPOs {
+			c.pos[i] = isa.PORef{Addr: src, Neg: true}
+			continue
+		}
+		addr, ok := c.invPOCells[pn]
+		if !ok {
+			addr = c.alloc.Acquire(2)
+			c.emitPreset(addr, true)
+			c.emit(isa.Instruction{A: isa.Zero, B: isa.Cell(src), Z: addr}) // ⟨0 v̄ 1⟩ = v̄
+			c.invPOCells[pn] = addr
+		}
+		c.pos[i] = isa.PORef{Addr: addr}
+	}
+	return nil
+}
+
+func (c *compiler) emit(ins isa.Instruction) {
+	c.insts = append(c.insts, ins)
+	c.alloc.NoteWrite(ins.Z, 1)
+}
+
+// emitPreset writes constant v into addr: RM3 #0,#1 (→0) or RM3 #1,#0 (→1).
+func (c *compiler) emitPreset(addr uint32, v bool) {
+	if v {
+		c.emit(isa.Instruction{A: isa.One, B: isa.Zero, Z: addr})
+	} else {
+		c.emit(isa.Instruction{A: isa.Zero, B: isa.One, Z: addr})
+	}
+}

@@ -1,0 +1,122 @@
+package compile
+
+import (
+	"container/heap"
+
+	"plim/internal/mig"
+)
+
+// candidateHeap orders computable nodes by the configured selection policy.
+// The "releasing" component of a key is dynamic — sibling computations can
+// turn a child into a dying child — so entries carry a snapshot and popBest
+// re-validates it lazily: a popped entry whose snapshot is stale is
+// re-pushed with its fresh key. Releasing counts only grow while a node
+// waits (uses of its children only decrease), so every node is popped a
+// bounded number of times.
+type candidateHeap struct {
+	policy  Selection
+	entries []heapEntry
+}
+
+type heapEntry struct {
+	node      mig.NodeID
+	releasing int32
+	foLevel   int32
+}
+
+func (h *candidateHeap) Len() int { return len(h.entries) }
+
+func (h *candidateHeap) Less(i, j int) bool {
+	a, b := h.entries[i], h.entries[j]
+	switch h.policy {
+	case Standard:
+		// Max releasing first, then min fanout level, then id.
+		if a.releasing != b.releasing {
+			return a.releasing > b.releasing
+		}
+		if a.foLevel != b.foLevel {
+			return a.foLevel < b.foLevel
+		}
+	case Endurance:
+		// Min fanout level first (shortest storage duration), then max
+		// releasing — paper Algorithm 3.
+		if a.foLevel != b.foLevel {
+			return a.foLevel < b.foLevel
+		}
+		if a.releasing != b.releasing {
+			return a.releasing > b.releasing
+		}
+	}
+	// NodeOrder and all ties: construction order.
+	return a.node < b.node
+}
+
+func (h *candidateHeap) Swap(i, j int) { h.entries[i], h.entries[j] = h.entries[j], h.entries[i] }
+
+func (h *candidateHeap) Push(x interface{}) { h.entries = append(h.entries, x.(heapEntry)) }
+
+func (h *candidateHeap) Pop() interface{} {
+	old := h.entries
+	n := len(old)
+	e := old[n-1]
+	h.entries = old[:n-1]
+	return e
+}
+
+// releasingCount returns how many devices computing n would free: distinct
+// non-constant children whose remaining uses are exactly n's own uses of
+// them (n is their last consumer).
+func (c *compiler) releasingCount(n mig.NodeID) int32 {
+	ch := c.m.Children(n)
+	var cnt int32
+	for i, s := range ch {
+		cn := s.Node()
+		if cn == 0 {
+			continue
+		}
+		dup := false
+		for j := 0; j < i; j++ {
+			if ch[j].Node() == cn {
+				dup = true
+				break
+			}
+		}
+		if dup {
+			continue
+		}
+		uses := int32(0)
+		for _, s2 := range ch {
+			if s2.Node() == cn {
+				uses++
+			}
+		}
+		if c.remaining[cn] == uses {
+			cnt++
+		}
+	}
+	return cnt
+}
+
+// push inserts a candidate with a fresh key snapshot.
+func (c *compiler) push(n mig.NodeID) {
+	heap.Push(&c.heap, heapEntry{
+		node:      n,
+		releasing: c.releasingCount(n),
+		foLevel:   c.foLevel[n],
+	})
+}
+
+// popBest pops the top candidate, re-validating its dynamic key. It returns
+// ok=false when the popped entry was stale and has been re-pushed; callers
+// loop until the heap empties or a valid entry appears.
+func (c *compiler) popBest() (mig.NodeID, bool) {
+	e := heap.Pop(&c.heap).(heapEntry)
+	if c.heap.policy != NodeOrder {
+		if rel := c.releasingCount(e.node); rel != e.releasing {
+			e.releasing = rel
+			heap.Push(&c.heap, e)
+			return 0, false
+		}
+	}
+	return e.node, true
+}

@@ -1,0 +1,232 @@
+package compile
+
+import (
+	"fmt"
+
+	"plim/internal/isa"
+	"plim/internal/mig"
+)
+
+// contribution is one of the three values entering a node's majority.
+type contribution struct {
+	isConst  bool
+	constVal bool       // value when isConst
+	node     mig.NodeID // child node when !isConst
+	comp     bool       // contribution is the complement of the child's value
+}
+
+// slot costs discovered during planning.
+type slotPlan struct {
+	// extraInsts is 0 (free), 1 (preset) or 2 (preset+copy / preset+invert).
+	extraInsts int
+	// freshCells is 1 when the slot needs a new device.
+	freshCells int
+	// inPlace marks a Z slot that overwrites the dying child's device.
+	inPlace bool
+}
+
+type plan struct {
+	perm  [3]int // contribution index for slots A, B, Z
+	insts int
+	fresh int
+	valid bool
+}
+
+const (
+	slotA = 0
+	slotB = 1
+	slotZ = 2
+)
+
+// translate emits the RM3 sequence computing node n and updates liveness.
+func (c *compiler) translate(n mig.NodeID) error {
+	ch := c.m.Children(n)
+	var contribs [3]contribution
+	for i, s := range ch {
+		if s.IsConst() {
+			contribs[i] = contribution{isConst: true, constVal: s == mig.Const1}
+			continue
+		}
+		if !c.computed[s.Node()] {
+			return fmt.Errorf("compile: node %d selected before child %d", n, s.Node())
+		}
+		contribs[i] = contribution{node: s.Node(), comp: s.Complemented()}
+	}
+
+	best := plan{valid: false}
+	perms := [6][3]int{{0, 1, 2}, {0, 2, 1}, {1, 0, 2}, {1, 2, 0}, {2, 0, 1}, {2, 1, 0}}
+	for _, perm := range perms {
+		p := c.evaluatePlan(n, contribs, perm)
+		if !p.valid {
+			continue
+		}
+		if !best.valid || c.planLess(p, best) {
+			best = p
+		}
+	}
+	if !best.valid {
+		return fmt.Errorf("compile: node %d has no feasible operand assignment", n)
+	}
+	return c.executePlan(n, contribs, best)
+}
+
+// planLess orders plans: fewest instructions, fewest fresh devices, then
+// permutation order for determinism. Deliberately NOT a function of write
+// counts: the paper's minimum-write strategy lives entirely in the
+// allocator, which keeps translation identical across allocation policies
+// (the paper's observation that min-write changes neither #I nor #R falls
+// out structurally). An earlier revision broke ties toward the least-written
+// in-place destination; on mux-heavy circuits that systematically released
+// the hottest device into a near-empty free pool, which then recycled it
+// for the next copy destination, concentrating writes instead of spreading
+// them.
+func (c *compiler) planLess(a, b plan) bool {
+	if a.insts != b.insts {
+		return a.insts < b.insts
+	}
+	if a.fresh != b.fresh {
+		return a.fresh < b.fresh
+	}
+	return false // earlier permutation wins (evaluation order)
+}
+
+// evaluatePlan costs one operand assignment without emitting anything.
+func (c *compiler) evaluatePlan(n mig.NodeID, contribs [3]contribution, perm [3]int) plan {
+	p := plan{perm: perm, valid: true}
+	for slot := slotA; slot <= slotZ; slot++ {
+		ct := contribs[perm[slot]]
+		sp, ok := c.evaluateSlot(n, ct, slot)
+		if !ok {
+			return plan{valid: false}
+		}
+		p.insts += sp.extraInsts
+		p.fresh += sp.freshCells
+	}
+	p.insts++ // the main RM3
+	return p
+}
+
+func (c *compiler) evaluateSlot(n mig.NodeID, ct contribution, slot int) (slotPlan, bool) {
+	switch slot {
+	case slotA:
+		if ct.isConst || !ct.comp {
+			return slotPlan{}, true
+		}
+		return slotPlan{extraInsts: 2, freshCells: 1}, true // inverted copy
+	case slotB:
+		if ct.isConst || ct.comp {
+			return slotPlan{}, true
+		}
+		return slotPlan{extraInsts: 2, freshCells: 1}, true // inverted copy
+	default: // slotZ
+		if ct.isConst {
+			return slotPlan{extraInsts: 1, freshCells: 1}, true // preset
+		}
+		if !ct.comp && c.isLastUse(n, ct.node) && c.alloc.CanWrite(c.cell[ct.node], 1) {
+			return slotPlan{inPlace: true}, true
+		}
+		// Plain or inverted copy into a fresh device.
+		return slotPlan{extraInsts: 2, freshCells: 1}, true
+	}
+}
+
+// isLastUse reports whether node n is the last consumer of child cn: the
+// child's remaining uses all come from n's own fanin edges.
+func (c *compiler) isLastUse(n mig.NodeID, cn mig.NodeID) bool {
+	uses := int32(0)
+	for _, s := range c.m.Children(n) {
+		if s.Node() == cn {
+			uses++
+		}
+	}
+	return c.remaining[cn] == uses
+}
+
+// executePlan emits the instructions for the chosen plan and updates
+// compiler state.
+func (c *compiler) executePlan(n mig.NodeID, contribs [3]contribution, p plan) error {
+	var ops [2]isa.Operand // A and B
+	var temps []uint32     // inverted copies to release after the main RM3
+	var dest uint32
+	inPlaceChild := mig.NodeID(0)
+	hasInPlace := false
+
+	// Materialize the destination first (its copy reads child devices that
+	// nothing below destroys), then the temporaries.
+	ctZ := contribs[p.perm[slotZ]]
+	switch {
+	case ctZ.isConst:
+		dest = c.alloc.Acquire(2)
+		c.emitPreset(dest, ctZ.constVal)
+	case !ctZ.comp && c.isLastUse(n, ctZ.node) && c.alloc.CanWrite(c.cell[ctZ.node], 1):
+		dest = c.cell[ctZ.node]
+		inPlaceChild = ctZ.node
+		hasInPlace = true
+	case ctZ.comp:
+		// Fresh device preloaded with the complemented child value.
+		dest = c.alloc.Acquire(3)
+		c.emitPreset(dest, true)
+		c.emit(isa.Instruction{A: isa.Zero, B: isa.Cell(c.cell[ctZ.node]), Z: dest})
+	default:
+		// Fresh device preloaded with the plain child value.
+		dest = c.alloc.Acquire(3)
+		c.emitPreset(dest, false)
+		c.emit(isa.Instruction{A: isa.Cell(c.cell[ctZ.node]), B: isa.Zero, Z: dest})
+	}
+
+	for slot := slotA; slot <= slotB; slot++ {
+		ct := contribs[p.perm[slot]]
+		switch {
+		case ct.isConst:
+			v := ct.constVal
+			if slot == slotB {
+				v = !v // the operation inverts B
+			}
+			ops[slot] = isa.Const(v)
+		case (slot == slotA && !ct.comp) || (slot == slotB && ct.comp):
+			ops[slot] = isa.Cell(c.cell[ct.node])
+		default:
+			// Inverted copy: tmp ← ¬child.
+			tmp := c.alloc.Acquire(2)
+			c.emitPreset(tmp, true)
+			c.emit(isa.Instruction{A: isa.Zero, B: isa.Cell(c.cell[ct.node]), Z: tmp})
+			ops[slot] = isa.Cell(tmp)
+			temps = append(temps, tmp)
+		}
+	}
+
+	c.emit(isa.Instruction{A: ops[slotA], B: ops[slotB], Z: dest})
+
+	// Liveness updates: child uses are consumed, then scratch devices die.
+	// Children release before temporaries so that, under the naive LIFO
+	// free list, the next scratch request reuses a freshly dead child
+	// instead of ping-ponging on the same temporary device forever.
+	for _, s := range c.m.Children(n) {
+		cn := s.Node()
+		if cn == 0 {
+			continue
+		}
+		c.remaining[cn]--
+		if c.remaining[cn] < 0 {
+			return fmt.Errorf("compile: negative remaining uses on node %d", cn)
+		}
+	}
+	seen := map[mig.NodeID]bool{}
+	for _, s := range c.m.Children(n) {
+		cn := s.Node()
+		if cn == 0 || seen[cn] {
+			continue
+		}
+		seen[cn] = true
+		if c.remaining[cn] == 0 && !(hasInPlace && cn == inPlaceChild) {
+			c.alloc.Release(c.cell[cn])
+		}
+	}
+	for _, tmp := range temps {
+		c.alloc.Release(tmp)
+	}
+
+	c.cell[n] = dest
+	c.computed[n] = true
+	return nil
+}

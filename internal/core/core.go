@@ -1,0 +1,150 @@
+// Package core assembles the paper's endurance-management scheme: it wires
+// MIG rewriting (internal/rewrite), node selection and translation
+// (internal/compile) and device allocation (internal/alloc) into the named
+// configurations evaluated in Shirinzadeh et al., DATE 2017, Tables I–III.
+//
+// The five incremental configurations of Table I are:
+//
+//	naive       no rewriting, node-order selection, LIFO allocation
+//	compiler21  Algorithm 1 rewriting + standard selection + LIFO ([21])
+//	minwrite    compiler21 + the minimum-write-count allocator
+//	rewriting   Algorithm 2 rewriting + standard selection + min-write
+//	full        Algorithm 2 + Algorithm 3 selection + min-write
+//
+// Table III adds the maximum-write-count strategy on top of full:
+// FullCap(w) for w ∈ {10, 20, 50, 100}.
+package core
+
+import (
+	"fmt"
+
+	"plim/internal/alloc"
+	"plim/internal/compile"
+	"plim/internal/mig"
+	"plim/internal/rewrite"
+	"plim/internal/stats"
+)
+
+// RewriteKind selects the rewriting algorithm applied before compilation.
+type RewriteKind uint8
+
+// Rewriting choices.
+const (
+	RewriteNone RewriteKind = iota
+	RewriteAlgorithm1
+	RewriteAlgorithm2
+)
+
+// String names the rewriting choice.
+func (k RewriteKind) String() string {
+	switch k {
+	case RewriteNone:
+		return "none"
+	case RewriteAlgorithm1:
+		return "algorithm1"
+	case RewriteAlgorithm2:
+		return "algorithm2"
+	}
+	return "?"
+}
+
+// DefaultEffort is the paper's MIG-rewriting cycle count (§IV).
+const DefaultEffort = 5
+
+// Config is one endurance-management configuration.
+type Config struct {
+	Name      string
+	Rewrite   RewriteKind
+	Selection compile.Selection
+	Alloc     alloc.Kind
+	MaxWrites uint64 // 0 = no maximum-write strategy
+}
+
+// The named configurations of the paper's evaluation.
+var (
+	// Naive benefits only from node translation (Table I column 1).
+	Naive = Config{Name: "naive", Rewrite: RewriteNone, Selection: compile.NodeOrder, Alloc: alloc.LIFO}
+	// Compiler21 is the DAC'16 PLiM compiler (Table I column 2).
+	Compiler21 = Config{Name: "compiler21", Rewrite: RewriteAlgorithm1, Selection: compile.Standard, Alloc: alloc.LIFO}
+	// MinWrite adds the minimum write count strategy (Table I column 3).
+	MinWrite = Config{Name: "minwrite", Rewrite: RewriteAlgorithm1, Selection: compile.Standard, Alloc: alloc.MinWrite}
+	// Rewriting swaps in the endurance-aware MIG rewriting (column 4).
+	Rewriting = Config{Name: "rewriting", Rewrite: RewriteAlgorithm2, Selection: compile.Standard, Alloc: alloc.MinWrite}
+	// Full adds the endurance-aware node selection (column 5).
+	Full = Config{Name: "full", Rewrite: RewriteAlgorithm2, Selection: compile.Endurance, Alloc: alloc.MinWrite}
+)
+
+// FullCap is Full plus the maximum write count strategy (Table III).
+func FullCap(w uint64) Config {
+	c := Full
+	c.Name = fmt.Sprintf("full+cap%d", w)
+	c.MaxWrites = w
+	return c
+}
+
+// TableIConfigs returns the five configurations of Table I in column order.
+func TableIConfigs() []Config {
+	return []Config{Naive, Compiler21, MinWrite, Rewriting, Full}
+}
+
+// Report is the outcome of running one configuration on one function.
+type Report struct {
+	Config  Config
+	Rewrite rewrite.Stats
+	Result  *compile.Result
+	// Writes summarizes the per-device write counts (paper's min/max/STDEV).
+	Writes stats.Summary
+}
+
+// NumInstructions is the paper's #I.
+func (r *Report) NumInstructions() int { return r.Result.NumInstructions }
+
+// NumRRAMs is the paper's #R.
+func (r *Report) NumRRAMs() int { return r.Result.NumRRAMs }
+
+// Lifetime estimates how many executions of the compiled program a memory
+// with the given per-device endurance survives.
+func (r *Report) Lifetime(endurance uint64) uint64 {
+	return stats.Lifetime(r.Result.WriteCounts, endurance)
+}
+
+// Run rewrites m according to cfg (with the given effort) and compiles it.
+// The input MIG is not modified.
+func Run(m *mig.MIG, cfg Config, effort int) (*Report, error) {
+	rep := &Report{Config: cfg}
+	cur := m
+	switch cfg.Rewrite {
+	case RewriteNone:
+		cur = m.Cleanup() // drop dangling nodes, as every config compiles live nodes only
+	case RewriteAlgorithm1:
+		cur, rep.Rewrite = rewrite.Run(m, rewrite.Algorithm1, effort)
+	case RewriteAlgorithm2:
+		cur, rep.Rewrite = rewrite.Run(m, rewrite.Algorithm2, effort)
+	default:
+		return nil, fmt.Errorf("core: unknown rewrite kind %d", cfg.Rewrite)
+	}
+	res, err := compile.Compile(cur, compile.Options{
+		Selection: cfg.Selection,
+		Alloc:     cfg.Alloc,
+		MaxWrites: cfg.MaxWrites,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("core: %s: %w", cfg.Name, err)
+	}
+	rep.Result = res
+	rep.Writes = stats.Summarize(res.WriteCounts)
+	return rep, nil
+}
+
+// RunAll runs several configurations on the same function.
+func RunAll(m *mig.MIG, cfgs []Config, effort int) ([]*Report, error) {
+	out := make([]*Report, len(cfgs))
+	for i, cfg := range cfgs {
+		rep, err := Run(m, cfg, effort)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = rep
+	}
+	return out, nil
+}

@@ -1,0 +1,164 @@
+package core
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"plim/internal/mig"
+)
+
+func randomMIG(name string, pis, nodes, pos int, seed int64) *mig.MIG {
+	m := mig.New(name)
+	rng := rand.New(rand.NewSource(seed))
+	sigs := make([]mig.Signal, 0, pis+nodes)
+	for i := 0; i < pis; i++ {
+		sigs = append(sigs, m.AddPI(""))
+	}
+	for len(sigs) < pis+nodes {
+		pick := func() mig.Signal {
+			s := sigs[rng.Intn(len(sigs))]
+			if rng.Intn(3) == 0 {
+				s = s.Not()
+			}
+			return s
+		}
+		sigs = append(sigs, m.Maj(pick(), pick(), pick()))
+	}
+	for i := 0; i < pos; i++ {
+		s := sigs[len(sigs)-1-rng.Intn(nodes/2)]
+		if rng.Intn(4) == 0 {
+			s = s.Not()
+		}
+		m.AddPO(s, "")
+	}
+	return m.Cleanup()
+}
+
+func TestNamedConfigs(t *testing.T) {
+	cfgs := TableIConfigs()
+	if len(cfgs) != 5 {
+		t.Fatalf("Table I has 5 configurations, got %d", len(cfgs))
+	}
+	names := []string{"naive", "compiler21", "minwrite", "rewriting", "full"}
+	for i, c := range cfgs {
+		if c.Name != names[i] {
+			t.Fatalf("config %d = %q, want %q", i, c.Name, names[i])
+		}
+	}
+	cap := FullCap(20)
+	if cap.MaxWrites != 20 || !strings.Contains(cap.Name, "20") {
+		t.Fatalf("FullCap broken: %+v", cap)
+	}
+	if Full.MaxWrites != 0 {
+		t.Fatalf("FullCap must not mutate Full")
+	}
+}
+
+func TestRewriteKindString(t *testing.T) {
+	if RewriteNone.String() != "none" || RewriteAlgorithm1.String() != "algorithm1" ||
+		RewriteAlgorithm2.String() != "algorithm2" || RewriteKind(9).String() != "?" {
+		t.Fatal("RewriteKind.String broken")
+	}
+}
+
+func TestRunPreservesFunctionAcrossConfigs(t *testing.T) {
+	m := randomMIG("f", 8, 120, 8, 11)
+	cfgs := append(TableIConfigs(), FullCap(10), FullCap(50))
+	for _, cfg := range cfgs {
+		rep, err := Run(m, cfg, DefaultEffort)
+		if err != nil {
+			t.Fatalf("%s: %v", cfg.Name, err)
+		}
+		if rep.Result == nil || rep.Result.Program == nil {
+			t.Fatalf("%s: missing result", cfg.Name)
+		}
+		if rep.Writes.N != rep.NumRRAMs() {
+			t.Fatalf("%s: summary over %d devices, #R=%d", cfg.Name, rep.Writes.N, rep.NumRRAMs())
+		}
+		if rep.NumInstructions() != rep.Result.NumInstructions {
+			t.Fatalf("%s: #I accessor mismatch", cfg.Name)
+		}
+	}
+}
+
+func TestRunAllOrdersReports(t *testing.T) {
+	m := randomMIG("f", 6, 60, 4, 5)
+	reps, err := RunAll(m, TableIConfigs(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reps) != 5 {
+		t.Fatalf("got %d reports", len(reps))
+	}
+	for i, cfg := range TableIConfigs() {
+		if reps[i].Config.Name != cfg.Name {
+			t.Fatalf("report %d is %q", i, reps[i].Config.Name)
+		}
+	}
+}
+
+// TestPaperTrendOnRandomControl checks the headline ordering of Table I on
+// deterministic random control logic: the full scheme must beat the naive
+// scheme on write-count deviation, and rewriting must cut instructions.
+func TestPaperTrendOnRandomControl(t *testing.T) {
+	var naiveSD, fullSD, naiveI, fullI float64
+	for seed := int64(1); seed <= 5; seed++ {
+		m := randomMIG("ctrl-like", 10, 300, 12, seed)
+		naive, err := Run(m, Naive, DefaultEffort)
+		if err != nil {
+			t.Fatal(err)
+		}
+		full, err := Run(m, Full, DefaultEffort)
+		if err != nil {
+			t.Fatal(err)
+		}
+		naiveSD += naive.Writes.StdDev
+		fullSD += full.Writes.StdDev
+		naiveI += float64(naive.NumInstructions())
+		fullI += float64(full.NumInstructions())
+	}
+	if fullSD >= naiveSD {
+		t.Fatalf("full scheme must reduce aggregate STDEV: naive %.2f vs full %.2f", naiveSD, fullSD)
+	}
+	if fullI >= naiveI {
+		t.Fatalf("rewriting must reduce aggregate #I: naive %.0f vs full %.0f", naiveI, fullI)
+	}
+}
+
+func TestCapImprovesBalanceAtCost(t *testing.T) {
+	m := randomMIG("f", 10, 300, 10, 9)
+	uncapped, err := Run(m, Full, DefaultEffort)
+	if err != nil {
+		t.Fatal(err)
+	}
+	capped, err := Run(m, FullCap(10), DefaultEffort)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if capped.Writes.Max > 10 {
+		t.Fatalf("cap violated: max = %d", capped.Writes.Max)
+	}
+	if capped.NumRRAMs() < uncapped.NumRRAMs() {
+		t.Fatalf("capping cannot reduce #R: %d vs %d", capped.NumRRAMs(), uncapped.NumRRAMs())
+	}
+	if capped.Writes.StdDev > uncapped.Writes.StdDev {
+		t.Fatalf("cap 10 should tighten the distribution: %.2f vs %.2f",
+			capped.Writes.StdDev, uncapped.Writes.StdDev)
+	}
+}
+
+func TestLifetimeAccessor(t *testing.T) {
+	m := randomMIG("f", 6, 40, 4, 2)
+	rep, err := Run(m, Full, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lt := rep.Lifetime(1000)
+	if lt == 0 {
+		t.Fatalf("lifetime must be positive for small programs")
+	}
+	if lt != 1000/rep.Writes.Max {
+		t.Fatalf("lifetime = %d, want endurance/max = %d", lt, 1000/rep.Writes.Max)
+	}
+}

@@ -1,0 +1,187 @@
+package hdl
+
+import (
+	"fmt"
+
+	"plim/internal/mig"
+)
+
+// FullAdder returns (sum, carry). In native mode it uses the 3-node MIG
+// construction carry = ⟨a b c⟩, sum = ⟨carry' ⟨a b c'⟩ c⟩; in netlist mode
+// it uses the AND/OR/XOR decomposition an RTL netlist would contain, which
+// majority rewriting can later compress.
+func (b *Builder) FullAdder(a, c, cin mig.Signal) (sum, cout mig.Signal) {
+	if b.Netlist {
+		sum = b.M.Xor(b.M.Xor(a, c), cin)
+		cout = b.M.Or(b.M.And(a, c), b.M.Or(b.M.And(a, cin), b.M.And(c, cin)))
+		return sum, cout
+	}
+	cout = b.M.Maj(a, c, cin)
+	inner := b.M.Maj(a, c, cin.Not())
+	sum = b.M.Maj(cout.Not(), inner, cin)
+	return sum, cout
+}
+
+// Add returns x + y + cin with both operands of equal width; the result has
+// the same width plus the carry out.
+func (b *Builder) Add(x, y Vec, cin mig.Signal) (Vec, mig.Signal) {
+	if len(x) != len(y) {
+		panic(fmt.Sprintf("hdl: add width mismatch %d vs %d", len(x), len(y)))
+	}
+	out := make(Vec, len(x))
+	c := cin
+	for i := range x {
+		out[i], c = b.FullAdder(x[i], y[i], c)
+	}
+	return out, c
+}
+
+// Sub returns x - y; borrow is 1 when x < y (unsigned).
+func (b *Builder) Sub(x, y Vec) (Vec, mig.Signal) {
+	diff, cout := b.Add(x, NotV(y), mig.Const1)
+	return diff, cout.Not()
+}
+
+// AddSub computes x - y when sub = 1, else x + y, sharing one adder.
+func (b *Builder) AddSub(x, y Vec, sub mig.Signal) Vec {
+	yy := b.XorV(y, Repeat(sub, len(y)))
+	out, _ := b.Add(x, yy, sub)
+	return out
+}
+
+// Neg returns the two's complement of x.
+func (b *Builder) Neg(x Vec) Vec {
+	out, _ := b.Add(NotV(x), b.Const(0, len(x)), mig.Const1)
+	return out
+}
+
+// LtU tests x < y, unsigned.
+func (b *Builder) LtU(x, y Vec) mig.Signal {
+	_, borrow := b.Sub(x, y)
+	return borrow
+}
+
+// GeU tests x ≥ y, unsigned.
+func (b *Builder) GeU(x, y Vec) mig.Signal { return b.LtU(x, y).Not() }
+
+// MaxU returns the unsigned maximum of x and y plus a flag that is 1 when
+// the maximum came from y.
+func (b *Builder) MaxU(x, y Vec) (Vec, mig.Signal) {
+	fromY := b.LtU(x, y)
+	return b.MuxV(fromY, y, x), fromY
+}
+
+// Mul returns the full 2n-bit product of two n-bit unsigned operands using
+// a shift-add array multiplier.
+func (b *Builder) Mul(x, y Vec) Vec {
+	n := len(x)
+	if n != len(y) {
+		panic(fmt.Sprintf("hdl: mul width mismatch %d vs %d", n, len(y)))
+	}
+	acc := b.Const(0, 2*n)
+	for i := 0; i < n; i++ {
+		pp := ZeroExt(b.AndBit(x, y[i]), 2*n-i)
+		hi, _ := b.Add(acc[i:], pp, mig.Const0)
+		copy(acc[i:], hi)
+	}
+	return acc
+}
+
+// Square returns the 2n-bit square of an n-bit operand.
+func (b *Builder) Square(x Vec) Vec { return b.Mul(x, x) }
+
+// ConstMulFrac multiplies x (treated as an unsigned integer) by the binary
+// expansion of the positive constant c using shift-adds: the result is
+// round(x · c) to within the truncation of expansion terms, returned with
+// the given output width. terms bounds the number of one-bits of c used.
+func (b *Builder) ConstMulFrac(x Vec, c float64, width, terms int) Vec {
+	if c < 0 {
+		panic("hdl: ConstMulFrac needs a non-negative constant")
+	}
+	// Find the highest power of two ≤ c, then walk down collecting bits.
+	exp := 0
+	for float64(uint64(1)<<uint(exp+1)) <= c {
+		exp++
+	}
+	// Work wide enough that neither the operand's high bits nor the largest
+	// left shift are lost, then truncate to the requested width (the caller
+	// guarantees the product fits).
+	wide := width
+	if len(x)+exp+1 > wide {
+		wide = len(x) + exp + 1
+	}
+	acc := b.Const(0, wide)
+	xw := ZeroExt(x, wide)
+	rem := c
+	for t := 0; t < terms && exp > -wide && rem > 0; exp-- {
+		w := pow2(exp)
+		if rem >= w {
+			rem -= w
+			var shifted Vec
+			if exp >= 0 {
+				shifted = ShlConst(xw, exp)
+			} else {
+				shifted = ShrConst(xw, -exp, mig.Const0)
+			}
+			acc, _ = b.Add(acc, shifted, mig.Const0)
+			t++
+		}
+	}
+	return acc[:width]
+}
+
+func pow2(e int) float64 {
+	v := 1.0
+	for i := 0; i < e; i++ {
+		v *= 2
+	}
+	for i := 0; i > e; i-- {
+		v /= 2
+	}
+	return v
+}
+
+// DivRem computes restoring division of two equal-width unsigned operands,
+// returning quotient and remainder. Division by zero follows the hardware
+// recurrence: every trial subtraction of zero succeeds, so the quotient is
+// all ones and the remainder replays the dividend.
+func (b *Builder) DivRem(num, den Vec) (q, r Vec) {
+	n := len(num)
+	if n != len(den) {
+		panic(fmt.Sprintf("hdl: div width mismatch %d vs %d", n, len(den)))
+	}
+	w := n + 1 // partial remainder width
+	rem := b.Const(0, w)
+	denX := ZeroExt(den, w)
+	q = make(Vec, n)
+	for i := n - 1; i >= 0; i-- {
+		rem = Concat(Vec{num[i]}, rem[:w-1]) // rem = rem<<1 | num[i]
+		diff, borrow := b.Sub(rem, denX)
+		q[i] = borrow.Not()
+		rem = b.MuxV(borrow, rem, diff)
+	}
+	return q, rem[:n]
+}
+
+// Sqrt computes the restoring square root of a 2k-bit unsigned operand,
+// returning the k-bit root.
+func (b *Builder) Sqrt(x Vec) Vec {
+	if len(x)%2 != 0 {
+		panic("hdl: Sqrt needs an even operand width")
+	}
+	k := len(x) / 2
+	w := k + 2 // partial remainder width
+	rem := b.Const(0, w)
+	root := b.Const(0, k) // current root, k bits
+	for i := k - 1; i >= 0; i-- {
+		// rem = rem<<2 | next two operand bits.
+		rem = Concat(Vec{x[2*i], x[2*i+1]}, rem[:w-2])
+		// trial = root<<2 | 01.
+		trial := Concat(Vec{mig.Const1, mig.Const0}, root[:w-2])
+		diff, borrow := b.Sub(rem, trial)
+		rem = b.MuxV(borrow, rem, diff)
+		// root = root<<1 | success.
+		root = Concat(Vec{borrow.Not()}, root[:k-1])
+	}
+	return root
+}

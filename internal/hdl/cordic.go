@@ -1,0 +1,105 @@
+package hdl
+
+import (
+	"math"
+
+	"plim/internal/mig"
+)
+
+// Sin builds a CORDIC sine circuit. The input is an angleBits-bit unsigned
+// angle θ encoding θ/2^angleBits · π/2 radians (one quadrant); the output
+// has angleBits+1 bits in fixed point Q(angleBits): sin ∈ [0, 1] with 1.0
+// representable as the MSB. iters CORDIC rotations give roughly iters bits
+// of precision; the datapath carries guard bits.
+//
+// This reproduces the structure of the EPFL `sin` benchmark (24-bit in,
+// 25-bit out): a cascade of conditional add/subtract stages with constant
+// shifts — exactly the fanout/level profile the endurance experiments need.
+func (b *Builder) Sin(angle Vec, iters int) Vec {
+	ab := len(angle)
+	frac := ab + 2      // fraction bits of the internal fixed point
+	w := frac + 3       // total width: sign + 2 integer bits + fraction
+	scale := pow2(frac) // 1.0 in fixed point
+	_ = scale
+
+	// z0 = θ · (π/2)/2^ab in Q(frac): multiply the integer θ by the
+	// constant (π/2)·2^(frac-ab) = π·2^(frac-ab-1).
+	z := b.ConstMulFrac(ZeroExt(angle, w), math.Pi*pow2(frac-ab-1), w, 16)
+
+	// x0 = K (the CORDIC gain compensation), y0 = 0.
+	k := 1.0
+	for i := 0; i < iters; i++ {
+		k *= 1 / math.Sqrt(1+pow2(-2*i))
+	}
+	x := b.Const(uint64(math.Round(k*pow2(frac))), w)
+	y := b.Const(0, w)
+
+	for i := 0; i < iters; i++ {
+		atan := uint64(math.Round(math.Atan(pow2(-i)) * pow2(frac)))
+		neg := z[w-1] // z < 0
+		xs := shrSigned(x, i)
+		ys := shrSigned(y, i)
+		// z ≥ 0: x -= y>>i, y += x>>i, z -= atan; else the opposite.
+		nx := b.AddSub(x, ys, neg.Not())
+		ny := b.AddSub(y, xs, neg)
+		nz := b.AddSub(z, b.Const(atan, w), neg.Not())
+		x, y, z = nx, ny, nz
+	}
+
+	// y is in [0, 1] (Q frac); emit Q(ab) with one integer bit.
+	out := make(Vec, ab+1)
+	for i := range out {
+		out[i] = y[i+frac-ab]
+	}
+	return out
+}
+
+// shrSigned is an arithmetic right shift by a constant.
+func shrSigned(v Vec, k int) Vec {
+	return ShrConst(v, k, v[len(v)-1])
+}
+
+// Log2 builds a base-2 logarithm circuit: for an n-bit unsigned input x ≥ 1
+// it returns ⌈log2 n⌉ integer bits and fracBits fraction bits of log2(x),
+// using a leading-one detector, a normalizing barrel shifter and the
+// quadratic interpolation log2(1+t) ≈ t + c·t·(1−t) with c = 0.3465
+// (maximum error ≈ 0.008). The input 0 yields 0.
+//
+// It reproduces the structure of the EPFL `log2` benchmark (32 bits in and
+// out) as a mixed encoder/shifter/multiplier datapath; see DESIGN.md for
+// the fidelity note.
+func (b *Builder) Log2(x Vec, fracBits int) (intPart, fracPart Vec) {
+	n := 1
+	for n < len(x) {
+		n *= 2
+	}
+	xx := ZeroExt(x, n)
+	p, valid := b.PriorityEncoder(xx)
+	shift := NotV(p) // n-1-p
+	norm := b.BarrelShl(xx, shift)
+	// t = bits below the leading one, as a Q(n-1) fraction in [0, 1).
+	t := norm[:n-1]
+
+	// Quadratic correction on a truncated 16-bit version of t.
+	tb := 16
+	if n-1 < tb {
+		tb = n - 1
+	}
+	tTop := t[len(t)-tb:]        // top tb bits of t: Q(tb)
+	u := b.Mul(tTop, NotV(tTop)) // ≈ t·(1−t), Q(2tb), width 2tb
+	uTop := u[len(u)-tb:]        // back to Q(tb)
+	corr := b.ConstMulFrac(uTop, 0.3465*pow2(fracBits-tb), fracBits, 12)
+
+	// frac = t (aligned to fracBits) + correction.
+	var tAligned Vec
+	if fracBits <= len(t) {
+		tAligned = t[len(t)-fracBits:]
+	} else {
+		tAligned = Concat(b.Const(0, fracBits-len(t)), t)
+	}
+	frac, _ := b.Add(tAligned, corr, mig.Const0)
+
+	intPart = b.AndBit(p, valid)
+	fracPart = b.AndBit(frac, valid)
+	return intPart, fracPart
+}

@@ -1,0 +1,151 @@
+package hdl
+
+import (
+	"plim/internal/mig"
+)
+
+// Popcount returns the number of set bits of v as a ⌈log2(len+1)⌉-bit
+// vector, built as a carry-save full-adder tree.
+func (b *Builder) Popcount(v Vec) Vec {
+	if len(v) == 0 {
+		return Vec{mig.Const0}
+	}
+	// buckets[w] holds signals of weight 2^w.
+	buckets := [][]mig.Signal{append([]mig.Signal(nil), v...)}
+	for w := 0; w < len(buckets); w++ {
+		for len(buckets[w]) >= 3 {
+			n := len(buckets[w])
+			a, c, d := buckets[w][n-3], buckets[w][n-2], buckets[w][n-1]
+			buckets[w] = buckets[w][:n-3]
+			sum, carry := b.FullAdder(a, c, d)
+			buckets[w] = append([]mig.Signal{sum}, buckets[w]...)
+			if w+1 == len(buckets) {
+				buckets = append(buckets, nil)
+			}
+			buckets[w+1] = append(buckets[w+1], carry)
+		}
+		if len(buckets[w]) == 2 {
+			a, c := buckets[w][0], buckets[w][1]
+			sum, carry := b.FullAdder(a, c, mig.Const0)
+			buckets[w] = []mig.Signal{sum}
+			if w+1 == len(buckets) {
+				buckets = append(buckets, nil)
+			}
+			buckets[w+1] = append(buckets[w+1], carry)
+		}
+	}
+	out := make(Vec, len(buckets))
+	for w := range buckets {
+		if len(buckets[w]) == 1 {
+			out[w] = buckets[w][0]
+		} else {
+			out[w] = mig.Const0
+		}
+	}
+	return out
+}
+
+// Decoder expands a k-bit selector into 2^k one-hot outputs
+// (out[i] = 1 ⟺ sel == i).
+func (b *Builder) Decoder(sel Vec) Vec {
+	outs := Vec{mig.Const1}
+	for j, s := range sel {
+		next := make(Vec, len(outs)*2)
+		for i, o := range outs {
+			next[i] = b.M.And(o, s.Not())
+			next[i|1<<uint(j)] = b.M.And(o, s)
+		}
+		outs = next
+	}
+	return outs
+}
+
+// PriorityEncoder returns the index of the highest set bit of v and a valid
+// flag (0 when v is all zeros, in which case the index is 0). The recursive
+// construction halves the vector, so depth is logarithmic.
+func (b *Builder) PriorityEncoder(v Vec) (idx Vec, valid mig.Signal) {
+	// Pad to a power of two.
+	n := 1
+	for n < len(v) {
+		n *= 2
+	}
+	v = ZeroExt(v, n)
+	return b.priorityRec(v)
+}
+
+func (b *Builder) priorityRec(v Vec) (Vec, mig.Signal) {
+	if len(v) == 1 {
+		return Vec{}, v[0]
+	}
+	half := len(v) / 2
+	loIdx, loValid := b.priorityRec(v[:half])
+	hiIdx, hiValid := b.priorityRec(v[half:])
+	idx := b.MuxV(hiValid, hiIdx, loIdx)
+	idx = append(idx, hiValid) // MSB: which half won
+	return idx, b.M.Or(hiValid, loValid)
+}
+
+// IntToFloat converts an unsigned integer into a compact float with expBits
+// exponent bits and manBits mantissa bits (no sign), the format used by the
+// int2float benchmark:
+//
+//	x < 2^manBits         → exponent 0, mantissa x (denormal)
+//	otherwise, p = ⌊log2 x⌋ → exponent p-manBits+1,
+//	                         mantissa = bits below the leading one
+//
+// Saturates to all-ones when the exponent overflows. The Go reference model
+// lives in the tests.
+func (b *Builder) IntToFloat(x Vec, expBits, manBits int) (exp, man Vec) {
+	p, valid := b.PriorityEncoder(x)
+	// Normalize: shift the leading one to the top bit of a window, then the
+	// mantissa is the manBits bits just below it. Shift left by
+	// (len(x)-1 - p): with len(x) a power of two that is the bitwise
+	// complement of p, but stay general with a barrel shifter on ~p after
+	// zero-extending to a power of two.
+	n := 1
+	for n < len(x) {
+		n *= 2
+	}
+	xx := ZeroExt(x, n)
+	pp := ZeroExt(p, log2Ceil(n))
+	shift := NotV(pp) // n-1 - p for p in [0, n)
+	norm := b.BarrelShl(xx, shift)
+	// norm now has the leading one at bit n-1; the mantissa is below it.
+	man = make(Vec, manBits)
+	for i := 0; i < manBits; i++ {
+		man[i] = norm[n-1-manBits+i]
+	}
+	// Exponent: p - manBits + 1, clamped at 0 (denormal) and saturated at max.
+	pw := len(pp)
+	pExt := ZeroExt(pp, pw+1)
+	diff, borrow := b.Sub(pExt, b.Const(uint64(manBits-1), pw+1))
+	denormal := borrow // p < manBits-1
+	expRaw := b.MuxV(denormal, b.Const(0, pw+1), diff)
+
+	// Denormal mantissa is x itself (low bits).
+	man = b.MuxV(denormal, ZeroExt(x, manBits), man)
+
+	// Saturate when expRaw ≥ 2^expBits.
+	var over mig.Signal = mig.Const0
+	for i := expBits; i < len(expRaw); i++ {
+		over = b.M.Or(over, expRaw[i])
+	}
+	exp = make(Vec, expBits)
+	for i := range exp {
+		exp[i] = b.M.Or(expRaw[i], over)
+	}
+	man = b.MuxV(over, b.Const((1<<uint(manBits))-1, manBits), man)
+
+	// All-zero input: exponent and mantissa zero.
+	exp = b.AndBit(exp, valid)
+	man = b.AndBit(man, valid)
+	return exp, man
+}
+
+func log2Ceil(n int) int {
+	k := 0
+	for 1<<uint(k) < n {
+		k++
+	}
+	return k
+}

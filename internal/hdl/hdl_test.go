@@ -1,0 +1,492 @@
+package hdl
+
+import (
+	"math"
+	"math/bits"
+	"testing"
+	"testing/quick"
+
+	"plim/internal/mig"
+)
+
+// evalCircuit drives the builder's MIG with one assignment per input vector
+// and returns the output vectors as integers. Inputs/outputs are located by
+// bit position: callers pass the values for the PIs in declaration order.
+type harness struct {
+	b       *Builder
+	inputs  []Vec
+	outputs []Vec
+}
+
+func newHarness(name string) *harness { return &harness{b: New(name)} }
+
+func (h *harness) in(name string, width int) Vec {
+	v := h.b.Input(name, width)
+	h.inputs = append(h.inputs, v)
+	return v
+}
+
+func (h *harness) out(name string, v Vec) {
+	h.b.Output(name, v)
+	h.outputs = append(h.outputs, v)
+}
+
+// run evaluates with the given input values (LSB-first per vector) and
+// returns one integer per output vector.
+func (h *harness) run(vals ...uint64) []uint64 {
+	words := make([]uint64, h.b.M.NumPIs())
+	pi := 0
+	for vi, v := range h.inputs {
+		for j := range v {
+			if vals[vi]>>uint(j)&1 == 1 {
+				words[pi] = ^uint64(0)
+			}
+			pi++
+		}
+	}
+	if pi != len(words) {
+		panic("harness: PI bookkeeping broken")
+	}
+	nodeVals := make([]uint64, h.b.M.NumNodes())
+	h.b.M.EvalInto(words, nodeVals)
+	outs := make([]uint64, len(h.outputs))
+	for oi, v := range h.outputs {
+		var x uint64
+		for j, s := range v {
+			bit := nodeVals[s.Node()]
+			if s.Complemented() {
+				bit = ^bit
+			}
+			if bit&1 == 1 {
+				x |= 1 << uint(j)
+			}
+		}
+		outs[oi] = x
+	}
+	return outs
+}
+
+func mask(w int) uint64 {
+	if w >= 64 {
+		return ^uint64(0)
+	}
+	return 1<<uint(w) - 1
+}
+
+func TestAddQuick(t *testing.T) {
+	const w = 16
+	h := newHarness("add")
+	a := h.in("a", w)
+	b := h.in("b", w)
+	sum, cout := h.b.Add(a, b, mig.Const0)
+	h.out("s", append(append(Vec{}, sum...), cout))
+	f := func(x, y uint16) bool {
+		got := h.run(uint64(x), uint64(y))[0]
+		return got == uint64(x)+uint64(y)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFullAdderExhaustive(t *testing.T) {
+	h := newHarness("fa")
+	a := h.in("a", 1)
+	b := h.in("b", 1)
+	c := h.in("c", 1)
+	sum, cout := h.b.FullAdder(a[0], b[0], c[0])
+	h.out("o", Vec{sum, cout})
+	for row := 0; row < 8; row++ {
+		x, y, z := uint64(row&1), uint64(row>>1&1), uint64(row>>2&1)
+		got := h.run(x, y, z)[0]
+		want := x + y + z
+		if got != want {
+			t.Fatalf("FA(%d,%d,%d) = %d, want %d", x, y, z, got, want)
+		}
+	}
+}
+
+func TestSubAndComparisons(t *testing.T) {
+	const w = 12
+	h := newHarness("sub")
+	a := h.in("a", w)
+	b := h.in("b", w)
+	diff, borrow := h.b.Sub(a, b)
+	h.out("d", diff)
+	h.out("bo", Vec{borrow})
+	h.out("lt", Vec{h.b.LtU(a, b)})
+	h.out("ge", Vec{h.b.GeU(a, b)})
+	h.out("eq", Vec{h.b.EqV(a, b)})
+	f := func(x, y uint16) bool {
+		xv, yv := uint64(x)&mask(w), uint64(y)&mask(w)
+		outs := h.run(xv, yv)
+		if outs[0] != (xv-yv)&mask(w) {
+			return false
+		}
+		if (outs[1] == 1) != (xv < yv) {
+			return false
+		}
+		if (outs[2] == 1) != (xv < yv) || (outs[3] == 1) != (xv >= yv) {
+			return false
+		}
+		return (outs[4] == 1) == (xv == yv)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAddSubNeg(t *testing.T) {
+	const w = 10
+	h := newHarness("addsub")
+	a := h.in("a", w)
+	b := h.in("b", w)
+	s := h.in("s", 1)
+	h.out("r", h.b.AddSub(a, b, s[0]))
+	h.out("n", h.b.Neg(a))
+	f := func(x, y uint16, sub bool) bool {
+		xv, yv := uint64(x)&mask(w), uint64(y)&mask(w)
+		sv := uint64(0)
+		want := (xv + yv) & mask(w)
+		if sub {
+			sv = 1
+			want = (xv - yv) & mask(w)
+		}
+		outs := h.run(xv, yv, sv)
+		return outs[0] == want && outs[1] == (-xv)&mask(w)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMulSquareQuick(t *testing.T) {
+	const w = 10
+	h := newHarness("mul")
+	a := h.in("a", w)
+	b := h.in("b", w)
+	h.out("p", h.b.Mul(a, b))
+	h.out("sq", h.b.Square(a))
+	f := func(x, y uint16) bool {
+		xv, yv := uint64(x)&mask(w), uint64(y)&mask(w)
+		outs := h.run(xv, yv)
+		return outs[0] == xv*yv && outs[1] == xv*xv
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDivRemQuick(t *testing.T) {
+	const w = 10
+	h := newHarness("div")
+	a := h.in("a", w)
+	b := h.in("b", w)
+	q, r := h.b.DivRem(a, b)
+	h.out("q", q)
+	h.out("r", r)
+	f := func(x, y uint16) bool {
+		xv, yv := uint64(x)&mask(w), uint64(y)&mask(w)
+		outs := h.run(xv, yv)
+		if yv == 0 {
+			// Hardware recurrence: every trial subtraction of 0 succeeds,
+			// so the quotient saturates and the remainder replays the
+			// dividend.
+			return outs[0] == mask(w) && outs[1] == xv
+		}
+		return outs[0] == xv/yv && outs[1] == xv%yv
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSqrtQuick(t *testing.T) {
+	const w = 16 // input width; 8-bit root
+	h := newHarness("sqrt")
+	a := h.in("a", w)
+	h.out("r", h.b.Sqrt(a))
+	f := func(x uint16) bool {
+		xv := uint64(x)
+		want := uint64(math.Sqrt(float64(xv)))
+		// Floating point can land one off around perfect squares; compute
+		// the integer sqrt exactly.
+		for want*want > xv {
+			want--
+		}
+		for (want+1)*(want+1) <= xv {
+			want++
+		}
+		return h.run(xv)[0] == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestShiftersQuick(t *testing.T) {
+	const w = 16 // power of two for clean rotation semantics
+	h := newHarness("shift")
+	a := h.in("a", w)
+	sh := h.in("sh", 4)
+	h.out("rot", h.b.BarrelRotl(a, sh))
+	h.out("shl", h.b.BarrelShl(a, sh))
+	h.out("shr", h.b.BarrelShr(a, sh))
+	f := func(x uint16, s uint8) bool {
+		sv := uint64(s % 16)
+		xv := uint64(x)
+		outs := h.run(xv, sv)
+		rot := (xv<<sv | xv>>(16-sv)) & mask(w)
+		if sv == 0 {
+			rot = xv
+		}
+		return outs[0] == rot && outs[1] == (xv<<sv)&mask(w) && outs[2] == xv>>sv
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConstShifts(t *testing.T) {
+	h := newHarness("cshift")
+	a := h.in("a", 8)
+	h.out("shl3", ShlConst(a, 3))
+	h.out("shr2", ShrConst(a, 2, mig.Const0))
+	h.out("rot3", RotlConst(a, 3))
+	outs := h.run(0b10110101)
+	if outs[0] != (0b10110101<<3)&0xFF {
+		t.Fatalf("shl3 = %08b", outs[0])
+	}
+	if outs[1] != 0b10110101>>2 {
+		t.Fatalf("shr2 = %08b", outs[1])
+	}
+	want := uint64((0b10110101<<3 | 0b10110101>>5) & 0xFF)
+	if outs[2] != want {
+		t.Fatalf("rot3 = %08b, want %08b", outs[2], want)
+	}
+}
+
+func TestPopcountQuick(t *testing.T) {
+	for _, w := range []int{1, 7, 16, 33} {
+		w := w
+		h := newHarness("pop")
+		a := h.in("a", w)
+		h.out("c", h.b.Popcount(a))
+		f := func(x uint64) bool {
+			xv := x & mask(w)
+			return h.run(xv)[0] == uint64(bits.OnesCount64(xv))
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+			t.Fatalf("width %d: %v", w, err)
+		}
+	}
+}
+
+func TestDecoderExhaustive(t *testing.T) {
+	h := newHarness("dec")
+	sel := h.in("s", 4)
+	h.out("o", h.b.Decoder(sel))
+	for v := uint64(0); v < 16; v++ {
+		got := h.run(v)[0]
+		if got != 1<<v {
+			t.Fatalf("decode(%d) = %016b", v, got)
+		}
+	}
+}
+
+func TestPriorityEncoderQuick(t *testing.T) {
+	for _, w := range []int{8, 13, 32} {
+		w := w
+		h := newHarness("prio")
+		a := h.in("a", w)
+		idx, valid := h.b.PriorityEncoder(a)
+		h.out("i", idx)
+		h.out("v", Vec{valid})
+		f := func(x uint64) bool {
+			xv := x & mask(w)
+			outs := h.run(xv)
+			if xv == 0 {
+				return outs[1] == 0
+			}
+			return outs[1] == 1 && outs[0] == uint64(bits.Len64(xv)-1)
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+			t.Fatalf("width %d: %v", w, err)
+		}
+	}
+}
+
+func TestMaxU(t *testing.T) {
+	const w = 9
+	h := newHarness("max")
+	a := h.in("a", w)
+	b := h.in("b", w)
+	m, fromB := h.b.MaxU(a, b)
+	h.out("m", m)
+	h.out("f", Vec{fromB})
+	f := func(x, y uint16) bool {
+		xv, yv := uint64(x)&mask(w), uint64(y)&mask(w)
+		outs := h.run(xv, yv)
+		want := xv
+		if yv > xv {
+			want = yv
+		}
+		return outs[0] == want && (outs[1] == 1) == (xv < yv)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// refIntToFloat mirrors the circuit's conversion bit-exactly.
+func refIntToFloat(x uint64, n, expBits, manBits int) (exp, man uint64) {
+	if x == 0 {
+		return 0, 0
+	}
+	p := bits.Len64(x) - 1
+	if p < manBits-1 {
+		return 0, x & mask(manBits)
+	}
+	big := 1
+	for big < n {
+		big *= 2
+	}
+	norm := x << uint(big-1-p)
+	man = (norm >> uint(big-1-manBits)) & mask(manBits)
+	e := uint64(p - (manBits - 1))
+	if e >= 1<<uint(expBits) {
+		return mask(expBits), mask(manBits)
+	}
+	return e, man
+}
+
+func TestIntToFloatQuick(t *testing.T) {
+	const w, eb, mb = 11, 4, 3
+	h := newHarness("i2f")
+	a := h.in("a", w)
+	exp, man := h.b.IntToFloat(a, eb, mb)
+	h.out("e", exp)
+	h.out("m", man)
+	f := func(x uint16) bool {
+		xv := uint64(x) & mask(w)
+		outs := h.run(xv)
+		we, wm := refIntToFloat(xv, w, eb, mb)
+		return outs[0] == we && outs[1] == wm
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSinAccuracy(t *testing.T) {
+	const ab, iters = 12, 16
+	h := newHarness("sin")
+	a := h.in("a", ab)
+	h.out("s", h.b.Sin(a, iters))
+	for _, theta := range []uint64{0, 1, 100, 1 << 8, 1 << 10, 1<<11 + 7, 1<<12 - 1} {
+		got := float64(h.run(theta)[0]) / math.Pow(2, ab)
+		want := math.Sin(float64(theta) / math.Pow(2, ab) * math.Pi / 2)
+		if math.Abs(got-want) > 3e-3 {
+			t.Fatalf("sin(%d) = %.6f, want %.6f", theta, got, want)
+		}
+	}
+}
+
+func TestLog2Accuracy(t *testing.T) {
+	const w, fb = 16, 12
+	h := newHarness("log2")
+	a := h.in("a", w)
+	ip, fp := h.b.Log2(a, fb)
+	h.out("i", ip)
+	h.out("f", fp)
+	for _, x := range []uint64{1, 2, 3, 5, 7, 100, 1000, 30000, 65535} {
+		outs := h.run(x)
+		got := float64(outs[0]) + float64(outs[1])/math.Pow(2, fb)
+		want := math.Log2(float64(x))
+		if math.Abs(got-want) > 0.012 { // quadratic-fit error bound
+			t.Fatalf("log2(%d) = %.5f, want %.5f", x, got, want)
+		}
+	}
+	if outs := h.run(0); outs[0] != 0 || outs[1] != 0 {
+		t.Fatalf("log2(0) must be zero, got %v", outs)
+	}
+}
+
+func TestConstMulFrac(t *testing.T) {
+	const w = 24
+	h := newHarness("cmul")
+	a := h.in("a", 12)
+	h.out("p", h.b.ConstMulFrac(ZeroExt(a, w), math.Pi, w, 16))
+	// Each shift-add term floors, so the absolute error is bounded by the
+	// term count plus the constant's truncated tail times x.
+	for _, x := range []uint64{1, 10, 1000, 4095} {
+		got := float64(h.run(x)[0])
+		want := float64(x) * math.Pi
+		if got > want || want-got > 16+want*1e-3 {
+			t.Fatalf("π·%d = %.2f, want %.2f", x, got, want)
+		}
+	}
+}
+
+func TestVectorHelpers(t *testing.T) {
+	h := newHarness("help")
+	a := h.in("a", 4)
+	b := h.in("b", 4)
+	h.out("and", h.b.AndV(a, b))
+	h.out("or", h.b.OrV(a, b))
+	h.out("xor", h.b.XorV(a, b))
+	h.out("not", NotV(a))
+	h.out("mask", h.b.AndBit(a, b[0]))
+	h.out("ror", Vec{h.b.ReduceOr(a)})
+	h.out("rand", Vec{h.b.ReduceAnd(a)})
+	outs := h.run(0b1100, 0b1010)
+	checks := []uint64{0b1000, 0b1110, 0b0110, 0b0011, 0b0000, 1, 0}
+	for i, want := range checks {
+		if outs[i] != want {
+			t.Fatalf("helper %d = %04b, want %04b", i, outs[i], want)
+		}
+	}
+}
+
+func TestExtendsAndConcat(t *testing.T) {
+	h := newHarness("ext")
+	a := h.in("a", 4)
+	h.out("z", ZeroExt(a, 8))
+	h.out("s", SignExt(a, 8))
+	h.out("t", ZeroExt(a, 2))
+	h.out("c", Concat(a[:2], a[2:]))
+	outs := h.run(0b1010)
+	if outs[0] != 0b00001010 || outs[1] != 0b11111010 || outs[2] != 0b10 || outs[3] != 0b1010 {
+		t.Fatalf("extends = %v", outs)
+	}
+}
+
+func TestWidthMismatchPanics(t *testing.T) {
+	h := newHarness("panic")
+	a := h.in("a", 3)
+	b := h.in("b", 4)
+	for name, f := range map[string]func(){
+		"add": func() { h.b.Add(a, b, mig.Const0) },
+		"and": func() { h.b.AndV(a, b) },
+		"mux": func() { h.b.MuxV(a[0], a, b) },
+		"mul": func() { h.b.Mul(a, b) },
+		"div": func() { h.b.DivRem(a, b) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s must panic on width mismatch", name)
+				}
+			}()
+			f()
+		}()
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("Sqrt must reject odd widths")
+			}
+		}()
+		h.b.Sqrt(a)
+	}()
+}

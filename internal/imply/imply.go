@@ -1,0 +1,268 @@
+// Package imply implements the material-implication (IMP) in-memory logic
+// style that §II of the DATE 2017 paper surveys as the write-unbalanced
+// baseline: stateful IMP gates (Borghetti et al., Nature 2010) compute
+//
+//	q ← p → q = p̄ ∨ q
+//
+// with a FALSE (reset) primitive, and a NAND takes two devices and three
+// steps, always rewriting the same work device. Because IMP is not
+// commutative and concentrates every result write on the work device, IMP
+// netlists show the intrinsic imbalance the paper contrasts RM3 against.
+//
+// The package compiles MIGs into IMP programs through a NAND decomposition
+// and executes them on a write-counting cell array, so the write traffic of
+// the two paradigms can be compared head to head (see the imply_baseline
+// example and BenchmarkImplyBaseline).
+package imply
+
+import (
+	"fmt"
+
+	"plim/internal/mig"
+)
+
+// OpKind distinguishes the two IMP primitives.
+type OpKind uint8
+
+// The IMP machine's primitives.
+const (
+	OpFalse OpKind = iota // Q ← 0
+	OpImply               // Q ← P → Q
+)
+
+// Op is one IMP instruction. P is unused for OpFalse.
+type Op struct {
+	Kind OpKind
+	P, Q uint32
+}
+
+// String renders the instruction.
+func (o Op) String() string {
+	if o.Kind == OpFalse {
+		return fmt.Sprintf("FALSE @%d", o.Q)
+	}
+	return fmt.Sprintf("IMP @%d -> @%d", o.P, o.Q)
+}
+
+// Program is a straight-line IMP program.
+type Program struct {
+	Name     string
+	Ops      []Op
+	NumCells uint32
+	PICells  []uint32
+	POCells  []uint32
+}
+
+// NumOps returns the instruction count.
+func (p *Program) NumOps() int { return len(p.Ops) }
+
+// Execute runs the program with the given inputs and returns the outputs
+// and the per-cell write counts. Every FALSE and every IMP writes its Q
+// cell once (reads are non-destructive).
+func (p *Program) Execute(inputs []bool) (out []bool, writes []uint64, err error) {
+	if len(inputs) != len(p.PICells) {
+		return nil, nil, fmt.Errorf("imply: got %d inputs, want %d", len(inputs), len(p.PICells))
+	}
+	vals := make([]bool, p.NumCells)
+	writes = make([]uint64, p.NumCells)
+	for i, c := range p.PICells {
+		vals[c] = inputs[i] // preload, not counted (as for PLiM PIs)
+	}
+	for _, op := range p.Ops {
+		switch op.Kind {
+		case OpFalse:
+			vals[op.Q] = false
+		case OpImply:
+			vals[op.Q] = !vals[op.P] || vals[op.Q]
+		}
+		writes[op.Q]++
+	}
+	out = make([]bool, len(p.POCells))
+	for i, c := range p.POCells {
+		out[i] = vals[c]
+	}
+	return out, writes, nil
+}
+
+// compiler state: NAND-decompose the MIG bottom-up with a LIFO free list —
+// the naive discipline §II describes.
+type compiler struct {
+	m    *mig.MIG
+	prog *Program
+
+	cell      []uint32 // node -> cell holding its value
+	inverted  []int64  // node -> cell holding its complement (-1 = none)
+	remaining []int32
+	free      []uint32
+	next      uint32
+}
+
+// Compile translates an MIG into an IMP program. Each majority node
+// expands to NAND/NOT gates: ⟨a b c⟩ = NAND(NAND(ab, ac), NAND(bc, bc))
+// — computed as OR of ANDs via De Morgan — and every NAND funnels its
+// result writes into one work device.
+func Compile(m *mig.MIG) (*Program, error) {
+	c := &compiler{
+		m:    m,
+		prog: &Program{Name: m.Name},
+	}
+	n := m.NumNodes()
+	c.cell = make([]uint32, n)
+	c.inverted = make([]int64, n)
+	for i := range c.inverted {
+		c.inverted[i] = -1
+	}
+	c.remaining = m.FanoutCounts()
+
+	// Inputs first.
+	c.prog.PICells = make([]uint32, m.NumPIs())
+	for i := 0; i < m.NumPIs(); i++ {
+		cellID := c.acquire()
+		c.prog.PICells[i] = cellID
+		c.cell[m.PINode(i)] = cellID
+	}
+	// Constants: materialize 0 and 1 cells lazily, once each.
+	const0, const1 := int64(-1), int64(-1)
+	getConst := func(v bool) uint32 {
+		if const0 < 0 {
+			z := c.acquire()
+			c.emit(Op{Kind: OpFalse, Q: z})
+			const0 = int64(z)
+		}
+		if !v {
+			return uint32(const0)
+		}
+		if const1 < 0 {
+			one := c.acquire()
+			c.emit(Op{Kind: OpFalse, Q: one})
+			c.emit(Op{Kind: OpImply, P: uint32(const0), Q: one}) // 0→0 = 1
+			const1 = int64(one)
+		}
+		return uint32(const1)
+	}
+
+	live := m.LiveNodes()
+	var err error
+	m.ForEachMaj(func(nd mig.NodeID, ch [3]mig.Signal) {
+		if err != nil || !live[nd] {
+			return
+		}
+		err = c.translateMaj(nd, ch, getConst)
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Outputs: complemented edges need a NOT; constants need materializing.
+	for i := 0; i < m.NumPOs(); i++ {
+		po := m.PO(i)
+		var cellID uint32
+		switch {
+		case po.IsConst():
+			cellID = getConst(po == mig.Const1)
+		case po.Complemented():
+			cellID = c.not(c.cell[po.Node()])
+		default:
+			cellID = c.cell[po.Node()]
+		}
+		c.prog.POCells = append(c.prog.POCells, cellID)
+	}
+	c.prog.NumCells = c.next
+	return c.prog, nil
+}
+
+func (c *compiler) emit(op Op) { c.prog.Ops = append(c.prog.Ops, op) }
+
+func (c *compiler) acquire() uint32 {
+	if n := len(c.free); n > 0 {
+		cellID := c.free[n-1]
+		c.free = c.free[:n-1]
+		return cellID
+	}
+	cellID := c.next
+	c.next++
+	return cellID
+}
+
+// not computes ¬v into a fresh work device: FALSE(s); s ← v IMP s.
+func (c *compiler) not(v uint32) uint32 {
+	s := c.acquire()
+	c.emit(Op{Kind: OpFalse, Q: s})
+	c.emit(Op{Kind: OpImply, P: v, Q: s})
+	return s
+}
+
+// nand computes NAND(a, b) into a fresh work device, the three-step IMP
+// sequence of [16]: FALSE(s); s ← a IMP s (= ā); s ← b IMP s (= ā ∨ b̄).
+func (c *compiler) nand(a, b uint32) uint32 {
+	s := c.acquire()
+	c.emit(Op{Kind: OpFalse, Q: s})
+	c.emit(Op{Kind: OpImply, P: a, Q: s})
+	c.emit(Op{Kind: OpImply, P: b, Q: s})
+	return s
+}
+
+// operand returns the cell holding the signal's value, inverting through a
+// NOT gate when the edge is complemented (memoized per node).
+func (c *compiler) operand(s mig.Signal, getConst func(bool) uint32) uint32 {
+	if s.IsConst() {
+		return getConst(s == mig.Const1)
+	}
+	base := c.cell[s.Node()]
+	if !s.Complemented() {
+		return base
+	}
+	if c.inverted[s.Node()] >= 0 {
+		return uint32(c.inverted[s.Node()])
+	}
+	inv := c.not(base)
+	c.inverted[s.Node()] = int64(inv)
+	return inv
+}
+
+// translateMaj expands ⟨a b c⟩ = NAND(NAND(a·b, a·c... via
+// maj = OR(AND(a,b), OR(AND(a,c), AND(b,c)))
+//
+//	= NAND(NOT(AND(a,b)), NAND(NOT(AND(a,c)), NOT(AND(b,c))))
+//
+// where AND(x,y) = NOT(NAND(x,y)) and NAND(x̄, ȳ) = OR(x, y).
+func (c *compiler) translateMaj(nd mig.NodeID, ch [3]mig.Signal, getConst func(bool) uint32) error {
+	a := c.operand(ch[0], getConst)
+	b := c.operand(ch[1], getConst)
+	d := c.operand(ch[2], getConst)
+	// nab = NAND(a,b), etc. OR of the three ANDs via De Morgan:
+	// maj = NAND(nab, NAND(nac, nbc))? NAND(x̄,ȳ) = x ∨ y with x = AND(a,b):
+	// NAND(nab, NAND(nac, nbc)) = AND(a,b) ∨ ¬NAND(nac, nbc)
+	//                           = ab ∨ (nac NAND nbc)'... expand carefully:
+	// t = NAND(nac, nbc) = ac ∨ bc; maj = NAND(nab, NOT(t)) = ab ∨ t. ✓
+	nab := c.nand(a, b)
+	nac := c.nand(a, d)
+	nbc := c.nand(b, d)
+	t := c.nand(nac, nbc) // = ac ∨ bc
+	nt := c.not(t)
+	out := c.nand(nab, nt) // = ab ∨ ac ∨ bc
+	c.cell[nd] = out
+
+	// Recycle dead intermediates and consumed children (LIFO).
+	c.release(nab)
+	c.release(nac)
+	c.release(nbc)
+	c.release(t)
+	c.release(nt)
+	for _, s := range ch {
+		cn := s.Node()
+		if cn == 0 {
+			continue
+		}
+		c.remaining[cn]--
+		if c.remaining[cn] == 0 {
+			c.release(c.cell[cn])
+			if c.inverted[cn] >= 0 {
+				c.release(uint32(c.inverted[cn]))
+			}
+		}
+	}
+	return nil
+}
+
+func (c *compiler) release(cellID uint32) { c.free = append(c.free, cellID) }

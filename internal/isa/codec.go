@@ -1,0 +1,320 @@
+package isa
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Assembly format:
+//
+//	.plim <name>
+//	.cells <n>
+//	.pi @<cell> ...            (one line, inputs in order)
+//	.po @<cell>[!] ...         (one line, outputs in order, ! = negated)
+//	RM3 <op>, <op> -> @<cell>  (one line per instruction)
+//	.end
+//
+// Operands are #0, #1 or @<cell>.
+
+// WriteAsm emits the program in assembly form.
+func (p *Program) WriteAsm(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, ".plim %s\n.cells %d\n", p.Name, p.NumCells)
+	fmt.Fprint(bw, ".pi")
+	for _, c := range p.PICells {
+		fmt.Fprintf(bw, " @%d", c)
+	}
+	fmt.Fprintln(bw)
+	fmt.Fprint(bw, ".po")
+	for _, po := range p.POs {
+		if po.Neg {
+			fmt.Fprintf(bw, " @%d!", po.Addr)
+		} else {
+			fmt.Fprintf(bw, " @%d", po.Addr)
+		}
+	}
+	fmt.Fprintln(bw)
+	for _, ins := range p.Insts {
+		fmt.Fprintln(bw, ins.String())
+	}
+	fmt.Fprintln(bw, ".end")
+	return bw.Flush()
+}
+
+// ReadAsm parses the assembly format written by WriteAsm.
+func ReadAsm(r io.Reader) (*Program, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 64*1024*1024)
+	p := &Program{}
+	line := 0
+	seenEnd := false
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") || strings.HasPrefix(text, ";") {
+			continue
+		}
+		fields := strings.Fields(text)
+		switch fields[0] {
+		case ".plim":
+			if len(fields) > 1 {
+				p.Name = fields[1]
+			}
+		case ".cells":
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("isa: line %d: .cells needs a count", line)
+			}
+			n, err := strconv.ParseUint(fields[1], 10, 32)
+			if err != nil {
+				return nil, fmt.Errorf("isa: line %d: %v", line, err)
+			}
+			p.NumCells = uint32(n)
+		case ".pi":
+			for _, tok := range fields[1:] {
+				addr, _, err := parseCellTok(tok)
+				if err != nil {
+					return nil, fmt.Errorf("isa: line %d: %v", line, err)
+				}
+				p.PICells = append(p.PICells, addr)
+			}
+		case ".po":
+			for _, tok := range fields[1:] {
+				addr, neg, err := parseCellTok(tok)
+				if err != nil {
+					return nil, fmt.Errorf("isa: line %d: %v", line, err)
+				}
+				p.POs = append(p.POs, PORef{Addr: addr, Neg: neg})
+			}
+		case "RM3":
+			// RM3 <op>, <op> -> @<cell>
+			rest := strings.TrimPrefix(text, "RM3")
+			parts := strings.Split(rest, "->")
+			if len(parts) != 2 {
+				return nil, fmt.Errorf("isa: line %d: malformed RM3", line)
+			}
+			ops := strings.Split(parts[0], ",")
+			if len(ops) != 2 {
+				return nil, fmt.Errorf("isa: line %d: RM3 needs two source operands", line)
+			}
+			a, err := parseOperand(strings.TrimSpace(ops[0]))
+			if err != nil {
+				return nil, fmt.Errorf("isa: line %d: %v", line, err)
+			}
+			b, err := parseOperand(strings.TrimSpace(ops[1]))
+			if err != nil {
+				return nil, fmt.Errorf("isa: line %d: %v", line, err)
+			}
+			z, neg, err := parseCellTok(strings.TrimSpace(parts[1]))
+			if err != nil {
+				return nil, fmt.Errorf("isa: line %d: %v", line, err)
+			}
+			if neg {
+				return nil, fmt.Errorf("isa: line %d: destination cannot be negated", line)
+			}
+			p.Insts = append(p.Insts, Instruction{A: a, B: b, Z: z})
+		case ".end":
+			seenEnd = true
+		default:
+			return nil, fmt.Errorf("isa: line %d: unknown directive %q", line, fields[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if !seenEnd {
+		return nil, fmt.Errorf("isa: missing .end")
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+func parseCellTok(tok string) (addr uint32, neg bool, err error) {
+	if strings.HasSuffix(tok, "!") {
+		neg = true
+		tok = tok[:len(tok)-1]
+	}
+	if !strings.HasPrefix(tok, "@") {
+		return 0, false, fmt.Errorf("bad cell token %q", tok)
+	}
+	n, err := strconv.ParseUint(tok[1:], 10, 32)
+	if err != nil {
+		return 0, false, fmt.Errorf("bad cell token %q: %v", tok, err)
+	}
+	return uint32(n), neg, nil
+}
+
+func parseOperand(tok string) (Operand, error) {
+	switch tok {
+	case "#0":
+		return Zero, nil
+	case "#1":
+		return One, nil
+	}
+	addr, neg, err := parseCellTok(tok)
+	if err != nil || neg {
+		return Operand{}, fmt.Errorf("bad operand %q", tok)
+	}
+	return Cell(addr), nil
+}
+
+// Binary format (little-endian):
+//
+//	magic "PLIM"            4 bytes
+//	version                 u8 (=1)
+//	name length + bytes     uvarint + raw
+//	numCells                uvarint
+//	#PI + PI cells          uvarint + uvarints
+//	#PO + (addr<<1|neg)     uvarint + uvarints
+//	#insts                  uvarint
+//	per inst: flags u8 (kindA | kindB<<2), then addrA? addrB? addrZ uvarints
+const (
+	binaryMagic   = "PLIM"
+	binaryVersion = 1
+)
+
+// WriteBinary encodes the program in the compact binary format.
+func (p *Program) WriteBinary(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	bw.WriteString(binaryMagic)
+	bw.WriteByte(binaryVersion)
+	writeUvarint(bw, uint64(len(p.Name)))
+	bw.WriteString(p.Name)
+	writeUvarint(bw, uint64(p.NumCells))
+	writeUvarint(bw, uint64(len(p.PICells)))
+	for _, c := range p.PICells {
+		writeUvarint(bw, uint64(c))
+	}
+	writeUvarint(bw, uint64(len(p.POs)))
+	for _, po := range p.POs {
+		v := uint64(po.Addr) << 1
+		if po.Neg {
+			v |= 1
+		}
+		writeUvarint(bw, v)
+	}
+	writeUvarint(bw, uint64(len(p.Insts)))
+	for _, ins := range p.Insts {
+		flags := byte(ins.A.Kind) | byte(ins.B.Kind)<<2
+		bw.WriteByte(flags)
+		if ins.A.Kind == OpCell {
+			writeUvarint(bw, uint64(ins.A.Addr))
+		}
+		if ins.B.Kind == OpCell {
+			writeUvarint(bw, uint64(ins.B.Addr))
+		}
+		writeUvarint(bw, uint64(ins.Z))
+	}
+	return bw.Flush()
+}
+
+// ReadBinary decodes a program written by WriteBinary.
+func ReadBinary(r io.Reader) (*Program, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, 4)
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, err
+	}
+	if string(magic) != binaryMagic {
+		return nil, fmt.Errorf("isa: bad magic %q", magic)
+	}
+	ver, err := br.ReadByte()
+	if err != nil {
+		return nil, err
+	}
+	if ver != binaryVersion {
+		return nil, fmt.Errorf("isa: unsupported version %d", ver)
+	}
+	p := &Program{}
+	nameLen, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, err
+	}
+	name := make([]byte, nameLen)
+	if _, err := io.ReadFull(br, name); err != nil {
+		return nil, err
+	}
+	p.Name = string(name)
+	cells, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, err
+	}
+	p.NumCells = uint32(cells)
+	npi, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, err
+	}
+	p.PICells = make([]uint32, npi)
+	for i := range p.PICells {
+		v, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, err
+		}
+		p.PICells[i] = uint32(v)
+	}
+	npo, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, err
+	}
+	p.POs = make([]PORef, npo)
+	for i := range p.POs {
+		v, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, err
+		}
+		p.POs[i] = PORef{Addr: uint32(v >> 1), Neg: v&1 == 1}
+	}
+	ninst, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, err
+	}
+	p.Insts = make([]Instruction, ninst)
+	for i := range p.Insts {
+		flags, err := br.ReadByte()
+		if err != nil {
+			return nil, err
+		}
+		ins := Instruction{
+			A: Operand{Kind: OperandKind(flags & 3)},
+			B: Operand{Kind: OperandKind(flags >> 2 & 3)},
+		}
+		if ins.A.Kind > OpCell || ins.B.Kind > OpCell {
+			return nil, fmt.Errorf("isa: inst %d: bad operand kind", i)
+		}
+		if ins.A.Kind == OpCell {
+			v, err := binary.ReadUvarint(br)
+			if err != nil {
+				return nil, err
+			}
+			ins.A.Addr = uint32(v)
+		}
+		if ins.B.Kind == OpCell {
+			v, err := binary.ReadUvarint(br)
+			if err != nil {
+				return nil, err
+			}
+			ins.B.Addr = uint32(v)
+		}
+		z, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, err
+		}
+		ins.Z = uint32(z)
+		p.Insts[i] = ins
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+func writeUvarint(w *bufio.Writer, v uint64) {
+	var buf [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(buf[:], v)
+	w.Write(buf[:n])
+}

@@ -1,0 +1,354 @@
+package isa
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"plim/internal/rram"
+)
+
+// andnProgram hand-codes z = a ∧ ¬b, the "ideal" single-complement case the
+// paper's cost model rewards — two instructions, no extra device:
+//
+//	RM3 #0,#1 -> @2   ; z ← 0
+//	RM3 @0,@1 -> @2   ; z ← ⟨a b̄ 0⟩ = a ∧ ¬b
+func andnProgram() *Program {
+	return &Program{
+		Name:     "andn",
+		NumCells: 3,
+		PICells:  []uint32{0, 1},
+		POs:      []PORef{{Addr: 2}},
+		Insts: []Instruction{
+			{A: Zero, B: One, Z: 2},
+			{A: Cell(0), B: Cell(1), Z: 2},
+		},
+	}
+}
+
+// andProgram hand-codes z = a ∧ b = ⟨a b 0⟩. The node has zero complemented
+// fanins, so — exactly as the paper's §III cost model says — it needs two
+// extra instructions and one extra device to materialize an inverted copy
+// of b that the RM3 B operand can re-invert:
+//
+//	RM3 #1,#0 -> @2   ; t ← 1
+//	RM3 #0,@1 -> @2   ; t ← ⟨0 b̄ 1⟩ = b̄
+//	RM3 #0,#1 -> @3   ; z ← 0
+//	RM3 @0,@2 -> @3   ; z ← ⟨a ¬b̄ 0⟩ = a ∧ b
+func andProgram() *Program {
+	return &Program{
+		Name:     "and",
+		NumCells: 4,
+		PICells:  []uint32{0, 1},
+		POs:      []PORef{{Addr: 3}},
+		Insts: []Instruction{
+			{A: One, B: Zero, Z: 2},
+			{A: Zero, B: Cell(1), Z: 2},
+			{A: Zero, B: One, Z: 3},
+			{A: Cell(0), B: Cell(2), Z: 3},
+		},
+	}
+}
+
+func TestHandCodedAndNot(t *testing.T) {
+	p := andnProgram()
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for row := 0; row < 4; row++ {
+		a := row&1 == 1
+		b := row>>1&1 == 1
+		out, _, err := Execute(p, []bool{a, b})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out[0] != (a && !b) {
+			t.Errorf("ANDN(%v,%v) = %v", a, b, out[0])
+		}
+	}
+}
+
+func TestHandCodedAnd(t *testing.T) {
+	p := andProgram()
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for row := 0; row < 4; row++ {
+		a := row&1 == 1
+		b := row>>1&1 == 1
+		out, _, err := Execute(p, []bool{a, b})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out[0] != (a && b) {
+			t.Errorf("AND(%v,%v) = %v", a, b, out[0])
+		}
+	}
+}
+
+func TestPresetCopyInvertIdioms(t *testing.T) {
+	// Verify the four RM3 idioms documented in the package comment.
+	x := rram.NewLinear(2)
+	c := NewController(x)
+	x.Preload(0, true) // source value x = 1
+
+	must := func(ins Instruction) {
+		t.Helper()
+		if err := c.Step(ins); err != nil {
+			t.Fatal(err)
+		}
+	}
+	must(Instruction{A: Zero, B: One, Z: 1}) // preset 0
+	if x.Read(1) != false {
+		t.Fatal("preset-0 failed")
+	}
+	must(Instruction{A: Cell(0), B: Zero, Z: 1}) // copy x
+	if x.Read(1) != true {
+		t.Fatal("copy failed")
+	}
+	must(Instruction{A: One, B: Zero, Z: 1}) // preset 1
+	if x.Read(1) != true {
+		t.Fatal("preset-1 failed")
+	}
+	must(Instruction{A: Zero, B: Cell(0), Z: 1}) // invert x
+	if x.Read(1) != false {
+		t.Fatal("invert failed")
+	}
+}
+
+func TestStaticWriteCountsMatchInterpreter(t *testing.T) {
+	p := andProgram()
+	static := p.StaticWriteCounts()
+	_, x, err := Execute(p, []bool{true, false})
+	if err != nil {
+		t.Fatal(err)
+	}
+	measured := x.WriteCounts(int(p.NumCells))
+	for i := range static {
+		if static[i] != measured[i] {
+			t.Fatalf("cell %d: static %d, measured %d", i, static[i], measured[i])
+		}
+	}
+}
+
+func TestNegatedPO(t *testing.T) {
+	p := andnProgram()
+	p.POs[0].Neg = true
+	out, _, err := Execute(p, []bool{true, false}) // a∧¬b = 1, negated = 0
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[0] != false {
+		t.Fatal("negated PO not applied")
+	}
+}
+
+func TestValidateCatchesBadPrograms(t *testing.T) {
+	cases := []*Program{
+		{NumCells: 1, PICells: []uint32{5}},                              // PI out of range
+		{NumCells: 2, PICells: []uint32{0, 0}},                           // duplicate PI
+		{NumCells: 1, POs: []PORef{{Addr: 3}}},                           // PO out of range
+		{NumCells: 1, Insts: []Instruction{{A: Zero, B: Zero, Z: 9}}},    // Z out of range
+		{NumCells: 1, Insts: []Instruction{{A: Cell(7), B: Zero, Z: 0}}}, // operand range
+	}
+	for i, p := range cases {
+		if err := p.Validate(); err == nil {
+			t.Errorf("case %d: Validate accepted a bad program", i)
+		}
+	}
+}
+
+func TestLoadInputsLengthMismatch(t *testing.T) {
+	p := andProgram()
+	c := NewController(rram.NewLinear(3))
+	if err := c.LoadInputs(p, []bool{true}); err == nil {
+		t.Fatal("want length mismatch error")
+	}
+}
+
+func TestRunStopsOnWornDevice(t *testing.T) {
+	p := andProgram()
+	x := rram.NewLinear(4, rram.WithEndurance(1))
+	c := NewController(x)
+	if err := c.LoadInputs(p, []bool{true, true}); err != nil {
+		t.Fatal(err)
+	}
+	err := c.Run(p)
+	if err == nil {
+		t.Fatal("want wear-out failure (2 writes to cell 2 with endurance 1)")
+	}
+	if !strings.Contains(err.Error(), "inst 1") {
+		t.Fatalf("error should name the failing instruction: %v", err)
+	}
+	if c.PC != 1 {
+		t.Fatalf("PC = %d, want 1 retired instruction", c.PC)
+	}
+}
+
+func TestAsmRoundTrip(t *testing.T) {
+	p := andProgram()
+	p.POs = append(p.POs, PORef{Addr: 0, Neg: true})
+	var buf bytes.Buffer
+	if err := p.WriteAsm(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadAsm(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertProgramsEqual(t, p, got)
+}
+
+func TestAsmReadErrors(t *testing.T) {
+	cases := []string{
+		"RM3 #0 -> @1\n.end",               // one operand
+		"RM3 #0, #1 @1\n.end",              // missing arrow
+		".cells\n.end",                     // missing count
+		".plim x\n.frobnicate\n.end",       // unknown directive
+		".plim x\n.cells 1",                // missing .end
+		".cells 1\nRM3 #0,#1 -> @0!\n.end", // negated destination
+		".cells 1\nRM3 %3,#1 -> @0\n.end",  // bad operand
+	}
+	for _, src := range cases {
+		if _, err := ReadAsm(strings.NewReader(src)); err == nil {
+			t.Errorf("ReadAsm(%q) succeeded, want error", src)
+		}
+	}
+}
+
+func TestBinaryRoundTrip(t *testing.T) {
+	p := andProgram()
+	p.POs = append(p.POs, PORef{Addr: 1, Neg: true})
+	var buf bytes.Buffer
+	if err := p.WriteBinary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadBinary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertProgramsEqual(t, p, got)
+}
+
+func TestBinaryRejectsGarbage(t *testing.T) {
+	if _, err := ReadBinary(strings.NewReader("NOPE")); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+	if _, err := ReadBinary(strings.NewReader("PLIM\x07")); err == nil {
+		t.Fatal("bad version accepted")
+	}
+	if _, err := ReadBinary(strings.NewReader("PLI")); err == nil {
+		t.Fatal("truncated accepted")
+	}
+}
+
+func assertProgramsEqual(t *testing.T, want, got *Program) {
+	t.Helper()
+	if got.Name != want.Name || got.NumCells != want.NumCells {
+		t.Fatalf("header mismatch: %q/%d vs %q/%d", got.Name, got.NumCells, want.Name, want.NumCells)
+	}
+	if len(got.PICells) != len(want.PICells) || len(got.POs) != len(want.POs) || len(got.Insts) != len(want.Insts) {
+		t.Fatalf("shape mismatch")
+	}
+	for i := range want.PICells {
+		if got.PICells[i] != want.PICells[i] {
+			t.Fatalf("PI %d mismatch", i)
+		}
+	}
+	for i := range want.POs {
+		if got.POs[i] != want.POs[i] {
+			t.Fatalf("PO %d mismatch", i)
+		}
+	}
+	for i := range want.Insts {
+		if got.Insts[i] != want.Insts[i] {
+			t.Fatalf("inst %d: %v vs %v", i, got.Insts[i], want.Insts[i])
+		}
+	}
+}
+
+// Property: binary round-trip preserves arbitrary generated programs.
+func TestBinaryRoundTripQuick(t *testing.T) {
+	f := func(raw []byte) bool {
+		// Derive a syntactically valid program from the fuzz bytes.
+		p := &Program{Name: "q", NumCells: 16}
+		for i, b := range raw {
+			ins := Instruction{
+				A: Operand{Kind: OperandKind(b % 3)},
+				B: Operand{Kind: OperandKind(b / 3 % 3)},
+				Z: uint32(b) % p.NumCells,
+			}
+			if ins.A.Kind == OpCell {
+				ins.A.Addr = uint32(i) % p.NumCells
+			}
+			if ins.B.Kind == OpCell {
+				ins.B.Addr = uint32(b>>4) % p.NumCells
+			}
+			p.Insts = append(p.Insts, ins)
+		}
+		var buf bytes.Buffer
+		if err := p.WriteBinary(&buf); err != nil {
+			return false
+		}
+		got, err := ReadBinary(&buf)
+		if err != nil {
+			return false
+		}
+		if len(got.Insts) != len(p.Insts) {
+			return false
+		}
+		for i := range p.Insts {
+			if got.Insts[i] != p.Insts[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOperandString(t *testing.T) {
+	if Zero.String() != "#0" || One.String() != "#1" || Cell(5).String() != "@5" {
+		t.Fatal("operand rendering broken")
+	}
+	ins := Instruction{A: Cell(1), B: One, Z: 9}
+	if ins.String() != "RM3 @1, #1 -> @9" {
+		t.Fatalf("instruction rendering: %q", ins.String())
+	}
+}
+
+// TestReadAsmNeverPanicsOnMutatedInput mirrors the MIG parser fuzz check
+// for the assembly reader: mutated programs either parse into something
+// Validate accepts or fail cleanly.
+func TestReadAsmNeverPanicsOnMutatedInput(t *testing.T) {
+	var buf bytes.Buffer
+	if err := andProgram().WriteAsm(&buf); err != nil {
+		t.Fatal(err)
+	}
+	orig := buf.Bytes()
+	rng := rand.New(rand.NewSource(29))
+	for trial := 0; trial < 300; trial++ {
+		mut := append([]byte(nil), orig...)
+		for k := 0; k <= rng.Intn(3); k++ {
+			mut[rng.Intn(len(mut))] = byte(rng.Intn(128))
+		}
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("ReadAsm panicked on %q: %v", mut, r)
+				}
+			}()
+			got, err := ReadAsm(bytes.NewReader(mut))
+			if err != nil {
+				return
+			}
+			if verr := got.Validate(); verr != nil {
+				t.Fatalf("ReadAsm accepted an invalid program: %v", verr)
+			}
+		}()
+	}
+}

@@ -1,0 +1,129 @@
+package mig
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// EquivalenceResult reports the outcome of a simulation-based equivalence
+// check between two MIGs.
+type EquivalenceResult struct {
+	Equivalent bool
+	// Counterexample holds one failing input assignment (one bit per PI)
+	// when Equivalent is false and the check found a concrete mismatch.
+	Counterexample []bool
+	// PO is the index of the first mismatching primary output.
+	PO int
+	// Exhaustive is true when all 2^n assignments were enumerated, making
+	// the verdict a proof rather than statistical evidence.
+	Exhaustive bool
+	// Patterns is the number of input assignments simulated.
+	Patterns int
+}
+
+// Equivalent checks whether two MIGs with identical PI/PO counts compute the
+// same functions. For up to maxExhaustiveInputs primary inputs the check is
+// exhaustive (a proof); above that it simulates rounds×64 random patterns
+// drawn from a deterministic source seeded with seed.
+func Equivalent(a, b *MIG, rounds int, seed int64) (EquivalenceResult, error) {
+	const maxExhaustiveInputs = 14
+	if a.NumPIs() != b.NumPIs() {
+		return EquivalenceResult{}, fmt.Errorf("mig: PI count mismatch %d vs %d", a.NumPIs(), b.NumPIs())
+	}
+	if a.NumPOs() != b.NumPOs() {
+		return EquivalenceResult{}, fmt.Errorf("mig: PO count mismatch %d vs %d", a.NumPOs(), b.NumPOs())
+	}
+	n := a.NumPIs()
+	if n <= maxExhaustiveInputs {
+		return equivalentExhaustive(a, b), nil
+	}
+	rng := rand.New(rand.NewSource(seed))
+	inputs := make([]uint64, n)
+	valsA := make([]uint64, a.NumNodes())
+	valsB := make([]uint64, b.NumNodes())
+	patterns := 0
+	for r := 0; r < rounds; r++ {
+		for i := range inputs {
+			inputs[i] = rng.Uint64()
+		}
+		a.EvalInto(inputs, valsA)
+		b.EvalInto(inputs, valsB)
+		patterns += 64
+		for i := 0; i < a.NumPOs(); i++ {
+			va := poWord(a, valsA, i)
+			vb := poWord(b, valsB, i)
+			if va != vb {
+				bit := trailingDiff(va, vb)
+				cex := make([]bool, n)
+				for j := range cex {
+					cex[j] = inputs[j]>>bit&1 == 1
+				}
+				return EquivalenceResult{PO: i, Counterexample: cex, Patterns: patterns}, nil
+			}
+		}
+	}
+	return EquivalenceResult{Equivalent: true, Patterns: patterns}, nil
+}
+
+func equivalentExhaustive(a, b *MIG) EquivalenceResult {
+	n := a.NumPIs()
+	words := PatternWords(n)
+	inputs := make([]uint64, n)
+	valsA := make([]uint64, a.NumNodes())
+	valsB := make([]uint64, b.NumNodes())
+	mask := ^uint64(0)
+	if n < 6 {
+		mask = 1<<(1<<uint(n)) - 1
+	}
+	for w := 0; w < words; w++ {
+		for v := 0; v < n; v++ {
+			inputs[v] = ExhaustivePattern(v, w)
+		}
+		a.EvalInto(inputs, valsA)
+		b.EvalInto(inputs, valsB)
+		for i := 0; i < a.NumPOs(); i++ {
+			va := poWord(a, valsA, i) & mask
+			vb := poWord(b, valsB, i) & mask
+			if va != vb {
+				bit := trailingDiff(va, vb)
+				cex := make([]bool, n)
+				for j := range cex {
+					cex[j] = inputs[j]>>bit&1 == 1
+				}
+				return EquivalenceResult{PO: i, Counterexample: cex, Exhaustive: true, Patterns: (w + 1) * 64}
+			}
+		}
+	}
+	return EquivalenceResult{Equivalent: true, Exhaustive: true, Patterns: words * 64}
+}
+
+func poWord(m *MIG, vals []uint64, i int) uint64 {
+	po := m.PO(i)
+	v := vals[po.Node()]
+	if po.Complemented() {
+		v = ^v
+	}
+	return v
+}
+
+func trailingDiff(a, b uint64) uint {
+	d := a ^ b
+	var bit uint
+	for d&1 == 0 {
+		d >>= 1
+		bit++
+	}
+	return bit
+}
+
+// MustBeEquivalent panics unless a and b are equivalent; it is a convenience
+// for generators and examples that must never silently corrupt a function.
+func MustBeEquivalent(a, b *MIG, rounds int, seed int64) {
+	res, err := Equivalent(a, b, rounds, seed)
+	if err != nil {
+		panic(err)
+	}
+	if !res.Equivalent {
+		panic(fmt.Sprintf("mig: %q and %q differ on PO %d (cex %v)", a.Name, b.Name, res.PO, res.Counterexample))
+	}
+}

@@ -1,0 +1,192 @@
+package mig
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// The .mig text format is a minimal line-oriented netlist:
+//
+//	.model <name>
+//	.pi <name>            one line per primary input, in order
+//	.maj <a> <b> <c>      one line per majority node, children as signals
+//	.po <signal> [name]   one line per primary output, in order
+//	.end
+//
+// Signals are written as a node index with an optional '!' prefix for
+// complementation; "0" is the constant-0 node, so the constants are "0" and
+// "!0". Node indices follow the file: the constant is node 0, the i-th .pi
+// line is node i+1, and .maj lines continue the numbering.
+
+func sigToken(s Signal) string {
+	if s.Complemented() {
+		return fmt.Sprintf("!%d", s.Node())
+	}
+	return fmt.Sprintf("%d", s.Node())
+}
+
+// Write serializes the MIG in .mig format.
+func (m *MIG) Write(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, ".model %s\n", m.Name)
+	for i := 0; i < m.NumPIs(); i++ {
+		name := m.piNames[i]
+		if name == "" {
+			name = fmt.Sprintf("x%d", i)
+		}
+		fmt.Fprintf(bw, ".pi %s\n", name)
+	}
+	for i := range m.nodes {
+		n := &m.nodes[i]
+		if n.kind != KindMaj {
+			continue
+		}
+		fmt.Fprintf(bw, ".maj %s %s %s\n", sigToken(n.children[0]), sigToken(n.children[1]), sigToken(n.children[2]))
+	}
+	for i, po := range m.pos {
+		name := m.poNames[i]
+		if name == "" {
+			fmt.Fprintf(bw, ".po %s\n", sigToken(po))
+		} else {
+			fmt.Fprintf(bw, ".po %s %s\n", sigToken(po), name)
+		}
+	}
+	fmt.Fprintln(bw, ".end")
+	return bw.Flush()
+}
+
+// Read parses a .mig file produced by Write. Majority nodes are inserted
+// verbatim (RawMaj): reading never rewrites the graph, so write/read
+// round-trips preserve structure except for the constructor's child sorting
+// and structural hashing, which are canonical anyway.
+func Read(r io.Reader) (*MIG, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 64*1024*1024)
+	m := New("")
+	// File node numbering: 0 = const, then PIs, then majority nodes in
+	// order of appearance. Because our in-memory numbering is identical,
+	// signals can be parsed directly, but we validate ordering.
+	lineNo := 0
+	seenEnd := false
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		switch fields[0] {
+		case ".model":
+			if len(fields) > 1 {
+				m.Name = fields[1]
+			}
+		case ".pi":
+			name := ""
+			if len(fields) > 1 {
+				name = fields[1]
+			}
+			if m.NumMaj() > 0 {
+				return nil, fmt.Errorf("mig: line %d: .pi after .maj", lineNo)
+			}
+			m.AddPI(name)
+		case ".maj":
+			if len(fields) != 4 {
+				return nil, fmt.Errorf("mig: line %d: .maj needs 3 operands", lineNo)
+			}
+			var sig [3]Signal
+			for i := 0; i < 3; i++ {
+				s, err := parseSignal(fields[i+1], m.NumNodes())
+				if err != nil {
+					return nil, fmt.Errorf("mig: line %d: %v", lineNo, err)
+				}
+				sig[i] = s
+			}
+			m.RawMaj(sig[0], sig[1], sig[2])
+		case ".po":
+			if len(fields) < 2 {
+				return nil, fmt.Errorf("mig: line %d: .po needs a signal", lineNo)
+			}
+			s, err := parseSignal(fields[1], m.NumNodes())
+			if err != nil {
+				return nil, fmt.Errorf("mig: line %d: %v", lineNo, err)
+			}
+			name := ""
+			if len(fields) > 2 {
+				name = fields[2]
+			}
+			m.AddPO(s, name)
+		case ".end":
+			seenEnd = true
+		default:
+			return nil, fmt.Errorf("mig: line %d: unknown directive %q", lineNo, fields[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if !seenEnd {
+		return nil, fmt.Errorf("mig: missing .end")
+	}
+	return m, nil
+}
+
+func parseSignal(tok string, numNodes int) (Signal, error) {
+	comp := false
+	if strings.HasPrefix(tok, "!") {
+		comp = true
+		tok = tok[1:]
+	}
+	id, err := strconv.ParseUint(tok, 10, 32)
+	if err != nil {
+		return 0, fmt.Errorf("bad signal %q: %v", tok, err)
+	}
+	if int(id) >= numNodes {
+		return 0, fmt.Errorf("signal %q references node %d before its definition", tok, id)
+	}
+	return MakeSignal(NodeID(id), comp), nil
+}
+
+// WriteDOT emits a Graphviz rendering of the MIG: majority nodes as circles,
+// complemented edges dashed, PIs as boxes.
+func (m *MIG) WriteDOT(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "digraph %q {\n  rankdir=BT;\n", m.Name)
+	fmt.Fprintln(bw, `  n0 [label="0",shape=box];`)
+	for i := range m.nodes {
+		n := &m.nodes[i]
+		switch n.kind {
+		case KindPI:
+			name := m.piNames[n.piIndex]
+			if name == "" {
+				name = fmt.Sprintf("x%d", n.piIndex)
+			}
+			fmt.Fprintf(bw, "  n%d [label=%q,shape=box];\n", i, name)
+		case KindMaj:
+			fmt.Fprintf(bw, "  n%d [label=\"M%d\",shape=circle];\n", i, i)
+			for _, c := range n.children {
+				style := "solid"
+				if c.Complemented() {
+					style = "dashed"
+				}
+				fmt.Fprintf(bw, "  n%d -> n%d [style=%s];\n", c.Node(), i, style)
+			}
+		}
+	}
+	for i, po := range m.pos {
+		name := m.poNames[i]
+		if name == "" {
+			name = fmt.Sprintf("y%d", i)
+		}
+		style := "solid"
+		if po.Complemented() {
+			style = "dashed"
+		}
+		fmt.Fprintf(bw, "  po%d [label=%q,shape=invtriangle];\n", i, name)
+		fmt.Fprintf(bw, "  n%d -> po%d [style=%s];\n", po.Node(), i, style)
+	}
+	fmt.Fprintln(bw, "}")
+	return bw.Flush()
+}

@@ -1,0 +1,128 @@
+// Package stats computes the write-distribution statistics the paper
+// reports: population standard deviation, minimum and maximum per-device
+// write counts, plus auxiliary uniformity and lifetime metrics used by the
+// examples and ablation studies.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Summary describes the distribution of per-device write counts.
+type Summary struct {
+	N      int
+	Min    uint64
+	Max    uint64
+	Mean   float64
+	StdDev float64 // population standard deviation, as in the paper
+	Total  uint64
+}
+
+// Summarize computes a Summary over per-device write counts. An empty input
+// yields the zero Summary.
+func Summarize(writes []uint64) Summary {
+	if len(writes) == 0 {
+		return Summary{}
+	}
+	s := Summary{N: len(writes), Min: writes[0], Max: writes[0]}
+	for _, w := range writes {
+		s.Total += w
+		if w < s.Min {
+			s.Min = w
+		}
+		if w > s.Max {
+			s.Max = w
+		}
+	}
+	s.Mean = float64(s.Total) / float64(s.N)
+	var ss float64
+	for _, w := range writes {
+		d := float64(w) - s.Mean
+		ss += d * d
+	}
+	s.StdDev = math.Sqrt(ss / float64(s.N))
+	return s
+}
+
+// String renders the summary in the paper's min/max + STDEV style.
+func (s Summary) String() string {
+	return fmt.Sprintf("%d/%d stdev=%.2f (n=%d, total=%d)", s.Min, s.Max, s.StdDev, s.N, s.Total)
+}
+
+// Improvement returns the paper's "impr." column: the relative reduction of
+// the candidate standard deviation versus the baseline, in percent. Positive
+// means better (smaller deviation); negative values occur in the paper too
+// (e.g. div, ctrl, dec).
+func Improvement(baseline, candidate float64) float64 {
+	if baseline == 0 {
+		if candidate == 0 {
+			return 0
+		}
+		return math.Inf(-1)
+	}
+	return (baseline - candidate) / baseline * 100
+}
+
+// Gini computes the Gini coefficient of the write counts, an additional
+// uniformity metric (0 = perfectly balanced, →1 = concentrated) used by the
+// ablation studies. It is not part of the paper's tables.
+func Gini(writes []uint64) float64 {
+	n := len(writes)
+	if n == 0 {
+		return 0
+	}
+	sorted := append([]uint64(nil), writes...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	var cum, weighted float64
+	for i, w := range sorted {
+		weighted += float64(i+1) * float64(w)
+		cum += float64(w)
+	}
+	if cum == 0 {
+		return 0
+	}
+	return (2*weighted - float64(n+1)*cum) / (float64(n) * cum)
+}
+
+// Histogram buckets write counts into nBuckets equal-width buckets between
+// 0 and the maximum (inclusive). It returns the bucket counts and the bucket
+// width. Used by examples to render wear profiles.
+func Histogram(writes []uint64, nBuckets int) (buckets []int, width uint64) {
+	buckets = make([]int, nBuckets)
+	if len(writes) == 0 || nBuckets == 0 {
+		return buckets, 1
+	}
+	var max uint64
+	for _, w := range writes {
+		if w > max {
+			max = w
+		}
+	}
+	width = max/uint64(nBuckets) + 1
+	for _, w := range writes {
+		buckets[w/width]++
+	}
+	return buckets, width
+}
+
+// Lifetime estimates how many complete executions of a program a memory
+// survives, given a per-device endurance budget: the first device to die is
+// the one with the most writes per run. A run with zero writes lives
+// forever; that case returns MaxLifetime.
+const MaxLifetime = math.MaxUint64
+
+// Lifetime returns endurance / maxWritesPerRun.
+func Lifetime(writesPerRun []uint64, endurance uint64) uint64 {
+	var max uint64
+	for _, w := range writesPerRun {
+		if w > max {
+			max = w
+		}
+	}
+	if max == 0 {
+		return MaxLifetime
+	}
+	return endurance / max
+}

@@ -1,0 +1,142 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestSummarizeKnownValues(t *testing.T) {
+	s := Summarize([]uint64{2, 4, 4, 4, 5, 5, 7, 9})
+	if s.N != 8 || s.Min != 2 || s.Max != 9 || s.Total != 40 {
+		t.Fatalf("summary = %+v", s)
+	}
+	if s.Mean != 5 {
+		t.Fatalf("mean = %v", s.Mean)
+	}
+	// The classic example: population stddev is exactly 2.
+	if math.Abs(s.StdDev-2) > 1e-12 {
+		t.Fatalf("stdev = %v, want 2", s.StdDev)
+	}
+}
+
+func TestSummarizeEmptyAndSingle(t *testing.T) {
+	if s := Summarize(nil); s.N != 0 || s.StdDev != 0 {
+		t.Fatalf("empty summary = %+v", s)
+	}
+	s := Summarize([]uint64{7})
+	if s.Min != 7 || s.Max != 7 || s.StdDev != 0 || s.Mean != 7 {
+		t.Fatalf("single summary = %+v", s)
+	}
+}
+
+func TestSummaryString(t *testing.T) {
+	s := Summarize([]uint64{1, 3})
+	if !strings.Contains(s.String(), "1/3") {
+		t.Fatalf("String = %q", s.String())
+	}
+}
+
+func TestImprovement(t *testing.T) {
+	if got := Improvement(10, 5); got != 50 {
+		t.Fatalf("Improvement(10,5) = %v", got)
+	}
+	if got := Improvement(10, 12); got != -20 {
+		t.Fatalf("Improvement(10,12) = %v", got)
+	}
+	if got := Improvement(0, 0); got != 0 {
+		t.Fatalf("Improvement(0,0) = %v", got)
+	}
+	if got := Improvement(0, 1); !math.IsInf(got, -1) {
+		t.Fatalf("Improvement(0,1) = %v", got)
+	}
+}
+
+func TestGini(t *testing.T) {
+	if g := Gini([]uint64{5, 5, 5, 5}); math.Abs(g) > 1e-12 {
+		t.Fatalf("uniform Gini = %v, want 0", g)
+	}
+	// All writes on one device out of many → close to 1.
+	skew := make([]uint64, 100)
+	skew[0] = 1000
+	if g := Gini(skew); g < 0.95 {
+		t.Fatalf("concentrated Gini = %v, want ≈1", g)
+	}
+	if g := Gini(nil); g != 0 {
+		t.Fatalf("empty Gini = %v", g)
+	}
+	if g := Gini([]uint64{0, 0}); g != 0 {
+		t.Fatalf("all-zero Gini = %v", g)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	buckets, width := Histogram([]uint64{0, 1, 2, 9, 9}, 5)
+	if width != 2 {
+		t.Fatalf("width = %d", width)
+	}
+	if buckets[0] != 2 || buckets[1] != 1 || buckets[4] != 2 {
+		t.Fatalf("buckets = %v", buckets)
+	}
+	empty, w := Histogram(nil, 3)
+	if len(empty) != 3 || w != 1 {
+		t.Fatalf("empty histogram broken")
+	}
+}
+
+func TestLifetime(t *testing.T) {
+	if lt := Lifetime([]uint64{1, 5, 3}, 100); lt != 20 {
+		t.Fatalf("lifetime = %d, want 20", lt)
+	}
+	if lt := Lifetime([]uint64{0, 0}, 100); lt != MaxLifetime {
+		t.Fatalf("zero-write lifetime = %d", lt)
+	}
+}
+
+// Property: StdDev is invariant under permutation and zero when all equal.
+func TestStdDevPropertiesQuick(t *testing.T) {
+	f := func(v []uint16, c uint16) bool {
+		writes := make([]uint64, len(v))
+		for i, x := range v {
+			writes[i] = uint64(x)
+		}
+		s1 := Summarize(writes)
+		// Reverse is a permutation.
+		rev := make([]uint64, len(writes))
+		for i, x := range writes {
+			rev[len(writes)-1-i] = x
+		}
+		s2 := Summarize(rev)
+		if math.Abs(s1.StdDev-s2.StdDev) > 1e-9 {
+			return false
+		}
+		// Constant vectors have zero deviation.
+		cons := make([]uint64, 5)
+		for i := range cons {
+			cons[i] = uint64(c)
+		}
+		return Summarize(cons).StdDev == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: mean is bounded by min and max; total = mean*n.
+func TestSummaryBoundsQuick(t *testing.T) {
+	f := func(v []uint16) bool {
+		if len(v) == 0 {
+			return true
+		}
+		writes := make([]uint64, len(v))
+		for i, x := range v {
+			writes[i] = uint64(x)
+		}
+		s := Summarize(writes)
+		return float64(s.Min) <= s.Mean && s.Mean <= float64(s.Max)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

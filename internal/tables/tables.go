@@ -1,0 +1,142 @@
+// Package tables regenerates the evaluation tables of Shirinzadeh et al.,
+// DATE 2017: Table I (write distribution of the incremental endurance
+// techniques), Table II (instruction and device costs) and Table III (the
+// maximum-write-count trade-off), plus an ablation table that isolates each
+// technique (not in the paper).
+//
+// A SuiteResult holds the full benchmark × configuration matrix of reports;
+// the Table* functions project it into the paper's layouts and the Render*
+// functions produce aligned text, Markdown and CSV.
+package tables
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"plim/internal/alloc"
+	"plim/internal/compile"
+	"plim/internal/core"
+	"plim/internal/suite"
+)
+
+// SuiteResult is the benchmark × configuration report matrix.
+type SuiteResult struct {
+	Benchmarks []suite.Info
+	Configs    []core.Config
+	// Reports[b][c] is the report of Configs[c] on Benchmarks[b].
+	Reports [][]*core.Report
+}
+
+// Options configures a suite run.
+type Options struct {
+	// Benchmarks to run; nil means the full 18-benchmark suite.
+	Benchmarks []string
+	// Effort is the rewriting cycle budget (0 → core.DefaultEffort = 5).
+	Effort int
+	// Shrink divides datapath widths for quick runs (0 or 1 → paper scale).
+	Shrink int
+	// Workers bounds parallelism (0 → GOMAXPROCS).
+	Workers int
+}
+
+func (o *Options) normalize() {
+	if len(o.Benchmarks) == 0 {
+		o.Benchmarks = suite.Names()
+	}
+	if o.Effort == 0 {
+		o.Effort = core.DefaultEffort
+	}
+	if o.Shrink == 0 {
+		o.Shrink = 1
+	}
+	if o.Workers == 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+}
+
+// RunSuite evaluates every configuration on every requested benchmark.
+// Benchmarks run in parallel; results are deterministic and ordered.
+func RunSuite(cfgs []core.Config, opts Options) (*SuiteResult, error) {
+	opts.normalize()
+	sr := &SuiteResult{
+		Benchmarks: make([]suite.Info, len(opts.Benchmarks)),
+		Configs:    cfgs,
+		Reports:    make([][]*core.Report, len(opts.Benchmarks)),
+	}
+	type job struct{ idx int }
+	jobs := make(chan job)
+	errs := make([]error, len(opts.Benchmarks))
+	var wg sync.WaitGroup
+	for w := 0; w < opts.Workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range jobs {
+				errs[j.idx] = sr.runOne(j.idx, opts)
+			}
+		}()
+	}
+	for i := range opts.Benchmarks {
+		jobs <- job{i}
+	}
+	close(jobs)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return sr, nil
+}
+
+func (sr *SuiteResult) runOne(idx int, opts Options) error {
+	name := opts.Benchmarks[idx]
+	info, ok := suite.Get(name)
+	if !ok {
+		return fmt.Errorf("tables: unknown benchmark %q", name)
+	}
+	m, err := suite.BuildScaled(name, opts.Shrink)
+	if err != nil {
+		return err
+	}
+	if opts.Shrink != 1 {
+		info.PI = m.NumPIs()
+		info.PO = m.NumPOs()
+	}
+	sr.Benchmarks[idx] = info
+	reports := make([]*core.Report, len(sr.Configs))
+	for c, cfg := range sr.Configs {
+		rep, err := core.Run(m, cfg, opts.Effort)
+		if err != nil {
+			return fmt.Errorf("tables: %s/%s: %w", name, cfg.Name, err)
+		}
+		reports[c] = rep
+	}
+	sr.Reports[idx] = reports
+	return nil
+}
+
+// ConfigIndex locates a configuration by name.
+func (sr *SuiteResult) ConfigIndex(name string) int {
+	for i, c := range sr.Configs {
+		if c.Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// AblationConfigs isolates each endurance technique on top of the naive
+// baseline — an extension beyond the paper that quantifies how much each
+// lever contributes on its own.
+func AblationConfigs() []core.Config {
+	return []core.Config{
+		core.Naive,
+		{Name: "minwrite-only", Rewrite: core.RewriteNone, Selection: compile.NodeOrder, Alloc: alloc.MinWrite},
+		{Name: "selection-only", Rewrite: core.RewriteNone, Selection: compile.Endurance, Alloc: alloc.LIFO},
+		{Name: "rewriting-only", Rewrite: core.RewriteAlgorithm2, Selection: compile.NodeOrder, Alloc: alloc.LIFO},
+		{Name: "alg1-rewriting-only", Rewrite: core.RewriteAlgorithm1, Selection: compile.NodeOrder, Alloc: alloc.LIFO},
+		core.Full,
+	}
+}

@@ -1,0 +1,234 @@
+package tables
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"plim/internal/core"
+)
+
+// quickOpts runs a few small benchmarks at reduced scale so the full
+// pipeline stays fast in unit tests.
+func quickOpts() Options {
+	return Options{
+		Benchmarks: []string{"ctrl", "int2float", "dec", "router"},
+		Effort:     2,
+		Shrink:     4,
+	}
+}
+
+func TestRunSuiteShape(t *testing.T) {
+	sr, err := RunSuite(core.TableIConfigs(), quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sr.Benchmarks) != 4 || len(sr.Configs) != 5 {
+		t.Fatalf("shape %dx%d", len(sr.Benchmarks), len(sr.Configs))
+	}
+	for b := range sr.Benchmarks {
+		if len(sr.Reports[b]) != 5 {
+			t.Fatalf("benchmark %d has %d reports", b, len(sr.Reports[b]))
+		}
+		for c, rep := range sr.Reports[b] {
+			if rep == nil || rep.Result == nil {
+				t.Fatalf("missing report [%d][%d]", b, c)
+			}
+		}
+	}
+	if sr.ConfigIndex("full") != 4 || sr.ConfigIndex("zzz") != -1 {
+		t.Fatal("ConfigIndex broken")
+	}
+}
+
+func TestRunSuiteRejectsUnknownBenchmark(t *testing.T) {
+	opts := quickOpts()
+	opts.Benchmarks = []string{"nope"}
+	if _, err := RunSuite(core.TableIConfigs(), opts); err == nil {
+		t.Fatal("want error for unknown benchmark")
+	}
+}
+
+func TestRunSuiteIsDeterministicAcrossWorkers(t *testing.T) {
+	optsA := quickOpts()
+	optsA.Workers = 1
+	a, err := RunSuite(core.TableIConfigs(), optsA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	optsB := quickOpts()
+	optsB.Workers = 4
+	b, err := RunSuite(core.TableIConfigs(), optsB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Benchmarks {
+		for c := range a.Configs {
+			ra, rb := a.Reports[i][c], b.Reports[i][c]
+			if ra.NumInstructions() != rb.NumInstructions() ||
+				ra.NumRRAMs() != rb.NumRRAMs() ||
+				ra.Writes.StdDev != rb.Writes.StdDev {
+				t.Fatalf("nondeterministic result at [%d][%d]", i, c)
+			}
+		}
+	}
+}
+
+func TestTableI(t *testing.T) {
+	sr, err := RunSuite(core.TableIConfigs(), quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := TableI(sr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Benchmarks) != 4 || len(d.Cells) != 4 || len(d.Cells[0]) != 5 {
+		t.Fatalf("Table I shape wrong")
+	}
+	if !math.IsNaN(d.Avg[0].Impr) {
+		t.Fatal("baseline column must have NaN improvement")
+	}
+	for b := range d.Cells {
+		if !math.IsNaN(d.Cells[b][0].Impr) {
+			t.Fatalf("row %d baseline cell has improvement", b)
+		}
+		if math.IsNaN(d.Cells[b][4].Impr) {
+			t.Fatalf("row %d full cell lacks improvement", b)
+		}
+	}
+	g := d.Grid()
+	txt := g.Text()
+	for _, want := range []string{"ctrl", "AVG", "naive STDEV", "full impr."} {
+		if !strings.Contains(txt, want) {
+			t.Fatalf("Table I text missing %q:\n%s", want, txt)
+		}
+	}
+	md := g.Markdown()
+	if !strings.HasPrefix(md, "**Table I") || !strings.Contains(md, "| ctrl |") {
+		t.Fatalf("markdown malformed:\n%s", md)
+	}
+	csv := g.CSV()
+	if strings.Count(csv, "\n") != len(g.Rows)+1 {
+		t.Fatalf("csv row count wrong")
+	}
+}
+
+func TestTableIRequiresNaive(t *testing.T) {
+	sr, err := RunSuite([]core.Config{core.Full}, quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := TableI(sr); err == nil {
+		t.Fatal("Table I must demand a naive baseline")
+	}
+}
+
+func TestTableII(t *testing.T) {
+	sr, err := RunSuite(core.TableIConfigs(), quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := TableII(sr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.ConfigNames) != 3 {
+		t.Fatalf("Table II defaults to 3 configurations")
+	}
+	for b := range d.I {
+		for i := range d.I[b] {
+			if d.I[b][i] <= 0 || d.R[b][i] <= 0 {
+				t.Fatalf("non-positive cost at [%d][%d]", b, i)
+			}
+		}
+	}
+	if _, err := TableII(sr, "missing"); err == nil {
+		t.Fatal("unknown config must error")
+	}
+	txt := d.Grid().Text()
+	if !strings.Contains(txt, "naive #I") || !strings.Contains(txt, "AVG") {
+		t.Fatalf("Table II text malformed:\n%s", txt)
+	}
+}
+
+func TestTableIII(t *testing.T) {
+	cfgs := []core.Config{core.FullCap(10), core.FullCap(20), core.FullCap(50), core.FullCap(100)}
+	sr, err := RunSuite(cfgs, quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := TableIII(sr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Caps) != 4 || d.Caps[0] != 10 || d.Caps[3] != 100 {
+		t.Fatalf("caps = %v", d.Caps)
+	}
+	// Trend: average #R must not increase as the cap loosens, and average
+	// STDEV must not decrease.
+	for c := 1; c < 4; c++ {
+		if d.AvgR[c] > d.AvgR[c-1] {
+			t.Fatalf("avg #R grew from cap %d to %d: %.1f → %.1f", d.Caps[c-1], d.Caps[c], d.AvgR[c-1], d.AvgR[c])
+		}
+		if d.AvgSD[c] < d.AvgSD[c-1]-1e-9 {
+			t.Fatalf("avg STDEV shrank as the cap loosened")
+		}
+	}
+	// Small benchmarks saturate quickly: at least one dash must appear.
+	foundDash := false
+	for b := range d.Cells {
+		for c := 1; c < 4; c++ {
+			if d.Cells[b][c].Unchanged {
+				foundDash = true
+			}
+		}
+	}
+	if !foundDash {
+		t.Log("no unchanged cells on this subset (acceptable but unusual)")
+	}
+	txt := d.Grid().Text()
+	if !strings.Contains(txt, "cap10 #I") {
+		t.Fatalf("Table III text malformed:\n%s", txt)
+	}
+
+	// Uncapped configurations are rejected.
+	srBad, err := RunSuite([]core.Config{core.Full}, quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := TableIII(srBad); err == nil {
+		t.Fatal("Table III must reject uncapped configs")
+	}
+}
+
+func TestAblationConfigs(t *testing.T) {
+	cfgs := AblationConfigs()
+	if len(cfgs) < 5 {
+		t.Fatalf("ablation should isolate every technique, got %d configs", len(cfgs))
+	}
+	names := map[string]bool{}
+	for _, c := range cfgs {
+		if names[c.Name] {
+			t.Fatalf("duplicate config name %q", c.Name)
+		}
+		names[c.Name] = true
+	}
+	sr, err := RunSuite(cfgs, Options{Benchmarks: []string{"ctrl"}, Effort: 1, Shrink: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sr.Reports[0]) != len(cfgs) {
+		t.Fatal("missing ablation reports")
+	}
+}
+
+func TestGridRendersEmptyTitle(t *testing.T) {
+	g := &Grid{Columns: []string{"a", "b"}, Rows: [][]string{{"1", "2"}}}
+	if strings.HasPrefix(g.Text(), "\n") {
+		t.Fatal("empty title must not emit a blank line")
+	}
+	if !strings.Contains(g.CSV(), "a,b") {
+		t.Fatal("CSV header missing")
+	}
+}

@@ -1,0 +1,136 @@
+package wearlevel
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestMapIsBijective(t *testing.T) {
+	f := func(nSeed uint8, steps uint16) bool {
+		n := int(nSeed%50) + 2
+		sg := NewStartGap(n, 3)
+		for s := 0; s < int(steps%200); s++ {
+			sg.OnWrite()
+		}
+		seen := make(map[int]bool, n)
+		for l := 0; l < n; l++ {
+			p := sg.Map(l)
+			if p < 0 || p > n {
+				return false
+			}
+			if p == sg.GapPosition() {
+				return false // gap holds no data
+			}
+			if seen[p] {
+				return false
+			}
+			seen[p] = true
+		}
+		return len(seen) == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGapWalksAndStartAdvances(t *testing.T) {
+	n := 4
+	sg := NewStartGap(n, 1) // move the gap on every write
+	positions := []int{sg.GapPosition()}
+	for i := 0; i < n+1; i++ {
+		sg.OnWrite()
+		positions = append(positions, sg.GapPosition())
+	}
+	// Gap: 4 →3 →2 →1 →0 →4 (wrap with start advance).
+	want := []int{4, 3, 2, 1, 0, 4}
+	for i, w := range want {
+		if positions[i] != w {
+			t.Fatalf("gap walk %v, want %v", positions, want)
+		}
+	}
+	if sg.Moves() != uint64(n+1) {
+		t.Fatalf("moves = %d", sg.Moves())
+	}
+}
+
+func TestMappingRotatesOverTime(t *testing.T) {
+	// After enough writes, logical line 0 must have visited several
+	// distinct physical lines — the essence of start-gap.
+	n := 8
+	sg := NewStartGap(n, 2)
+	seen := map[int]bool{}
+	for i := 0; i < 400; i++ {
+		seen[sg.Map(0)] = true
+		sg.OnWrite()
+	}
+	if len(seen) < n/2 {
+		t.Fatalf("logical 0 visited only %d physical lines", len(seen))
+	}
+}
+
+func TestSimulateImprovesSkewedLifetime(t *testing.T) {
+	// One scorching line, many cold ones — the compiled-program profile the
+	// paper's naive configuration produces.
+	profile := make([]uint64, 32)
+	for i := range profile {
+		profile[i] = 1
+	}
+	profile[0] = 40
+	const endurance = 20000
+	base := Baseline(profile, endurance)
+	res := Simulate(profile, endurance, 16)
+	if res.Runs <= base {
+		t.Fatalf("rotation must beat the baseline on skewed profiles: %d vs %d", res.Runs, base)
+	}
+	// Ideal gain is max/mean ≈ 40/2.2 ≈ 18×; require at least 3× here.
+	if res.Runs < 3*base {
+		t.Fatalf("rotation gain too small: %d vs baseline %d", res.Runs, base)
+	}
+	if res.CopyWrites == 0 {
+		t.Fatal("gap movement must cost copy writes")
+	}
+}
+
+func TestSimulateUniformProfileNearBaseline(t *testing.T) {
+	// Uniform wear gains nothing from rotation; the copy overhead must stay
+	// small for large psi.
+	profile := make([]uint64, 16)
+	for i := range profile {
+		profile[i] = 4
+	}
+	const endurance = 4000
+	base := Baseline(profile, endurance)
+	res := Simulate(profile, endurance, 256)
+	if res.Runs > base+base/8+2 {
+		t.Fatalf("uniform profile cannot gain much: %d vs %d", res.Runs, base)
+	}
+	if res.Runs < base-base/4 {
+		t.Fatalf("overhead too high on uniform profile: %d vs %d", res.Runs, base)
+	}
+}
+
+func TestBaselineZeroProfile(t *testing.T) {
+	if Baseline([]uint64{0, 0}, 100) != ^uint64(0) {
+		t.Fatal("zero profile must live forever")
+	}
+}
+
+func TestInvalidConfigPanics(t *testing.T) {
+	for _, c := range [][2]int{{0, 1}, {4, 0}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("NewStartGap(%d,%d) must panic", c[0], c[1])
+				}
+			}()
+			NewStartGap(c[0], uint64(c[1]))
+		}()
+	}
+	sg := NewStartGap(4, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Map out of range must panic")
+		}
+	}()
+	sg.Map(7)
+}
