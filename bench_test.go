@@ -1,7 +1,9 @@
 package plim
 
 import (
+	"context"
 	"math/rand"
+	"runtime"
 	"testing"
 
 	"plim/internal/core"
@@ -26,8 +28,9 @@ var benchSubset = []string{"div", "i2c", "bar", "ctrl"}
 // the five incremental endurance configurations).
 func BenchmarkTable1(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		sr, err := tables.RunSuite(core.TableIConfigs(), tables.Options{
+		sr, err := tables.RunSuite(context.Background(), core.TableIConfigs(), tables.Options{
 			Benchmarks: benchSubset, Shrink: benchShrink,
+			Effort: core.DefaultEffort, Workers: runtime.GOMAXPROCS(0),
 		})
 		if err != nil {
 			b.Fatal(err)
@@ -47,8 +50,9 @@ func BenchmarkTable1(b *testing.B) {
 func BenchmarkTable2(b *testing.B) {
 	cfgs := []core.Config{core.Naive, core.Rewriting, core.Full}
 	for i := 0; i < b.N; i++ {
-		sr, err := tables.RunSuite(cfgs, tables.Options{
+		sr, err := tables.RunSuite(context.Background(), cfgs, tables.Options{
 			Benchmarks: benchSubset, Shrink: benchShrink,
+			Effort: core.DefaultEffort, Workers: runtime.GOMAXPROCS(0),
 		})
 		if err != nil {
 			b.Fatal(err)
@@ -64,8 +68,9 @@ func BenchmarkTable2(b *testing.B) {
 func BenchmarkTable3(b *testing.B) {
 	cfgs := []core.Config{core.FullCap(10), core.FullCap(20), core.FullCap(50), core.FullCap(100)}
 	for i := 0; i < b.N; i++ {
-		sr, err := tables.RunSuite(cfgs, tables.Options{
+		sr, err := tables.RunSuite(context.Background(), cfgs, tables.Options{
 			Benchmarks: benchSubset, Shrink: benchShrink,
+			Effort: core.DefaultEffort, Workers: runtime.GOMAXPROCS(0),
 		})
 		if err != nil {
 			b.Fatal(err)
@@ -79,8 +84,9 @@ func BenchmarkTable3(b *testing.B) {
 // BenchmarkAblation runs the per-technique isolation table (extension).
 func BenchmarkAblation(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		sr, err := tables.RunSuite(tables.AblationConfigs(), tables.Options{
+		sr, err := tables.RunSuite(context.Background(), tables.AblationConfigs(), tables.Options{
 			Benchmarks: []string{"ctrl", "i2c"}, Shrink: benchShrink,
+			Effort: core.DefaultEffort, Workers: runtime.GOMAXPROCS(0),
 		})
 		if err != nil {
 			b.Fatal(err)

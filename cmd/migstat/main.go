@@ -1,24 +1,25 @@
 // migstat inspects and rewrites MIG netlists: it reports structural
 // statistics (nodes, depth, complement histogram — the quantities that
-// drive PLiM cost), runs either rewriting algorithm, and exports .mig or
-// Graphviz DOT.
+// drive PLiM cost), runs either rewriting algorithm through the
+// plim.Engine (Ctrl-C cancels between cycles, -v streams per-cycle
+// progress), and exports .mig or Graphviz DOT.
 //
 // Examples:
 //
 //	migstat -bench sin
 //	migstat -bench sin -rewrite alg2 -o sin_opt.mig
-//	migstat -in design.mig -rewrite alg1 -effort 3 -dot design.dot
+//	migstat -in design.mig -rewrite alg1 -effort 3 -dot design.dot -v
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 
-	"plim/internal/mig"
-	"plim/internal/rewrite"
-	"plim/internal/suite"
+	"plim"
 )
 
 func main() {
@@ -27,22 +28,34 @@ func main() {
 		inFile    = flag.String("in", "", "input .mig netlist")
 		shrink    = flag.Int("shrink", 1, "benchmark datapath shrink")
 		rw        = flag.String("rewrite", "none", "none|alg1|alg2")
-		effort    = flag.Int("effort", 5, "rewriting cycles")
+		effort    = flag.Int("effort", plim.DefaultEffort, "rewriting cycles (0 = none)")
 		outMig    = flag.String("o", "", "write the (rewritten) MIG")
 		outDot    = flag.String("dot", "", "write Graphviz DOT")
 		checkEq   = flag.Bool("check", true, "verify rewriting preserved the function")
+		verbose   = flag.Bool("v", false, "stream per-cycle progress events to stderr")
 	)
 	flag.Parse()
 
-	var m *mig.MIG
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	engOpts := []plim.Option{plim.WithEffort(*effort), plim.WithShrink(*shrink)}
+	if *verbose {
+		engOpts = append(engOpts, plim.WithProgress(func(ev plim.Event) {
+			fmt.Fprintln(os.Stderr, plim.FormatEvent(ev))
+		}))
+	}
+	eng := plim.NewEngine(engOpts...)
+
+	var m *plim.MIG
 	var err error
 	switch {
 	case *benchName != "":
-		m, err = suite.BuildScaled(*benchName, *shrink)
+		m, err = eng.Benchmark(*benchName)
 	case *inFile != "":
 		var f *os.File
 		if f, err = os.Open(*inFile); err == nil {
-			m, err = mig.Read(f)
+			m, err = plim.ReadMIG(f)
 			f.Close()
 		}
 	default:
@@ -55,20 +68,28 @@ func main() {
 	fmt.Printf("input       %s: %s\n", m.Name, m.Statistics())
 
 	out := m
+	var kind plim.RewriteKind
 	switch *rw {
 	case "none":
-	case "alg1", "alg2":
-		pipeline := rewrite.Algorithm1
-		if *rw == "alg2" {
-			pipeline = rewrite.Algorithm2
+		kind = plim.RewriteNone
+	case "alg1":
+		kind = plim.RewriteAlgorithm1
+	case "alg2":
+		kind = plim.RewriteAlgorithm2
+	default:
+		fatal(fmt.Errorf("migstat: unknown -rewrite %q", *rw))
+	}
+	if kind != plim.RewriteNone {
+		var st plim.RewriteStats
+		out, st, err = eng.Rewrite(ctx, m, kind)
+		if err != nil {
+			fatal(err)
 		}
-		var st rewrite.Stats
-		out, st = rewrite.Run(m, pipeline, *effort)
 		fmt.Printf("rewritten   %s: %s\n", *rw, out.Statistics())
 		fmt.Printf("            %d → %d nodes, depth %d → %d, %d cycles\n",
 			st.NodesBefore, st.NodesAfter, st.DepthBefore, st.DepthAfter, st.Cycles)
 		if *checkEq {
-			res, err := mig.Equivalent(m, out, 16, 1)
+			res, err := plim.Equivalent(m, out, 16, 1)
 			if err != nil {
 				fatal(err)
 			}
@@ -81,8 +102,6 @@ func main() {
 			}
 			fmt.Printf("equivalence verified %s (%d patterns)\n", mode, res.Patterns)
 		}
-	default:
-		fatal(fmt.Errorf("migstat: unknown -rewrite %q", *rw))
 	}
 
 	if *outMig != "" {

@@ -1,23 +1,25 @@
 // plimc compiles a Boolean function (one of the paper's benchmarks or a
 // .mig netlist) into a PLiM RM3 program under a chosen endurance
 // configuration, reporting the paper's #I/#R/write-distribution metrics.
+// It is built on the plim.Engine API: Ctrl-C cancels a long rewrite, and
+// -v streams per-cycle progress.
 //
 // Examples:
 //
 //	plimc -bench adder -config full
 //	plimc -bench div -config full -cap 20 -asm div.plim
-//	plimc -in design.mig -config naive -o design.bin -stats
+//	plimc -in design.mig -config naive -o design.bin -stats -v
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 
-	"plim/internal/core"
-	"plim/internal/mig"
-	"plim/internal/suite"
+	"plim"
 )
 
 func main() {
@@ -26,18 +28,19 @@ func main() {
 		inFile    = flag.String("in", "", "input .mig netlist (alternative to -bench)")
 		cfgName   = flag.String("config", "full", "configuration: naive|compiler21|minwrite|rewriting|full")
 		cap       = flag.Uint64("cap", 0, "maximum write count per device (0 = unlimited)")
-		effort    = flag.Int("effort", core.DefaultEffort, "MIG rewriting cycles")
+		effort    = flag.Int("effort", plim.DefaultEffort, "MIG rewriting cycles (0 = none)")
 		shrink    = flag.Int("shrink", 1, "divide benchmark datapath widths (quick runs)")
 		outBin    = flag.String("o", "", "write the compiled program in binary form")
 		outAsm    = flag.String("asm", "", "write the compiled program as assembly")
 		list      = flag.Bool("list", false, "list benchmarks and exit")
 		showStats = flag.Bool("stats", true, "print compilation statistics")
+		verbose   = flag.Bool("v", false, "stream progress events to stderr")
 	)
 	flag.Parse()
 
 	if *list {
-		for _, n := range suite.Names() {
-			info, _ := suite.Get(n)
+		for _, n := range plim.Benchmarks() {
+			info, _ := plim.LookupBenchmark(n)
 			kind := "functional"
 			if info.Synthetic {
 				kind = "synthetic"
@@ -47,7 +50,18 @@ func main() {
 		return
 	}
 
-	m, err := loadMIG(*benchName, *inFile, *shrink)
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	engOpts := []plim.Option{plim.WithEffort(*effort), plim.WithShrink(*shrink)}
+	if *verbose {
+		engOpts = append(engOpts, plim.WithProgress(func(ev plim.Event) {
+			fmt.Fprintln(os.Stderr, plim.FormatEvent(ev))
+		}))
+	}
+	eng := plim.NewEngine(engOpts...)
+
+	m, err := loadMIG(eng, *benchName, *inFile)
 	if err != nil {
 		fatal(err)
 	}
@@ -55,14 +69,14 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	rep, err := core.Run(m, cfg, *effort)
+	rep, err := eng.Run(ctx, m, cfg)
 	if err != nil {
 		fatal(err)
 	}
 	if *showStats {
 		fmt.Printf("function    %s (pi=%d po=%d maj=%d)\n", m.Name, m.NumPIs(), m.NumPOs(), m.Statistics().MajNodes)
 		fmt.Printf("config      %s\n", cfg.Name)
-		if cfg.Rewrite != core.RewriteNone {
+		if cfg.Rewrite != plim.RewriteNone {
 			fmt.Printf("rewriting   %d → %d nodes in %d cycles\n",
 				rep.Rewrite.NodesBefore, rep.Rewrite.NodesAfter, rep.Rewrite.Cycles)
 		}
@@ -83,36 +97,36 @@ func main() {
 	}
 }
 
-func loadMIG(bench, file string, shrink int) (*mig.MIG, error) {
+func loadMIG(eng *plim.Engine, bench, file string) (*plim.MIG, error) {
 	switch {
 	case bench != "" && file != "":
 		return nil, fmt.Errorf("plimc: use either -bench or -in, not both")
 	case bench != "":
-		return suite.BuildScaled(bench, shrink)
+		return eng.Benchmark(bench)
 	case file != "":
 		f, err := os.Open(file)
 		if err != nil {
 			return nil, err
 		}
 		defer f.Close()
-		return mig.Read(f)
+		return plim.ReadMIG(f)
 	}
 	return nil, fmt.Errorf("plimc: need -bench or -in (try -list)")
 }
 
-func configByName(name string, cap uint64) (core.Config, error) {
-	var cfg core.Config
+func configByName(name string, cap uint64) (plim.Config, error) {
+	var cfg plim.Config
 	switch name {
 	case "naive":
-		cfg = core.Naive
+		cfg = plim.Naive
 	case "compiler21":
-		cfg = core.Compiler21
+		cfg = plim.Compiler21
 	case "minwrite":
-		cfg = core.MinWrite
+		cfg = plim.MinWrite
 	case "rewriting":
-		cfg = core.Rewriting
+		cfg = plim.Rewriting
 	case "full":
-		cfg = core.Full
+		cfg = plim.Full
 	default:
 		return cfg, fmt.Errorf("plimc: unknown config %q", name)
 	}

@@ -1,7 +1,7 @@
 // plimrun executes a compiled PLiM program on the RRAM crossbar simulator.
 // It can load binary or assembly programs, drive them with given or random
 // inputs, verify outputs against a reference .mig netlist, and render the
-// wear map of the array.
+// wear map of the array. Everything runs through the public plim facade.
 //
 // Examples:
 //
@@ -17,10 +17,7 @@ import (
 	"os"
 	"strings"
 
-	"plim/internal/isa"
-	"plim/internal/mig"
-	"plim/internal/rram"
-	"plim/internal/stats"
+	"plim"
 )
 
 func main() {
@@ -48,13 +45,13 @@ func main() {
 
 	rng := rand.New(rand.NewSource(*seed))
 
-	var ref *mig.MIG
+	var ref *plim.MIG
 	if *verify != "" {
 		f, err := os.Open(*verify)
 		if err != nil {
 			fatal(err)
 		}
-		ref, err = mig.Read(f)
+		ref, err = plim.ReadMIG(f)
 		f.Close()
 		if err != nil {
 			fatal(err)
@@ -70,14 +67,16 @@ func main() {
 		fatal(fmt.Errorf("plimrun: provide -inputs, -random or -verify"))
 	}
 
-	var opts []rram.Option
-	if *endurance > 0 {
-		opts = append(opts, rram.WithEndurance(*endurance))
+	execute := func(in []bool) ([]bool, *plim.Crossbar, error) {
+		if *endurance > 0 {
+			return plim.ExecuteWithEndurance(prog, in, *endurance)
+		}
+		return plim.Execute(prog, in)
 	}
 
-	var lastXbar *rram.Crossbar
+	var lastXbar *plim.Crossbar
 	for i, in := range runs {
-		out, xbar, err := isa.Execute(prog, in, opts...)
+		out, xbar, err := execute(in)
 		lastXbar = xbar
 		if err != nil {
 			fatal(fmt.Errorf("plimrun: run %d: %w", i, err))
@@ -95,7 +94,7 @@ func main() {
 	}
 	if lastXbar != nil {
 		counts := lastXbar.WriteCounts(int(prog.NumCells))
-		s := stats.Summarize(counts)
+		s := plim.SummarizeWrites(counts)
 		fmt.Printf("writes      min=%d max=%d stdev=%.2f (per execution)\n", s.Min, s.Max, s.StdDev)
 		if *wearmap {
 			fmt.Println("wear map (0-9 relative, '.' = untouched):")
@@ -104,16 +103,16 @@ func main() {
 	}
 }
 
-func loadProgram(path string) (*isa.Program, error) {
+func loadProgram(path string) (*plim.Program, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
 	}
 	defer f.Close()
 	if strings.HasSuffix(path, ".plim") || strings.HasSuffix(path, ".asm") {
-		return isa.ReadAsm(f)
+		return plim.ReadProgramAsm(f)
 	}
-	return isa.ReadBinary(f)
+	return plim.ReadProgram(f)
 }
 
 func buildRuns(inputs string, random, patterns int, verifying bool, npi int, rng *rand.Rand) [][]bool {
@@ -147,7 +146,7 @@ func buildRuns(inputs string, random, patterns int, verifying bool, npi int, rng
 	return runs
 }
 
-func check(ref *mig.MIG, in, out []bool) error {
+func check(ref *plim.MIG, in, out []bool) error {
 	words := make([]uint64, len(in))
 	for i, b := range in {
 		if b {

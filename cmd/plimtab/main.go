@@ -7,38 +7,61 @@
 //	plimtab -table all -format md    everything, Markdown (EXPERIMENTS.md)
 //
 // Flags select benchmarks, rewriting effort, output format and a datapath
-// shrink factor for quick runs.
+// shrink factor for quick runs. The suite runs on a plim.Engine: Ctrl-C
+// cancels between benchmarks, and -v streams per-benchmark and per-cycle
+// progress events.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
+	"runtime"
 	"strings"
 	"time"
 
-	"plim/internal/core"
-	"plim/internal/tables"
+	"plim"
 )
 
 func main() {
 	var (
 		table   = flag.String("table", "all", "1|2|3|ablation|all")
 		benches = flag.String("benchmarks", "", "comma-separated subset (default: all 18)")
-		effort  = flag.Int("effort", core.DefaultEffort, "MIG rewriting cycles")
+		effort  = flag.Int("effort", plim.DefaultEffort, "MIG rewriting cycles (0 = none)")
 		shrink  = flag.Int("shrink", 1, "divide datapath widths (quick runs)")
 		format  = flag.String("format", "text", "text|md|csv")
 		outFile = flag.String("out", "", "write to file instead of stdout")
-		workers = flag.Int("workers", 0, "parallel benchmark workers (0 = GOMAXPROCS)")
+		workers = flag.Int("workers", runtime.GOMAXPROCS(0), "parallel benchmark workers")
 		caps    = flag.String("caps", "10,20,50,100", "write caps for Table III")
 		quiet   = flag.Bool("q", false, "suppress progress output")
+		verbose = flag.Bool("v", false, "stream per-benchmark progress events to stderr")
 	)
 	flag.Parse()
 
-	opts := tables.Options{Effort: *effort, Shrink: *shrink, Workers: *workers}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	engOpts := []plim.Option{
+		plim.WithEffort(*effort),
+		plim.WithShrink(*shrink),
+		plim.WithWorkers(*workers),
+	}
+	if *verbose && !*quiet {
+		engOpts = append(engOpts, plim.WithProgress(func(ev plim.Event) {
+			if _, isCycle := ev.(plim.EventRewriteCycle); isCycle {
+				return // per-cycle spam is only useful for single runs; see plimc -v
+			}
+			fmt.Fprintln(os.Stderr, plim.FormatEvent(ev))
+		}))
+	}
+	eng := plim.NewEngine(engOpts...)
+
+	var names []string
 	if *benches != "" {
-		opts.Benchmarks = strings.Split(*benches, ",")
+		names = strings.Split(*benches, ",")
 	}
 
 	out := io.Writer(os.Stdout)
@@ -51,7 +74,7 @@ func main() {
 		out = f
 	}
 
-	render := func(g *tables.Grid) {
+	render := func(g *plim.Grid) {
 		switch *format {
 		case "text":
 			fmt.Fprintln(out, g.Text())
@@ -74,19 +97,19 @@ func main() {
 
 	if want("1") || want("2") {
 		progress("running Table I/II configurations...")
-		sr, err := tables.RunSuite(core.TableIConfigs(), opts)
+		sr, err := eng.RunSuite(ctx, plim.TableIConfigs(), names...)
 		if err != nil {
 			fatal(err)
 		}
 		if want("1") {
-			d, err := tables.TableI(sr)
+			d, err := plim.TableI(sr)
 			if err != nil {
 				fatal(err)
 			}
 			render(d.Grid())
 		}
 		if want("2") {
-			d, err := tables.TableII(sr)
+			d, err := plim.TableII(sr)
 			if err != nil {
 				fatal(err)
 			}
@@ -96,19 +119,19 @@ func main() {
 
 	if want("3") {
 		progress("running Table III cap sweep...")
-		var cfgs []core.Config
+		var cfgs []plim.Config
 		for _, c := range strings.Split(*caps, ",") {
 			var w uint64
 			if _, err := fmt.Sscanf(strings.TrimSpace(c), "%d", &w); err != nil {
 				fatal(fmt.Errorf("plimtab: bad cap %q", c))
 			}
-			cfgs = append(cfgs, core.FullCap(w))
+			cfgs = append(cfgs, plim.FullCap(w))
 		}
-		sr, err := tables.RunSuite(cfgs, opts)
+		sr, err := eng.RunSuite(ctx, cfgs, names...)
 		if err != nil {
 			fatal(err)
 		}
-		d, err := tables.TableIII(sr)
+		d, err := plim.TableIII(sr)
 		if err != nil {
 			fatal(err)
 		}
@@ -117,11 +140,11 @@ func main() {
 
 	if want("ablation") {
 		progress("running ablation configurations...")
-		sr, err := tables.RunSuite(tables.AblationConfigs(), opts)
+		sr, err := eng.RunSuite(ctx, plim.AblationConfigs(), names...)
 		if err != nil {
 			fatal(err)
 		}
-		d, err := tables.TableI(sr)
+		d, err := plim.TableI(sr)
 		if err != nil {
 			fatal(err)
 		}

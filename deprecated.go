@@ -1,0 +1,40 @@
+package plim
+
+import (
+	"context"
+	"runtime"
+
+	"plim/internal/core"
+	"plim/internal/tables"
+)
+
+// Run rewrites and compiles m under the given configuration.
+//
+// Deprecated: use Engine.Run, which adds cancellation and progress
+// reporting. Run(m, cfg, effort) is equivalent to
+// NewEngine(WithEffort(effort)).Run(context.Background(), m, cfg) and
+// produces identical output.
+func Run(m *MIG, cfg Config, effort int) (*Report, error) {
+	return core.Run(context.Background(), m, cfg, effort, nil)
+}
+
+// RunSuite evaluates configurations over the benchmark suite. For
+// backwards compatibility, zero-valued fields of opts fall back to the
+// historical defaults (Effort → DefaultEffort, Shrink → 1, Workers →
+// GOMAXPROCS) — which makes Effort 0 inexpressible here.
+//
+// Deprecated: use Engine.RunSuite, whose options are explicit
+// (WithEffort(0) really runs zero rewriting cycles) and which supports
+// cancellation and progress streaming.
+func RunSuite(cfgs []Config, opts SuiteOptions) (*SuiteResult, error) {
+	if opts.Effort == 0 {
+		opts.Effort = DefaultEffort
+	}
+	if opts.Shrink == 0 {
+		opts.Shrink = 1
+	}
+	if opts.Workers == 0 {
+		opts.Workers = runtime.GOMAXPROCS(0)
+	}
+	return tables.RunSuite(context.Background(), cfgs, opts)
+}

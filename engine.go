@@ -1,0 +1,184 @@
+package plim
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+
+	"plim/internal/core"
+	"plim/internal/progress"
+	"plim/internal/suite"
+	"plim/internal/tables"
+)
+
+// Engine is the primary entry point of the package: a reusable, configured
+// compilation flow. An Engine is built once with functional options and may
+// then run any number of functions, configurations or whole benchmark
+// suites concurrently:
+//
+//	eng := plim.NewEngine(
+//		plim.WithEffort(5),
+//		plim.WithWorkers(8),
+//		plim.WithProgress(func(ev plim.Event) { log.Println(plim.FormatEvent(ev)) }),
+//	)
+//	rep, err := eng.Run(ctx, m, plim.Full)
+//
+// Every method takes a context.Context; cancellation is honoured between
+// rewrite cycles, between configurations and between suite jobs. Unlike the
+// deprecated free functions, option values are explicit: WithEffort(0)
+// really runs zero rewriting cycles, and WithWorkers(1) really serializes a
+// suite (which also makes progress-event order deterministic).
+type Engine struct {
+	effort   int
+	workers  int
+	shrink   int
+	progress progress.Func
+	mu       sync.Mutex // serializes progress delivery
+	err      error      // first invalid option; surfaced by every method
+}
+
+// Option configures an Engine at construction time.
+type Option func(*Engine)
+
+// NewEngine returns an Engine with the paper's defaults — effort
+// DefaultEffort (5), workers GOMAXPROCS, shrink 1 (paper scale), no
+// progress reporting — overridden by the given options. An invalid option
+// does not panic; it is reported by the first Engine method call.
+func NewEngine(opts ...Option) *Engine {
+	e := &Engine{
+		effort:  DefaultEffort,
+		workers: runtime.GOMAXPROCS(0),
+		shrink:  1,
+	}
+	for _, opt := range opts {
+		opt(e)
+	}
+	return e
+}
+
+func (e *Engine) fail(err error) {
+	if e.err == nil {
+		e.err = err
+	}
+}
+
+// WithEffort sets the MIG-rewriting cycle budget. 0 disables rewriting
+// cycles entirely; negative values are invalid.
+func WithEffort(cycles int) Option {
+	return func(e *Engine) {
+		if cycles < 0 {
+			e.fail(fmt.Errorf("plim: WithEffort(%d): effort must be ≥ 0", cycles))
+			return
+		}
+		e.effort = cycles
+	}
+}
+
+// WithWorkers bounds suite parallelism; it must be ≥ 1. One worker makes
+// suite runs (and their progress events) fully sequential.
+func WithWorkers(n int) Option {
+	return func(e *Engine) {
+		if n < 1 {
+			e.fail(fmt.Errorf("plim: WithWorkers(%d): need at least one worker", n))
+			return
+		}
+		e.workers = n
+	}
+}
+
+// WithShrink divides benchmark datapath widths for quick runs; it must be
+// ≥ 1 (1 = paper scale). It affects Engine.Benchmark and Engine.RunSuite.
+func WithShrink(s int) Option {
+	return func(e *Engine) {
+		if s < 1 {
+			e.fail(fmt.Errorf("plim: WithShrink(%d): shrink must be ≥ 1", s))
+			return
+		}
+		e.shrink = s
+	}
+}
+
+// WithProgress installs a progress callback. The engine serializes
+// delivery: fn is never invoked concurrently, even during parallel suite
+// runs. fn must not block for long — it runs on the worker's critical path.
+func WithProgress(fn func(Event)) Option {
+	return func(e *Engine) { e.progress = progress.Func(fn) }
+}
+
+// observer wraps the user callback with the engine's delivery lock.
+func (e *Engine) observer() progress.Func {
+	if e.progress == nil {
+		return nil
+	}
+	return func(ev progress.Event) {
+		e.mu.Lock()
+		defer e.mu.Unlock()
+		e.progress(ev)
+	}
+}
+
+// Effort reports the engine's rewriting cycle budget.
+func (e *Engine) Effort() int { return e.effort }
+
+// Workers reports the engine's suite parallelism bound.
+func (e *Engine) Workers() int { return e.workers }
+
+// Shrink reports the engine's benchmark datapath divisor.
+func (e *Engine) Shrink() int { return e.shrink }
+
+// Run rewrites and compiles m under the given configuration. The input MIG
+// is not modified. Cancellation is honoured between rewrite cycles; on
+// cancellation the error is ctx.Err().
+func (e *Engine) Run(ctx context.Context, m *MIG, cfg Config) (*Report, error) {
+	if e.err != nil {
+		return nil, e.err
+	}
+	return core.Run(ctx, m, cfg, e.effort, e.observer())
+}
+
+// RunAll runs several configurations on the same function, in order.
+func (e *Engine) RunAll(ctx context.Context, m *MIG, cfgs []Config) ([]*Report, error) {
+	if e.err != nil {
+		return nil, e.err
+	}
+	return core.RunAll(ctx, m, cfgs, e.effort, e.observer())
+}
+
+// RunSuite evaluates every configuration on every named benchmark (all 18
+// when none are named). Benchmarks run on the engine's worker pool at the
+// engine's shrink; progress events report per-benchmark start/done and
+// per-cycle rewriting. On cancellation RunSuite stops dispatching jobs and
+// returns ctx.Err() once in-flight jobs reach their next cancellation
+// point.
+func (e *Engine) RunSuite(ctx context.Context, cfgs []Config, benchmarks ...string) (*SuiteResult, error) {
+	if e.err != nil {
+		return nil, e.err
+	}
+	return tables.RunSuite(ctx, cfgs, tables.Options{
+		Benchmarks: benchmarks,
+		Effort:     e.effort,
+		Shrink:     e.shrink,
+		Workers:    e.workers,
+		Progress:   e.observer(),
+	})
+}
+
+// Rewrite applies one of the MIG rewriting algorithms with the engine's
+// effort, without compiling. RewriteNone merely drops dangling nodes (its
+// stats report the node counts with zero cycles). The input MIG is not
+// modified.
+func (e *Engine) Rewrite(ctx context.Context, m *MIG, kind RewriteKind) (*MIG, RewriteStats, error) {
+	if e.err != nil {
+		return nil, RewriteStats{}, e.err
+	}
+	return core.Rewrite(ctx, m, kind, e.effort, e.observer(), "")
+}
+
+// Benchmark builds one of the paper's benchmarks at the engine's shrink.
+func (e *Engine) Benchmark(name string) (*MIG, error) {
+	if e.err != nil {
+		return nil, e.err
+	}
+	return suite.BuildScaled(name, e.shrink)
+}

@@ -1,0 +1,45 @@
+package plim
+
+import (
+	"fmt"
+
+	"plim/internal/progress"
+)
+
+// Event is a typed progress notification delivered to WithProgress
+// callbacks. The concrete types are EventRewriteCycle, EventBenchmarkStart
+// and EventBenchmarkDone; switch on them for structured consumption or use
+// FormatEvent for a ready-made one-line rendering.
+type Event = progress.Event
+
+// EventRewriteCycle reports one completed MIG-rewriting cycle of a Run,
+// RunAll, RunSuite or Rewrite call.
+type EventRewriteCycle = progress.RewriteCycle
+
+// EventBenchmarkStart reports that a RunSuite job began.
+type EventBenchmarkStart = progress.BenchmarkStart
+
+// EventBenchmarkDone reports that a RunSuite job finished.
+type EventBenchmarkDone = progress.BenchmarkDone
+
+// FormatEvent renders an event as a stable one-line human-readable string,
+// as printed by the CLIs under -v.
+func FormatEvent(ev Event) string {
+	switch ev := ev.(type) {
+	case EventRewriteCycle:
+		who := ev.Function
+		if ev.Config != "" {
+			who += "/" + ev.Config
+		}
+		return fmt.Sprintf("rewrite %s: cycle %d/%d, %d nodes", who, ev.Cycle, ev.Effort, ev.Nodes)
+	case EventBenchmarkStart:
+		return fmt.Sprintf("bench %s (%d/%d): start", ev.Benchmark, ev.Index+1, ev.Total)
+	case EventBenchmarkDone:
+		status := "done"
+		if ev.Err != nil {
+			status = "FAILED: " + ev.Err.Error()
+		}
+		return fmt.Sprintf("bench %s (%d/%d): %s in %v", ev.Benchmark, ev.Index+1, ev.Total, status, ev.Elapsed.Round(1e6))
+	}
+	return fmt.Sprintf("unknown event %T", ev)
+}

@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -40,13 +41,15 @@ func main() {
 	fmt.Println("Fig. 1: single-fanout chains concentrate writes (naive compilation)")
 	fmt.Println()
 	fmt.Printf("%8s  %12s  %12s  %12s\n", "depth", "naive max", "cap10 max", "cap10 #R")
+	ctx := context.Background()
+	eng := plim.NewEngine()
 	for _, depth := range []int{4, 16, 64, 256} {
 		m := chain(depth)
-		naive, err := plim.Run(m, plim.Naive, 0)
+		naive, err := eng.Run(ctx, m, plim.Naive)
 		if err != nil {
 			log.Fatal(err)
 		}
-		capped, err := plim.Run(m, plim.FullCap(10), plim.DefaultEffort)
+		capped, err := eng.Run(ctx, m, plim.FullCap(10))
 		if err != nil {
 			log.Fatal(err)
 		}

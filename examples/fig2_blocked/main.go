@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -41,8 +42,12 @@ func main() {
 	fmt.Println("computes, while B's and C's devices are recycled early.")
 	fmt.Println()
 
+	// WithEffort(0) is now directly expressible: the selection effect shows
+	// up without any rewriting cycles touching the graph.
+	ctx := context.Background()
+	raw := plim.NewEngine(plim.WithEffort(0))
 	for _, cfg := range []plim.Config{plim.Compiler21, plim.Full} {
-		rep, err := plim.Run(m, cfg, 0)
+		rep, err := raw.Run(ctx, m, cfg)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -86,8 +91,9 @@ func main() {
 
 	fmt.Println()
 	fmt.Println("Scaled up (24 blocked regions):")
+	eng := plim.NewEngine()
 	for _, cfg := range []plim.Config{plim.Compiler21, plim.MinWrite, plim.Full} {
-		rep, err := plim.Run(big, cfg, plim.DefaultEffort)
+		rep, err := eng.Run(ctx, big, cfg)
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -20,8 +21,9 @@ func main() {
 	fmt.Printf("%-12s  %10s  %10s  %10s | %10s  %10s  %10s\n",
 		"benchmark", "IMP ops", "IMP max", "IMP stdev", "RM3 #I", "RM3 max", "RM3 stdev")
 
+	eng := plim.NewEngine()
 	for _, name := range []string{"ctrl", "cavlc", "int2float", "dec", "router"} {
-		m, err := plim.Benchmark(name)
+		m, err := eng.Benchmark(name)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -40,7 +42,7 @@ func main() {
 		}
 		impStats := stats.Summarize(impWrites)
 
-		rep, err := plim.Run(m, plim.Full, plim.DefaultEffort)
+		rep, err := eng.Run(context.Background(), m, plim.Full)
 		if err != nil {
 			log.Fatal(err)
 		}

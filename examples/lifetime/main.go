@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -16,7 +17,8 @@ import (
 func main() {
 	const endurance = 2000
 
-	m, err := plim.BenchmarkScaled("cavlc", 1)
+	eng := plim.NewEngine()
+	m, err := eng.Benchmark("cavlc")
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -29,7 +31,7 @@ func main() {
 	fmt.Printf("%-11s  %9s  %9s  %12s  %12s\n", "config", "max/run", "predicted", "simulated", "agreement")
 
 	for _, cfg := range []plim.Config{plim.Naive, plim.MinWrite, plim.Full, plim.FullCap(10)} {
-		rep, err := plim.Run(m, cfg, plim.DefaultEffort)
+		rep, err := eng.Run(context.Background(), m, cfg)
 		if err != nil {
 			log.Fatal(err)
 		}

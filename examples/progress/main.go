@@ -1,0 +1,59 @@
+// Progress streaming and cancellation: the two capabilities the Engine API
+// adds over the legacy free functions. A small suite runs with a live
+// event stream, then the same suite is started again under a context that
+// is cancelled after the first benchmark — the run stops promptly between
+// jobs instead of grinding through the rest of the suite.
+package main
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"log"
+	"time"
+
+	"plim"
+)
+
+func main() {
+	benches := []string{"ctrl", "int2float", "dec", "router"}
+
+	// Part 1: stream typed progress events. One worker keeps the event
+	// order deterministic: start → rewrite cycles → done, benchmark by
+	// benchmark.
+	fmt.Println("streaming a 4-benchmark suite (1 worker, effort 2, shrink 4):")
+	eng := plim.NewEngine(
+		plim.WithEffort(2),
+		plim.WithShrink(4),
+		plim.WithWorkers(1),
+		plim.WithProgress(func(ev plim.Event) {
+			fmt.Println("  " + plim.FormatEvent(ev))
+		}),
+	)
+	sr, err := eng.RunSuite(context.Background(), plim.TableIConfigs(), benches...)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("suite done: %d benchmarks × %d configs\n\n", len(sr.Benchmarks), len(sr.Configs))
+
+	// Part 2: cancel mid-suite. The progress callback pulls the plug as
+	// soon as the first benchmark finishes; the engine stops dispatching
+	// and surfaces context.Canceled.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	cancelling := plim.NewEngine(
+		plim.WithEffort(2),
+		plim.WithShrink(4),
+		plim.WithWorkers(1),
+		plim.WithProgress(func(ev plim.Event) {
+			if done, ok := ev.(plim.EventBenchmarkDone); ok {
+				fmt.Printf("cancelling after %s\n", done.Benchmark)
+				cancel()
+			}
+		}),
+	)
+	start := time.Now()
+	_, err = cancelling.RunSuite(ctx, plim.TableIConfigs(), benches...)
+	fmt.Printf("suite aborted after %v: %v (context.Canceled: %v)\n",
+		time.Since(start).Round(time.Millisecond), err, errors.Is(err, context.Canceled))
+}

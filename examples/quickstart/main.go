@@ -4,6 +4,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -19,8 +20,10 @@ func main() {
 	b.OutputBit("ovf", carry)
 
 	// Rewrite (Algorithm 2) + compile (Algorithm 3 selection + min-write
-	// allocation) — the paper's "full" configuration.
-	rep, err := plim.Run(b.M, plim.Full, plim.DefaultEffort)
+	// allocation) — the paper's "full" configuration. The engine defaults
+	// to the paper's rewriting effort (plim.WithEffort(plim.DefaultEffort)).
+	eng := plim.NewEngine()
+	rep, err := eng.Run(context.Background(), b.M, plim.Full)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -19,7 +20,8 @@ func main() {
 		psi       = 64 // gap moves every 64 writes
 	)
 
-	m, err := plim.BenchmarkScaled("cavlc", 1)
+	eng := plim.NewEngine()
+	m, err := eng.Benchmark("cavlc")
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -27,7 +29,7 @@ func main() {
 	fmt.Printf("%-11s  %12s  %12s  %8s\n", "config", "no rotation", "start-gap", "gain")
 
 	for _, cfg := range []plim.Config{plim.Naive, plim.MinWrite, plim.Full} {
-		rep, err := plim.Run(m, cfg, plim.DefaultEffort)
+		rep, err := eng.Run(context.Background(), m, cfg)
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -4,6 +4,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -17,7 +18,9 @@ func main() {
 	endurance := flag.Uint64("endurance", 1e6, "device endurance for lifetime estimates")
 	flag.Parse()
 
-	m, err := plim.BenchmarkScaled(*bench, *shrink)
+	ctx := context.Background()
+	eng := plim.NewEngine(plim.WithShrink(*shrink))
+	m, err := eng.Benchmark(*bench)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -25,7 +28,7 @@ func main() {
 	fmt.Printf("maximum-write sweep on %s (endurance %d)\n\n", *bench, *endurance)
 	fmt.Printf("%-10s  %8s  %8s  %8s  %8s  %12s\n", "cap", "#I", "#R", "max", "STDEV", "lifetime")
 
-	baseline, err := plim.Run(m, plim.Naive, 0)
+	baseline, err := eng.Run(ctx, m, plim.Naive)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -40,7 +43,7 @@ func main() {
 			cfg = plim.FullCap(cap)
 			label = fmt.Sprintf("full+cap%d", cap)
 		}
-		rep, err := plim.Run(m, cfg, plim.DefaultEffort)
+		rep, err := eng.Run(ctx, m, cfg)
 		if err != nil {
 			log.Fatal(err)
 		}

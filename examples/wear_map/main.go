@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -17,7 +18,8 @@ func main() {
 	shrink := flag.Int("shrink", 2, "datapath shrink (1 = paper scale)")
 	flag.Parse()
 
-	m, err := plim.BenchmarkScaled(*bench, *shrink)
+	eng := plim.NewEngine(plim.WithShrink(*shrink))
+	m, err := eng.Benchmark(*bench)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -30,7 +32,7 @@ func main() {
 	}
 
 	for _, cfg := range []plim.Config{plim.Naive, plim.Full, plim.FullCap(10)} {
-		rep, err := plim.Run(m, cfg, plim.DefaultEffort)
+		rep, err := eng.Run(context.Background(), m, cfg)
 		if err != nil {
 			log.Fatal(err)
 		}

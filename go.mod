@@ -1,0 +1,3 @@
+module plim
+
+go 1.24

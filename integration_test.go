@@ -2,6 +2,7 @@ package plim
 
 import (
 	"bytes"
+	"context"
 	"math/rand"
 	"testing"
 
@@ -33,7 +34,7 @@ func TestIntegrationSuiteAllConfigs(t *testing.T) {
 				t.Fatal(err)
 			}
 			for _, cfg := range cfgs {
-				rep, err := core.Run(m, cfg, 2)
+				rep, err := core.Run(context.Background(), m, cfg, 2, nil)
 				if err != nil {
 					t.Fatalf("%s: %v", cfg.Name, err)
 				}
@@ -165,11 +166,11 @@ func TestIntegrationSerializationPipeline(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	a, err := core.Run(m, core.Full, 2)
+	a, err := core.Run(context.Background(), m, core.Full, 2, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := core.Run(m2, core.Full, 2)
+	b, err := core.Run(context.Background(), m2, core.Full, 2, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

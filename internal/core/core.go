@@ -16,11 +16,13 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"plim/internal/alloc"
 	"plim/internal/compile"
 	"plim/internal/mig"
+	"plim/internal/progress"
 	"plim/internal/rewrite"
 	"plim/internal/stats"
 )
@@ -108,20 +110,72 @@ func (r *Report) Lifetime(endurance uint64) uint64 {
 	return stats.Lifetime(r.Result.WriteCounts, endurance)
 }
 
-// Run rewrites m according to cfg (with the given effort) and compiles it.
-// The input MIG is not modified.
-func Run(m *mig.MIG, cfg Config, effort int) (*Report, error) {
-	rep := &Report{Config: cfg}
-	cur := m
-	switch cfg.Rewrite {
+// PipelineFor maps a rewrite kind onto its pass schedule. RewriteNone maps
+// to a nil pipeline.
+func PipelineFor(kind RewriteKind) ([]rewrite.Pass, error) {
+	switch kind {
 	case RewriteNone:
-		cur = m.Cleanup() // drop dangling nodes, as every config compiles live nodes only
+		return nil, nil
 	case RewriteAlgorithm1:
-		cur, rep.Rewrite = rewrite.Run(m, rewrite.Algorithm1, effort)
+		return rewrite.Algorithm1, nil
 	case RewriteAlgorithm2:
-		cur, rep.Rewrite = rewrite.Run(m, rewrite.Algorithm2, effort)
-	default:
-		return nil, fmt.Errorf("core: unknown rewrite kind %d", cfg.Rewrite)
+		return rewrite.Algorithm2, nil
+	}
+	return nil, fmt.Errorf("core: unknown rewrite kind %d", kind)
+}
+
+// Rewrite applies kind's pass schedule to m for up to effort cycles. The
+// input MIG is not modified. RewriteNone only drops dangling nodes (every
+// configuration compiles live nodes only); its stats report the node
+// counts with zero cycles. obs (which may be nil) receives a
+// progress.RewriteCycle event — tagged with cfgName, which may be empty —
+// after every completed cycle. On cancellation the MIG is nil and the
+// error is ctx.Err().
+func Rewrite(ctx context.Context, m *mig.MIG, kind RewriteKind, effort int, obs progress.Func, cfgName string) (*mig.MIG, rewrite.Stats, error) {
+	pipeline, err := PipelineFor(kind)
+	if err != nil {
+		return nil, rewrite.Stats{}, err
+	}
+	if pipeline == nil {
+		if err := ctx.Err(); err != nil {
+			return nil, rewrite.Stats{}, err
+		}
+		out := m.Cleanup()
+		st := rewrite.Stats{
+			NodesBefore:    m.Statistics().MajNodes,
+			NodesAfter:     out.Statistics().MajNodes,
+			CompHistBefore: m.ComplementHistogram(),
+			CompHistAfter:  out.ComplementHistogram(),
+		}
+		_, st.DepthBefore = m.Levels()
+		_, st.DepthAfter = out.Levels()
+		return out, st, nil
+	}
+	return rewrite.RunContext(ctx, m, pipeline, effort, func(cycle, nodes int) {
+		obs.Emit(progress.RewriteCycle{
+			Function: m.Name, Config: cfgName,
+			Cycle: cycle, Effort: effort, Nodes: nodes,
+		})
+	})
+}
+
+// Run rewrites m according to cfg (with the given effort) and compiles it.
+// The input MIG is not modified. Cancellation is checked on entry, between
+// rewrite cycles and before compilation; on cancellation the error is
+// ctx.Err(). obs (which may be nil) receives a progress.RewriteCycle event
+// after every completed rewrite cycle.
+func Run(ctx context.Context, m *mig.MIG, cfg Config, effort int, obs progress.Func) (*Report, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	rep := &Report{Config: cfg}
+	cur, st, err := Rewrite(ctx, m, cfg.Rewrite, effort, obs, cfg.Name)
+	if err != nil {
+		return nil, err
+	}
+	rep.Rewrite = st
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 	res, err := compile.Compile(cur, compile.Options{
 		Selection: cfg.Selection,
@@ -136,11 +190,12 @@ func Run(m *mig.MIG, cfg Config, effort int) (*Report, error) {
 	return rep, nil
 }
 
-// RunAll runs several configurations on the same function.
-func RunAll(m *mig.MIG, cfgs []Config, effort int) ([]*Report, error) {
+// RunAll runs several configurations on the same function, checking
+// cancellation between configurations.
+func RunAll(ctx context.Context, m *mig.MIG, cfgs []Config, effort int, obs progress.Func) ([]*Report, error) {
 	out := make([]*Report, len(cfgs))
 	for i, cfg := range cfgs {
-		rep, err := Run(m, cfg, effort)
+		rep, err := Run(ctx, m, cfg, effort, obs)
 		if err != nil {
 			return nil, err
 		}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math/rand"
 	"strings"
 	"testing"
@@ -66,7 +67,7 @@ func TestRunPreservesFunctionAcrossConfigs(t *testing.T) {
 	m := randomMIG("f", 8, 120, 8, 11)
 	cfgs := append(TableIConfigs(), FullCap(10), FullCap(50))
 	for _, cfg := range cfgs {
-		rep, err := Run(m, cfg, DefaultEffort)
+		rep, err := Run(context.Background(), m, cfg, DefaultEffort, nil)
 		if err != nil {
 			t.Fatalf("%s: %v", cfg.Name, err)
 		}
@@ -84,7 +85,7 @@ func TestRunPreservesFunctionAcrossConfigs(t *testing.T) {
 
 func TestRunAllOrdersReports(t *testing.T) {
 	m := randomMIG("f", 6, 60, 4, 5)
-	reps, err := RunAll(m, TableIConfigs(), 2)
+	reps, err := RunAll(context.Background(), m, TableIConfigs(), 2, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -105,11 +106,11 @@ func TestPaperTrendOnRandomControl(t *testing.T) {
 	var naiveSD, fullSD, naiveI, fullI float64
 	for seed := int64(1); seed <= 5; seed++ {
 		m := randomMIG("ctrl-like", 10, 300, 12, seed)
-		naive, err := Run(m, Naive, DefaultEffort)
+		naive, err := Run(context.Background(), m, Naive, DefaultEffort, nil)
 		if err != nil {
 			t.Fatal(err)
 		}
-		full, err := Run(m, Full, DefaultEffort)
+		full, err := Run(context.Background(), m, Full, DefaultEffort, nil)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -128,11 +129,11 @@ func TestPaperTrendOnRandomControl(t *testing.T) {
 
 func TestCapImprovesBalanceAtCost(t *testing.T) {
 	m := randomMIG("f", 10, 300, 10, 9)
-	uncapped, err := Run(m, Full, DefaultEffort)
+	uncapped, err := Run(context.Background(), m, Full, DefaultEffort, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
-	capped, err := Run(m, FullCap(10), DefaultEffort)
+	capped, err := Run(context.Background(), m, FullCap(10), DefaultEffort, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -150,7 +151,7 @@ func TestCapImprovesBalanceAtCost(t *testing.T) {
 
 func TestLifetimeAccessor(t *testing.T) {
 	m := randomMIG("f", 6, 40, 4, 2)
-	rep, err := Run(m, Full, 2)
+	rep, err := Run(context.Background(), m, Full, 2, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,53 @@
+// Package progress defines the typed progress events emitted by the
+// long-running parts of the flow — MIG rewriting and benchmark-suite runs —
+// and the callback type that receives them. The public facade re-exports
+// the event types (plim.Event*, plim.WithProgress); internal packages emit
+// them through a Func threaded down from the caller.
+package progress
+
+import "time"
+
+// Event is a progress notification. The concrete types are RewriteCycle,
+// BenchmarkStart and BenchmarkDone.
+type Event interface{ event() }
+
+// Func receives progress events. A nil Func discards them. Unless the
+// caller says otherwise (plim.Engine serializes), a Func may be invoked
+// concurrently from worker goroutines.
+type Func func(Event)
+
+// Emit delivers ev unless f is nil.
+func (f Func) Emit(ev Event) {
+	if f != nil {
+		f(ev)
+	}
+}
+
+// RewriteCycle reports one completed MIG-rewriting cycle.
+type RewriteCycle struct {
+	Function string // name of the MIG being rewritten
+	Config   string // configuration name, "" outside a configuration run
+	Cycle    int    // 1-based index of the completed cycle
+	Effort   int    // total cycle budget
+	Nodes    int    // majority nodes after the cycle
+}
+
+// BenchmarkStart reports that a suite job began building and compiling.
+type BenchmarkStart struct {
+	Benchmark string
+	Index     int // position in the suite's benchmark list
+	Total     int // number of benchmarks in the run
+}
+
+// BenchmarkDone reports that a suite job finished (Err != nil on failure).
+type BenchmarkDone struct {
+	Benchmark string
+	Index     int
+	Total     int
+	Elapsed   time.Duration
+	Err       error
+}
+
+func (RewriteCycle) event()   {}
+func (BenchmarkStart) event() {}
+func (BenchmarkDone) event()  {}

@@ -29,6 +29,8 @@
 package rewrite
 
 import (
+	"context"
+
 	"plim/internal/mig"
 )
 
@@ -100,8 +102,18 @@ type Stats struct {
 // Run applies the pipeline for up to effort cycles (the paper uses
 // effort = 5) and returns the rewritten MIG together with statistics. The
 // input MIG is not modified. Rewriting stops early when a full cycle reaches
-// a fixpoint.
+// a fixpoint. Run cannot be cancelled; use RunContext for that.
 func Run(m *mig.MIG, pipeline []Pass, effort int) (*mig.MIG, Stats) {
+	out, st, _ := RunContext(context.Background(), m, pipeline, effort, nil)
+	return out, st
+}
+
+// RunContext is Run with cooperative cancellation and per-cycle progress.
+// Cancellation is checked between cycles (one cycle is the atomic unit of
+// work); on cancellation the MIG result is nil and the error is ctx.Err().
+// After every completed cycle onCycle (if non-nil) receives the 1-based
+// cycle index and the current majority-node count.
+func RunContext(ctx context.Context, m *mig.MIG, pipeline []Pass, effort int, onCycle func(cycle, nodes int)) (*mig.MIG, Stats, error) {
 	st := Stats{
 		NodesBefore:    m.Statistics().MajNodes,
 		CompHistBefore: m.ComplementHistogram(),
@@ -109,12 +121,18 @@ func Run(m *mig.MIG, pipeline []Pass, effort int) (*mig.MIG, Stats) {
 	_, st.DepthBefore = m.Levels()
 	cur := m
 	for cycle := 0; cycle < effort; cycle++ {
+		if err := ctx.Err(); err != nil {
+			return nil, st, err
+		}
 		before := fingerprint(cur)
 		for _, p := range pipeline {
 			cur = applyPass(cur, p)
 		}
 		cur = cur.Cleanup()
 		st.Cycles = cycle + 1
+		if onCycle != nil {
+			onCycle(st.Cycles, cur.NumMaj())
+		}
 		if fingerprint(cur) == before {
 			break
 		}
@@ -122,7 +140,7 @@ func Run(m *mig.MIG, pipeline []Pass, effort int) (*mig.MIG, Stats) {
 	st.NodesAfter = cur.Statistics().MajNodes
 	st.CompHistAfter = cur.ComplementHistogram()
 	_, st.DepthAfter = cur.Levels()
-	return cur, st
+	return cur, st, nil
 }
 
 // fingerprint summarizes a graph cheaply; equal fingerprints across a cycle

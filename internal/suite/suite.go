@@ -425,10 +425,3 @@ func onlySinks(m *mig.MIG, ns []mig.NodeID) []mig.NodeID {
 	}
 	return out
 }
-
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
-}

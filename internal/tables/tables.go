@@ -10,13 +10,16 @@
 package tables
 
 import (
+	"context"
+	"errors"
 	"fmt"
-	"runtime"
 	"sync"
+	"time"
 
 	"plim/internal/alloc"
 	"plim/internal/compile"
 	"plim/internal/core"
+	"plim/internal/progress"
 	"plim/internal/suite"
 )
 
@@ -28,69 +31,105 @@ type SuiteResult struct {
 	Reports [][]*core.Report
 }
 
-// Options configures a suite run.
+// Options configures a suite run. All fields are explicit: Effort 0 really
+// runs zero rewriting cycles and Workers/Shrink must be ≥ 1 (the legacy
+// zero-value-means-default normalization lives only in the deprecated
+// plim.RunSuite wrapper).
 type Options struct {
-	// Benchmarks to run; nil means the full 18-benchmark suite.
+	// Benchmarks to run; nil or empty means the full 18-benchmark suite.
 	Benchmarks []string
-	// Effort is the rewriting cycle budget (0 → core.DefaultEffort = 5).
+	// Effort is the rewriting cycle budget; 0 disables rewriting cycles.
 	Effort int
-	// Shrink divides datapath widths for quick runs (0 or 1 → paper scale).
+	// Shrink divides datapath widths for quick runs (1 = paper scale).
 	Shrink int
-	// Workers bounds parallelism (0 → GOMAXPROCS).
+	// Workers bounds parallelism.
 	Workers int
+	// Progress receives typed suite events. It may be invoked concurrently
+	// from worker goroutines; callers that need serialized delivery must
+	// wrap it (plim.Engine does).
+	Progress progress.Func
 }
 
-func (o *Options) normalize() {
-	if len(o.Benchmarks) == 0 {
-		o.Benchmarks = suite.Names()
+func (o *Options) validate() error {
+	if o.Effort < 0 {
+		return fmt.Errorf("tables: Effort must be ≥ 0, got %d", o.Effort)
 	}
-	if o.Effort == 0 {
-		o.Effort = core.DefaultEffort
+	if o.Shrink < 1 {
+		return fmt.Errorf("tables: Shrink must be ≥ 1, got %d", o.Shrink)
 	}
-	if o.Shrink == 0 {
-		o.Shrink = 1
+	if o.Workers < 1 {
+		return fmt.Errorf("tables: Workers must be ≥ 1, got %d", o.Workers)
 	}
-	if o.Workers == 0 {
-		o.Workers = runtime.GOMAXPROCS(0)
-	}
+	return nil
 }
 
 // RunSuite evaluates every configuration on every requested benchmark.
 // Benchmarks run in parallel; results are deterministic and ordered.
-func RunSuite(cfgs []core.Config, opts Options) (*SuiteResult, error) {
-	opts.normalize()
+// Cancellation is checked between suite jobs (and, inside each job, between
+// rewrite cycles); once ctx is cancelled RunSuite stops dispatching work and
+// returns ctx.Err(). When several benchmarks fail independently, every
+// failure is reported through one joined error.
+func RunSuite(ctx context.Context, cfgs []core.Config, opts Options) (*SuiteResult, error) {
+	if err := opts.validate(); err != nil {
+		return nil, err
+	}
+	if len(opts.Benchmarks) == 0 {
+		opts.Benchmarks = suite.Names()
+	}
 	sr := &SuiteResult{
 		Benchmarks: make([]suite.Info, len(opts.Benchmarks)),
 		Configs:    cfgs,
 		Reports:    make([][]*core.Report, len(opts.Benchmarks)),
 	}
-	type job struct{ idx int }
-	jobs := make(chan job)
+	jobs := make(chan int)
 	errs := make([]error, len(opts.Benchmarks))
 	var wg sync.WaitGroup
-	for w := 0; w < opts.Workers; w++ {
+	for w := 0; w < min(opts.Workers, len(opts.Benchmarks)); w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for j := range jobs {
-				errs[j.idx] = sr.runOne(j.idx, opts)
+			for idx := range jobs {
+				if ctx.Err() != nil {
+					continue // drain without starting new work
+				}
+				errs[idx] = sr.runOne(ctx, idx, opts)
 			}
 		}()
 	}
+dispatch:
 	for i := range opts.Benchmarks {
-		jobs <- job{i}
+		select {
+		case jobs <- i:
+		case <-ctx.Done():
+			break dispatch
+		}
 	}
 	close(jobs)
 	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
-		}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if err := errors.Join(errs...); err != nil {
+		return nil, err
 	}
 	return sr, nil
 }
 
-func (sr *SuiteResult) runOne(idx int, opts Options) error {
+func (sr *SuiteResult) runOne(ctx context.Context, idx int, opts Options) error {
+	name := opts.Benchmarks[idx]
+	opts.Progress.Emit(progress.BenchmarkStart{
+		Benchmark: name, Index: idx, Total: len(opts.Benchmarks),
+	})
+	start := time.Now()
+	err := sr.buildAndRun(ctx, idx, opts)
+	opts.Progress.Emit(progress.BenchmarkDone{
+		Benchmark: name, Index: idx, Total: len(opts.Benchmarks),
+		Elapsed: time.Since(start), Err: err,
+	})
+	return err
+}
+
+func (sr *SuiteResult) buildAndRun(ctx context.Context, idx int, opts Options) error {
 	name := opts.Benchmarks[idx]
 	info, ok := suite.Get(name)
 	if !ok {
@@ -107,8 +146,11 @@ func (sr *SuiteResult) runOne(idx int, opts Options) error {
 	sr.Benchmarks[idx] = info
 	reports := make([]*core.Report, len(sr.Configs))
 	for c, cfg := range sr.Configs {
-		rep, err := core.Run(m, cfg, opts.Effort)
+		rep, err := core.Run(ctx, m, cfg, opts.Effort, opts.Progress)
 		if err != nil {
+			if ctx.Err() != nil {
+				return err // cancellation, not a benchmark failure: no wrap
+			}
 			return fmt.Errorf("tables: %s/%s: %w", name, cfg.Name, err)
 		}
 		reports[c] = rep

@@ -1,6 +1,8 @@
 package tables
 
 import (
+	"context"
+	"errors"
 	"math"
 	"strings"
 	"testing"
@@ -15,11 +17,12 @@ func quickOpts() Options {
 		Benchmarks: []string{"ctrl", "int2float", "dec", "router"},
 		Effort:     2,
 		Shrink:     4,
+		Workers:    2,
 	}
 }
 
 func TestRunSuiteShape(t *testing.T) {
-	sr, err := RunSuite(core.TableIConfigs(), quickOpts())
+	sr, err := RunSuite(context.Background(), core.TableIConfigs(), quickOpts())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -44,7 +47,7 @@ func TestRunSuiteShape(t *testing.T) {
 func TestRunSuiteRejectsUnknownBenchmark(t *testing.T) {
 	opts := quickOpts()
 	opts.Benchmarks = []string{"nope"}
-	if _, err := RunSuite(core.TableIConfigs(), opts); err == nil {
+	if _, err := RunSuite(context.Background(), core.TableIConfigs(), opts); err == nil {
 		t.Fatal("want error for unknown benchmark")
 	}
 }
@@ -52,13 +55,13 @@ func TestRunSuiteRejectsUnknownBenchmark(t *testing.T) {
 func TestRunSuiteIsDeterministicAcrossWorkers(t *testing.T) {
 	optsA := quickOpts()
 	optsA.Workers = 1
-	a, err := RunSuite(core.TableIConfigs(), optsA)
+	a, err := RunSuite(context.Background(), core.TableIConfigs(), optsA)
 	if err != nil {
 		t.Fatal(err)
 	}
 	optsB := quickOpts()
 	optsB.Workers = 4
-	b, err := RunSuite(core.TableIConfigs(), optsB)
+	b, err := RunSuite(context.Background(), core.TableIConfigs(), optsB)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -75,7 +78,7 @@ func TestRunSuiteIsDeterministicAcrossWorkers(t *testing.T) {
 }
 
 func TestTableI(t *testing.T) {
-	sr, err := RunSuite(core.TableIConfigs(), quickOpts())
+	sr, err := RunSuite(context.Background(), core.TableIConfigs(), quickOpts())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -115,7 +118,7 @@ func TestTableI(t *testing.T) {
 }
 
 func TestTableIRequiresNaive(t *testing.T) {
-	sr, err := RunSuite([]core.Config{core.Full}, quickOpts())
+	sr, err := RunSuite(context.Background(), []core.Config{core.Full}, quickOpts())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -125,7 +128,7 @@ func TestTableIRequiresNaive(t *testing.T) {
 }
 
 func TestTableII(t *testing.T) {
-	sr, err := RunSuite(core.TableIConfigs(), quickOpts())
+	sr, err := RunSuite(context.Background(), core.TableIConfigs(), quickOpts())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -154,7 +157,7 @@ func TestTableII(t *testing.T) {
 
 func TestTableIII(t *testing.T) {
 	cfgs := []core.Config{core.FullCap(10), core.FullCap(20), core.FullCap(50), core.FullCap(100)}
-	sr, err := RunSuite(cfgs, quickOpts())
+	sr, err := RunSuite(context.Background(), cfgs, quickOpts())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -193,7 +196,7 @@ func TestTableIII(t *testing.T) {
 	}
 
 	// Uncapped configurations are rejected.
-	srBad, err := RunSuite([]core.Config{core.Full}, quickOpts())
+	srBad, err := RunSuite(context.Background(), []core.Config{core.Full}, quickOpts())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -214,7 +217,7 @@ func TestAblationConfigs(t *testing.T) {
 		}
 		names[c.Name] = true
 	}
-	sr, err := RunSuite(cfgs, Options{Benchmarks: []string{"ctrl"}, Effort: 1, Shrink: 4})
+	sr, err := RunSuite(context.Background(), cfgs, Options{Benchmarks: []string{"ctrl"}, Effort: 1, Shrink: 4, Workers: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -230,5 +233,46 @@ func TestGridRendersEmptyTitle(t *testing.T) {
 	}
 	if !strings.Contains(g.CSV(), "a,b") {
 		t.Fatal("CSV header missing")
+	}
+}
+
+func TestRunSuiteValidatesOptions(t *testing.T) {
+	cases := map[string]Options{
+		"zero workers":    {Benchmarks: []string{"ctrl"}, Effort: 1, Shrink: 4},
+		"zero shrink":     {Benchmarks: []string{"ctrl"}, Effort: 1, Workers: 1},
+		"negative effort": {Benchmarks: []string{"ctrl"}, Effort: -1, Shrink: 4, Workers: 1},
+	}
+	for name, opts := range cases {
+		if _, err := RunSuite(context.Background(), core.TableIConfigs(), opts); err == nil {
+			t.Errorf("%s: options accepted", name)
+		}
+	}
+}
+
+// TestRunSuiteJoinsAllErrors checks the aggregation fix: when several
+// benchmarks fail independently, every failure must surface, not just the
+// first one the old code happened to scan.
+func TestRunSuiteJoinsAllErrors(t *testing.T) {
+	opts := quickOpts()
+	opts.Benchmarks = []string{"bogus1", "ctrl", "bogus2"}
+	_, err := RunSuite(context.Background(), core.TableIConfigs(), opts)
+	if err == nil {
+		t.Fatal("want error")
+	}
+	for _, want := range []string{"bogus1", "bogus2"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Fatalf("joined error missing %q: %v", want, err)
+		}
+	}
+}
+
+// TestRunSuiteCancelledContext checks that a pre-cancelled context returns
+// ctx.Err() without running anything.
+func TestRunSuiteCancelledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := RunSuite(ctx, core.TableIConfigs(), quickOpts())
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
 	}
 }
