@@ -97,6 +97,44 @@ func BenchmarkAblation(b *testing.B) {
 	}
 }
 
+// BenchmarkSuitePerConfig measures the legacy execution shape — every
+// configuration rewrites from scratch, nothing cached or staged — as the
+// "before" reference for BenchmarkTable1 (staged, cold) and
+// BenchmarkSuiteStagedWarm (staged, warm engine caches). cmd/plimbench
+// records the same comparison to BENCH_plim.json.
+func BenchmarkSuitePerConfig(b *testing.B) {
+	cfgs := core.TableIConfigs()
+	for i := 0; i < b.N; i++ {
+		for _, name := range benchSubset {
+			m, err := suite.BuildScaled(name, benchShrink)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for _, cfg := range cfgs {
+				if _, err := core.Run(context.Background(), m, cfg, core.DefaultEffort, nil); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	}
+}
+
+// BenchmarkSuiteStagedWarm measures repeated suite regeneration on one
+// engine: benchmark builds and rewrite stages come from the caches, so
+// only the compile stages run.
+func BenchmarkSuiteStagedWarm(b *testing.B) {
+	eng := NewEngine(WithShrink(benchShrink))
+	if _, err := eng.RunSuite(context.Background(), TableIConfigs(), benchSubset...); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.RunSuite(context.Background(), TableIConfigs(), benchSubset...); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // Micro-benchmarks of the individual subsystems.
 
 func benchmarkMIG(b *testing.B, name string) *MIG {

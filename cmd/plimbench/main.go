@@ -1,0 +1,254 @@
+// plimbench measures the performance of the compilation flow's hot paths
+// and writes the results to a JSON file (BENCH_plim.json by default), so
+// the performance trajectory of the repository is tracked run over run:
+//
+//	plimbench                        # representative set, shrink 2
+//	plimbench -shrink 1 -out -       # paper scale, JSON to stdout
+//
+// Alongside the micro-benchmarks (rewriting pipelines, compilation) it
+// times the Table I benchmark × configuration sweep twice: once with the
+// legacy per-configuration path (every configuration rewrites from
+// scratch, no caches) and once through the staged engine (shared rewrite
+// stages, benchmark + rewrite caches, compile fan-out), reporting the
+// speedup and verifying the rendered tables are byte-identical.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"plim"
+	"plim/internal/core"
+	"plim/internal/rewrite"
+	"plim/internal/suite"
+	"plim/internal/tables"
+)
+
+// Entry is one benchmark measurement in the emitted JSON.
+type Entry struct {
+	Name        string  `json:"name"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     int64   `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	MsPerOp     float64 `json:"ms_per_op"`
+}
+
+// Report is the emitted JSON document.
+type Report struct {
+	Go           string  `json:"go"`
+	GOMAXPROCS   int     `json:"gomaxprocs"`
+	Date         string  `json:"date"`
+	Shrink       int     `json:"shrink"`
+	Benchmarks   []Entry `json:"benchmarks"`
+	SuiteSpeedup float64 `json:"suite_speedup"`
+	TableParity  bool    `json:"table_parity"`
+}
+
+func main() {
+	var (
+		shrink  = flag.Int("shrink", 2, "divide benchmark datapath widths (1 = paper scale)")
+		benches = flag.String("benchmarks", "div,i2c,bar,ctrl", "suite-sweep benchmark subset")
+		outFile = flag.String("out", "BENCH_plim.json", "output file ('-' = stdout)")
+	)
+	flag.Parse()
+	names := strings.Split(*benches, ",")
+
+	rep := Report{
+		Go:         runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Date:       time.Now().UTC().Format(time.RFC3339),
+		Shrink:     *shrink,
+	}
+	add := func(name string, fn func(b *testing.B)) testing.BenchmarkResult {
+		r := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			fn(b)
+		})
+		rep.Benchmarks = append(rep.Benchmarks, Entry{
+			Name:        name,
+			Iterations:  r.N,
+			NsPerOp:     r.NsPerOp(),
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			MsPerOp:     float64(r.NsPerOp()) / 1e6,
+		})
+		fmt.Fprintf(os.Stderr, "%-28s %10d ns/op %8d allocs/op\n", name, r.NsPerOp(), r.AllocsPerOp())
+		return r
+	}
+
+	sin := mustBuild("sin", *shrink)
+	mult := mustBuild("multiplier", *shrink)
+	add("rewrite/algorithm1", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			rewrite.Run(sin, rewrite.Algorithm1, core.DefaultEffort)
+		}
+	})
+	add("rewrite/algorithm2", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			rewrite.Run(sin, rewrite.Algorithm2, core.DefaultEffort)
+		}
+	})
+	rewritten, _ := rewrite.Run(mult, rewrite.Algorithm2, core.DefaultEffort)
+	add("compile/full", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := plim.Compile(rewritten, plim.CompileOptions{
+				Selection: plim.Full.Selection, Alloc: plim.Full.Alloc,
+			}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	// The suite sweep, before and after. The per-configuration reference
+	// reproduces the pre-staged RunSuite: benchmarks in parallel, but every
+	// configuration rewriting from scratch and every MIG rebuilt per run.
+	cfgs := core.TableIConfigs()
+	seq := add("suite/tableI/per-config", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := runPerConfig(names, cfgs, *shrink); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	staged := add("suite/tableI/staged", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			// A fresh engine per iteration: cold caches, so the measured
+			// speedup comes from staging alone, not cross-run memoization.
+			cold := plim.NewEngine(plim.WithShrink(*shrink))
+			if _, err := cold.RunSuite(context.Background(), cfgs, names...); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	rep.SuiteSpeedup = round2(float64(seq.NsPerOp()) / float64(staged.NsPerOp()))
+	eng := plim.NewEngine(plim.WithShrink(*shrink))
+	if _, err := eng.RunSuite(context.Background(), cfgs, names...); err != nil {
+		fatal(err)
+	}
+	add("suite/tableI/staged-warm", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := eng.RunSuite(context.Background(), cfgs, names...); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	// Parity: both paths must render byte-identical Table I output.
+	srSeq, err := runPerConfig(names, cfgs, *shrink)
+	if err != nil {
+		fatal(err)
+	}
+	srStaged, err := eng.RunSuite(context.Background(), cfgs, names...)
+	if err != nil {
+		fatal(err)
+	}
+	csvSeq, err := tableCSV(srSeq)
+	if err != nil {
+		fatal(err)
+	}
+	csvStaged, err := tableCSV(srStaged)
+	if err != nil {
+		fatal(err)
+	}
+	rep.TableParity = csvSeq == csvStaged
+	if !rep.TableParity {
+		fmt.Fprintln(os.Stderr, "plimbench: WARNING: staged and per-config tables differ")
+	}
+	fmt.Fprintf(os.Stderr, "suite speedup: %.2fx (parity %v)\n", rep.SuiteSpeedup, rep.TableParity)
+
+	out, err := json.MarshalIndent(&rep, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	out = append(out, '\n')
+	if *outFile == "-" {
+		os.Stdout.Write(out)
+		return
+	}
+	if err := os.WriteFile(*outFile, out, 0o644); err != nil {
+		fatal(err)
+	}
+}
+
+// runPerConfig is the legacy uncached sequential-per-configuration suite
+// path, kept here as the "before" reference for the speedup measurement.
+func runPerConfig(names []string, cfgs []core.Config, shrink int) (*tables.SuiteResult, error) {
+	sr := &tables.SuiteResult{
+		Benchmarks: make([]suite.Info, len(names)),
+		Configs:    cfgs,
+		Reports:    make([][]*core.Report, len(names)),
+	}
+	type job struct {
+		idx int
+		err error
+	}
+	jobs := make(chan job, len(names))
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	for i := range names {
+		go func(idx int) {
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			err := func() error {
+				info, ok := suite.Get(names[idx])
+				if !ok {
+					return fmt.Errorf("plimbench: unknown benchmark %q", names[idx])
+				}
+				m, err := suite.BuildScaled(names[idx], shrink)
+				if err != nil {
+					return err
+				}
+				if shrink != 1 {
+					info.PI = m.NumPIs()
+					info.PO = m.NumPOs()
+				}
+				sr.Benchmarks[idx] = info
+				reps := make([]*core.Report, len(cfgs))
+				for c, cfg := range cfgs {
+					if reps[c], err = core.Run(context.Background(), m, cfg, core.DefaultEffort, nil); err != nil {
+						return err
+					}
+				}
+				sr.Reports[idx] = reps
+				return nil
+			}()
+			jobs <- job{idx, err}
+		}(i)
+	}
+	for range names {
+		if j := <-jobs; j.err != nil {
+			return nil, j.err
+		}
+	}
+	return sr, nil
+}
+
+func tableCSV(sr *tables.SuiteResult) (string, error) {
+	d, err := tables.TableI(sr)
+	if err != nil {
+		return "", err
+	}
+	return d.Grid().CSV(), nil
+}
+
+func mustBuild(name string, shrink int) *plim.MIG {
+	m, err := suite.BuildScaled(name, shrink)
+	if err != nil {
+		fatal(err)
+	}
+	return m
+}
+
+func round2(x float64) float64 { return float64(int64(x*100+0.5)) / 100 }
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}

@@ -2,7 +2,8 @@
 // .mig netlist) into a PLiM RM3 program under a chosen endurance
 // configuration, reporting the paper's #I/#R/write-distribution metrics.
 // It is built on the plim.Engine API: Ctrl-C cancels a long rewrite, and
-// -v streams per-cycle progress.
+// -v streams per-cycle rewriting progress plus compile-stage start/done
+// events.
 //
 // Examples:
 //

@@ -51,8 +51,11 @@ func main() {
 	}
 	if *verbose && !*quiet {
 		engOpts = append(engOpts, plim.WithProgress(func(ev plim.Event) {
-			if _, isCycle := ev.(plim.EventRewriteCycle); isCycle {
+			switch ev.(type) {
+			case plim.EventRewriteCycle:
 				return // per-cycle spam is only useful for single runs; see plimc -v
+			case plim.EventCompileStart:
+				return // the matching EventCompileDone carries the payload
 			}
 			fmt.Fprintln(os.Stderr, plim.FormatEvent(ev))
 		}))

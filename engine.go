@@ -33,26 +33,39 @@ type Engine struct {
 	effort   int
 	workers  int
 	shrink   int
+	cache    bool
 	progress progress.Func
 	mu       sync.Mutex // serializes progress delivery
 	err      error      // first invalid option; surfaced by every method
+
+	// Populated at construction when cache is true: benchCache memoizes
+	// benchmark generator output, rwCache memoizes rewrite stages by
+	// (function fingerprint, pipeline, effort). Both grow with the set of
+	// distinct functions the engine sees and are dropped with the engine.
+	benchCache *suite.Cache
+	rwCache    *core.RewriteCache
 }
 
 // Option configures an Engine at construction time.
 type Option func(*Engine)
 
 // NewEngine returns an Engine with the paper's defaults — effort
-// DefaultEffort (5), workers GOMAXPROCS, shrink 1 (paper scale), no
-// progress reporting — overridden by the given options. An invalid option
-// does not panic; it is reported by the first Engine method call.
+// DefaultEffort (5), workers GOMAXPROCS, shrink 1 (paper scale), caching
+// on, no progress reporting — overridden by the given options. An invalid
+// option does not panic; it is reported by the first Engine method call.
 func NewEngine(opts ...Option) *Engine {
 	e := &Engine{
 		effort:  DefaultEffort,
 		workers: runtime.GOMAXPROCS(0),
 		shrink:  1,
+		cache:   true,
 	}
 	for _, opt := range opts {
 		opt(e)
+	}
+	if e.cache {
+		e.benchCache = suite.NewCache()
+		e.rwCache = core.NewRewriteCache()
 	}
 	return e
 }
@@ -99,6 +112,16 @@ func WithShrink(s int) Option {
 	}
 }
 
+// WithCache toggles the engine's memoization (default on): a benchmark
+// cache that reuses generator output across runs and a rewrite cache that
+// runs each distinct (function, pipeline, effort) rewrite once — so
+// regenerating Table III after Table I skips every algorithm-2 rewrite.
+// Results are bit-identical either way; disable it to bound memory on
+// engines fed an unbounded stream of distinct functions.
+func WithCache(enabled bool) Option {
+	return func(e *Engine) { e.cache = enabled }
+}
+
 // WithProgress installs a progress callback. The engine serializes
 // delivery: fn is never invoked concurrently, even during parallel suite
 // runs. fn must not block for long — it runs on the worker's critical path.
@@ -127,28 +150,53 @@ func (e *Engine) Workers() int { return e.workers }
 // Shrink reports the engine's benchmark datapath divisor.
 func (e *Engine) Shrink() int { return e.shrink }
 
+// Cached reports whether the engine memoizes benchmark builds and rewrite
+// stages.
+func (e *Engine) Cached() bool { return e.cache }
+
 // Run rewrites and compiles m under the given configuration. The input MIG
-// is not modified. Cancellation is honoured between rewrite cycles; on
-// cancellation the error is ctx.Err().
+// is not modified; the rewrite stage is served from the engine's cache
+// when it has already run for this function. Cancellation is honoured
+// between rewrite cycles and before compilation; on cancellation the error
+// is ctx.Err().
 func (e *Engine) Run(ctx context.Context, m *MIG, cfg Config) (*Report, error) {
 	if e.err != nil {
 		return nil, e.err
 	}
-	return core.Run(ctx, m, cfg, e.effort, e.observer())
+	reps, err := core.RunStaged(ctx, m, []Config{cfg}, core.StagedOptions{
+		Effort:   e.effort,
+		Cache:    e.rwCache,
+		Progress: e.observer(),
+	})
+	if err != nil {
+		return nil, err
+	}
+	return reps[0], nil
 }
 
-// RunAll runs several configurations on the same function, in order.
+// RunAll runs several configurations on the same function as a staged
+// plan: each distinct rewriting pipeline runs once (memoized) and the
+// compile stages fan out across the engine's workers. Reports come back in
+// configuration order and are identical to per-configuration Run calls.
 func (e *Engine) RunAll(ctx context.Context, m *MIG, cfgs []Config) ([]*Report, error) {
 	if e.err != nil {
 		return nil, e.err
 	}
-	return core.RunAll(ctx, m, cfgs, e.effort, e.observer())
+	return core.RunStaged(ctx, m, cfgs, core.StagedOptions{
+		Effort:   e.effort,
+		Workers:  e.workers,
+		Cache:    e.rwCache,
+		Progress: e.observer(),
+	})
 }
 
 // RunSuite evaluates every configuration on every named benchmark (all 18
 // when none are named). Benchmarks run on the engine's worker pool at the
-// engine's shrink; progress events report per-benchmark start/done and
-// per-cycle rewriting. On cancellation RunSuite stops dispatching jobs and
+// engine's shrink, each as a staged plan: one rewrite per distinct
+// pipeline, compile jobs fanned out over idle workers, benchmark MIGs and
+// rewrites served from the engine's caches. Progress events report
+// per-benchmark start/done, per-cycle rewriting and per-configuration
+// compile start/done. On cancellation RunSuite stops dispatching jobs and
 // returns ctx.Err() once in-flight jobs reach their next cancellation
 // point.
 func (e *Engine) RunSuite(ctx context.Context, cfgs []Config, benchmarks ...string) (*SuiteResult, error) {
@@ -156,29 +204,49 @@ func (e *Engine) RunSuite(ctx context.Context, cfgs []Config, benchmarks ...stri
 		return nil, e.err
 	}
 	return tables.RunSuite(ctx, cfgs, tables.Options{
-		Benchmarks: benchmarks,
-		Effort:     e.effort,
-		Shrink:     e.shrink,
-		Workers:    e.workers,
-		Progress:   e.observer(),
+		Benchmarks:   benchmarks,
+		Effort:       e.effort,
+		Shrink:       e.shrink,
+		Workers:      e.workers,
+		Progress:     e.observer(),
+		BenchCache:   e.benchCache,
+		RewriteCache: e.rwCache,
 	})
 }
 
 // Rewrite applies one of the MIG rewriting algorithms with the engine's
 // effort, without compiling. RewriteNone merely drops dangling nodes (its
 // stats report the node counts with zero cycles). The input MIG is not
-// modified.
+// modified, and the returned MIG is always private to the caller (cache
+// hits are cloned before they are handed out).
 func (e *Engine) Rewrite(ctx context.Context, m *MIG, kind RewriteKind) (*MIG, RewriteStats, error) {
 	if e.err != nil {
 		return nil, RewriteStats{}, e.err
 	}
-	return core.Rewrite(ctx, m, kind, e.effort, e.observer(), "")
+	out, st, err := e.rwCache.Rewrite(ctx, m, kind, e.effort, e.observer(), "")
+	if err != nil {
+		return nil, st, err
+	}
+	if e.rwCache != nil {
+		out = out.Clone() // cache entries are shared; hand out a private copy
+	}
+	return out, st, nil
 }
 
 // Benchmark builds one of the paper's benchmarks at the engine's shrink.
+// With caching on, repeated builds of the same benchmark clone one cached
+// graph instead of regenerating it; the result is always private to the
+// caller.
 func (e *Engine) Benchmark(name string) (*MIG, error) {
 	if e.err != nil {
 		return nil, e.err
 	}
-	return suite.BuildScaled(name, e.shrink)
+	if e.benchCache == nil {
+		return suite.BuildScaled(name, e.shrink)
+	}
+	m, err := e.benchCache.BuildScaled(name, e.shrink)
+	if err != nil {
+		return nil, err
+	}
+	return m.Clone(), nil
 }

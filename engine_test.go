@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"errors"
+	"strings"
 	"testing"
 	"time"
 )
@@ -367,5 +368,168 @@ func TestEngineBenchmarkDoneCarriesElapsed(t *testing.T) {
 	}
 	if elapsed <= 0 {
 		t.Fatalf("done event carries no elapsed time: %v", elapsed)
+	}
+}
+
+// TestWithCacheBenchmarkIsPrivate checks that cached benchmark builds hand
+// out independent clones: mutating one must not leak into the next.
+func TestWithCacheBenchmarkIsPrivate(t *testing.T) {
+	eng := NewEngine(WithShrink(8))
+	if !eng.Cached() {
+		t.Fatal("caching must default to on")
+	}
+	a, err := eng.Benchmark("ctrl")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp := a.Fingerprint()
+	b, err := eng.Benchmark("ctrl")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a == b {
+		t.Fatal("cached Benchmark returned a shared instance")
+	}
+	if b.Fingerprint() != fp {
+		t.Fatal("cached Benchmark differs from the first build")
+	}
+	a.AddPO(Const1, "junk") // mutate the first copy
+	c, err := eng.Benchmark("ctrl")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Fingerprint() != fp {
+		t.Fatal("mutation of a returned benchmark leaked into the cache")
+	}
+	// The uncached engine still builds identical graphs.
+	off := NewEngine(WithShrink(8), WithCache(false))
+	if off.Cached() {
+		t.Fatal("WithCache(false) ignored")
+	}
+	d, err := off.Benchmark("ctrl")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Fingerprint() != fp {
+		t.Fatal("uncached Benchmark differs from cached build")
+	}
+}
+
+// TestEngineCachedRunMatchesUncached runs the same function through a
+// cached and an uncached engine; reports must be byte-identical, and the
+// cached engine's second run must skip the rewrite (no cycle events) while
+// still producing the same program.
+func TestEngineCachedRunMatchesUncached(t *testing.T) {
+	ctx := context.Background()
+	cycleEvents := 0
+	cached := NewEngine(WithEffort(2), WithProgress(func(ev Event) {
+		if _, ok := ev.(EventRewriteCycle); ok {
+			cycleEvents++
+		}
+	}))
+	uncached := NewEngine(WithEffort(2), WithCache(false))
+
+	first, err := cached.Run(ctx, engineTestMIG(t), Full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	firstCycles := cycleEvents
+	if firstCycles == 0 {
+		t.Fatal("first cached run emitted no rewrite cycles")
+	}
+	second, err := cached.Run(ctx, engineTestMIG(t), Full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cycleEvents != firstCycles {
+		t.Fatal("second cached run re-ran the rewrite")
+	}
+	plain, err := uncached.Run(ctx, engineTestMIG(t), Full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, rep := range map[string]*Report{"cached-hit": second, "uncached": plain} {
+		if rep.Rewrite != first.Rewrite || rep.Writes != first.Writes {
+			t.Fatalf("%s: stats diverge", name)
+		}
+		var a, b bytes.Buffer
+		if err := first.Result.Program.WriteBinary(&a); err != nil {
+			t.Fatal(err)
+		}
+		if err := rep.Result.Program.WriteBinary(&b); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(a.Bytes(), b.Bytes()) {
+			t.Fatalf("%s: program differs", name)
+		}
+	}
+}
+
+// TestEngineCompileEvents checks that Run surrounds the compile stage with
+// a start/done pair carrying the configuration and the #I/#R payload.
+func TestEngineCompileEvents(t *testing.T) {
+	var starts, dones []EventCompileDone
+	eng := NewEngine(WithEffort(1), WithProgress(func(ev Event) {
+		switch ev := ev.(type) {
+		case EventCompileStart:
+			starts = append(starts, EventCompileDone{Function: ev.Function, Config: ev.Config})
+		case EventCompileDone:
+			dones = append(dones, ev)
+		}
+	}))
+	rep, err := eng.Run(context.Background(), engineTestMIG(t), Full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(starts) != 1 || len(dones) != 1 {
+		t.Fatalf("got %d starts, %d dones, want 1 each", len(starts), len(dones))
+	}
+	if starts[0].Function != "etest" || starts[0].Config != "full" {
+		t.Fatalf("start event misattributed: %+v", starts[0])
+	}
+	d := dones[0]
+	if d.Function != "etest" || d.Config != "full" || d.Err != nil {
+		t.Fatalf("done event misattributed: %+v", d)
+	}
+	if d.Instructions != rep.NumInstructions() || d.RRAMs != rep.NumRRAMs() {
+		t.Fatalf("done event payload %d/%d does not match report %d/%d",
+			d.Instructions, d.RRAMs, rep.NumInstructions(), rep.NumRRAMs())
+	}
+	for _, s := range []string{
+		FormatEvent(EventCompileStart{Function: "f", Config: "full"}),
+		FormatEvent(d),
+	} {
+		if s == "" || !strings.Contains(s, "compile") {
+			t.Fatalf("FormatEvent rendering broken: %q", s)
+		}
+	}
+}
+
+// TestEngineRewriteCacheHitIsPrivate ensures a cached Engine.Rewrite hit
+// returns a private clone, not the shared cache entry.
+func TestEngineRewriteCacheHitIsPrivate(t *testing.T) {
+	eng := NewEngine(WithEffort(2))
+	first, st1, err := eng.Rewrite(context.Background(), engineTestMIG(t), RewriteAlgorithm2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, st2, err := eng.Rewrite(context.Background(), engineTestMIG(t), RewriteAlgorithm2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st1 != st2 {
+		t.Fatalf("cached rewrite stats diverge: %+v vs %+v", st1, st2)
+	}
+	if first == second {
+		t.Fatal("Engine.Rewrite handed the shared cache entry to two callers")
+	}
+	fp := second.Fingerprint()
+	first.AddPO(Const1, "junk")
+	third, _, err := eng.Rewrite(context.Background(), engineTestMIG(t), RewriteAlgorithm2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if third.Fingerprint() != fp {
+		t.Fatal("mutating a returned rewrite leaked into the cache")
 	}
 }

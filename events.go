@@ -7,14 +7,25 @@ import (
 )
 
 // Event is a typed progress notification delivered to WithProgress
-// callbacks. The concrete types are EventRewriteCycle, EventBenchmarkStart
-// and EventBenchmarkDone; switch on them for structured consumption or use
-// FormatEvent for a ready-made one-line rendering.
+// callbacks. The concrete types are EventRewriteCycle, EventCompileStart,
+// EventCompileDone, EventBenchmarkStart and EventBenchmarkDone; switch on
+// them for structured consumption or use FormatEvent for a ready-made
+// one-line rendering.
 type Event = progress.Event
 
 // EventRewriteCycle reports one completed MIG-rewriting cycle of a Run,
-// RunAll, RunSuite or Rewrite call.
+// RunAll, RunSuite or Rewrite call. In a staged run several configurations
+// share one rewrite; the Config field then names the shared pipeline
+// ("algorithm1"/"algorithm2") instead of a single configuration.
 type EventRewriteCycle = progress.RewriteCycle
+
+// EventCompileStart reports that the compile/alloc stage of one
+// configuration began.
+type EventCompileStart = progress.CompileStart
+
+// EventCompileDone reports that the compile/alloc stage of one
+// configuration finished, carrying the paper's #I and #R on success.
+type EventCompileDone = progress.CompileDone
 
 // EventBenchmarkStart reports that a RunSuite job began.
 type EventBenchmarkStart = progress.BenchmarkStart
@@ -32,6 +43,14 @@ func FormatEvent(ev Event) string {
 			who += "/" + ev.Config
 		}
 		return fmt.Sprintf("rewrite %s: cycle %d/%d, %d nodes", who, ev.Cycle, ev.Effort, ev.Nodes)
+	case EventCompileStart:
+		return fmt.Sprintf("compile %s/%s: start", ev.Function, ev.Config)
+	case EventCompileDone:
+		if ev.Err != nil {
+			return fmt.Sprintf("compile %s/%s: FAILED: %s", ev.Function, ev.Config, ev.Err)
+		}
+		return fmt.Sprintf("compile %s/%s: #I=%d #R=%d in %v",
+			ev.Function, ev.Config, ev.Instructions, ev.RRAMs, ev.Elapsed.Round(1e6))
 	case EventBenchmarkStart:
 		return fmt.Sprintf("bench %s (%d/%d): start", ev.Benchmark, ev.Index+1, ev.Total)
 	case EventBenchmarkDone:

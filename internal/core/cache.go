@@ -1,0 +1,110 @@
+package core
+
+import (
+	"context"
+	"sync"
+
+	"plim/internal/mig"
+	"plim/internal/progress"
+	"plim/internal/rewrite"
+)
+
+// RewriteCache memoizes rewriting runs across configurations, benchmarks
+// and engine calls. Entries are keyed by (function fingerprint, rewrite
+// kind, effort), so any structurally identical MIG — e.g. the same
+// benchmark rebuilt by a later table — reuses the stored result instead of
+// rewriting again.
+//
+// Concurrent callers with the same key share one computation
+// (singleflight): the first caller rewrites and emits the progress events,
+// the rest wait on the result. Failed computations (typically context
+// cancellation) are never cached; the next caller retries.
+//
+// Cached MIGs are shared across callers and must be treated as read-only.
+// The compilation stages only read their input, so the staged runners can
+// share entries freely; the public facade clones before handing a cached
+// graph to user code.
+type RewriteCache struct {
+	mu      sync.Mutex
+	entries map[rewriteKey]*rewriteEntry
+}
+
+type rewriteKey struct {
+	fp     uint64
+	kind   RewriteKind
+	effort int
+}
+
+type rewriteEntry struct {
+	done chan struct{} // closed when the computation finishes
+	m    *mig.MIG
+	st   rewrite.Stats
+	err  error
+}
+
+// NewRewriteCache returns an empty cache.
+func NewRewriteCache() *RewriteCache {
+	return &RewriteCache{entries: make(map[rewriteKey]*rewriteEntry)}
+}
+
+// Len reports the number of cached rewrites.
+func (c *RewriteCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+// Rewrite is core.Rewrite memoized through the cache. A nil *RewriteCache
+// computes directly (the uncached path). On a hit no progress events are
+// emitted — the rewrite simply did not run again.
+func (c *RewriteCache) Rewrite(ctx context.Context, m *mig.MIG, kind RewriteKind, effort int, obs progress.Func, label string) (*mig.MIG, rewrite.Stats, error) {
+	if err := ctx.Err(); err != nil {
+		// Checked up front so a cancelled caller never races a ready cache
+		// hit into returning a result.
+		return nil, rewrite.Stats{}, err
+	}
+	if c == nil {
+		return Rewrite(ctx, m, kind, effort, obs, label)
+	}
+	key := rewriteKey{fp: m.Fingerprint(), kind: kind, effort: effort}
+	for {
+		c.mu.Lock()
+		e, ok := c.entries[key]
+		if !ok {
+			e = &rewriteEntry{done: make(chan struct{})}
+			c.entries[key] = e
+			c.mu.Unlock()
+			e.m, e.st, e.err = Rewrite(ctx, m, kind, effort, obs, label)
+			if e.err == nil && e.m == m {
+				// Effort 0 (or RewriteNone on an already-clean graph) can
+				// hand the caller's own MIG back; the cache must never
+				// retain a graph the caller may keep mutating.
+				e.m = m.Clone()
+			}
+			if e.err != nil {
+				// Don't poison the cache with (usually cancellation)
+				// errors; waiters observe it and retry or fail themselves.
+				c.mu.Lock()
+				delete(c.entries, key)
+				c.mu.Unlock()
+			}
+			close(e.done)
+			if e.err != nil {
+				return nil, rewrite.Stats{}, e.err
+			}
+			return e.m, e.st, nil
+		}
+		c.mu.Unlock()
+		select {
+		case <-e.done:
+			if e.err == nil {
+				return e.m, e.st, nil
+			}
+			// The computing caller failed; its entry is gone. Retry: either
+			// this caller computes (and reports its own error) or it waits
+			// on a newer computation.
+		case <-ctx.Done():
+			return nil, rewrite.Stats{}, ctx.Err()
+		}
+	}
+}

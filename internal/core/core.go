@@ -17,7 +17,11 @@ package core
 
 import (
 	"context"
+	"errors"
 	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
 
 	"plim/internal/alloc"
 	"plim/internal/compile"
@@ -163,43 +167,194 @@ func Rewrite(ctx context.Context, m *mig.MIG, kind RewriteKind, effort int, obs 
 // The input MIG is not modified. Cancellation is checked on entry, between
 // rewrite cycles and before compilation; on cancellation the error is
 // ctx.Err(). obs (which may be nil) receives a progress.RewriteCycle event
-// after every completed rewrite cycle.
+// after every completed rewrite cycle and a CompileStart/CompileDone pair
+// around the compile/alloc stage.
 func Run(ctx context.Context, m *mig.MIG, cfg Config, effort int, obs progress.Func) (*Report, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	rep := &Report{Config: cfg}
 	cur, st, err := Rewrite(ctx, m, cfg.Rewrite, effort, obs, cfg.Name)
 	if err != nil {
 		return nil, err
 	}
-	rep.Rewrite = st
+	return CompileConfig(ctx, cur, cfg, st, obs)
+}
+
+// CompileConfig runs the compile/alloc stage of one configuration on an
+// already-rewritten MIG, emitting CompileStart/CompileDone progress events.
+// rst is the rewriting statistics to attach to the report (the staged
+// runner shares one rewrite across several configurations).
+func CompileConfig(ctx context.Context, rewritten *mig.MIG, cfg Config, rst rewrite.Stats, obs progress.Func) (*Report, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	res, err := compile.Compile(cur, compile.Options{
+	obs.Emit(progress.CompileStart{Function: rewritten.Name, Config: cfg.Name})
+	start := time.Now()
+	res, err := compile.Compile(rewritten, compile.Options{
 		Selection: cfg.Selection,
 		Alloc:     cfg.Alloc,
 		MaxWrites: cfg.MaxWrites,
 	})
+	done := progress.CompileDone{
+		Function: rewritten.Name, Config: cfg.Name,
+		Elapsed: time.Since(start), Err: err,
+	}
+	if err == nil {
+		done.Instructions = res.NumInstructions
+		done.RRAMs = res.NumRRAMs
+	}
+	obs.Emit(done)
 	if err != nil {
 		return nil, fmt.Errorf("core: %s: %w", cfg.Name, err)
 	}
-	rep.Result = res
-	rep.Writes = stats.Summarize(res.WriteCounts)
-	return rep, nil
+	return &Report{
+		Config:  cfg,
+		Rewrite: rst,
+		Result:  res,
+		Writes:  stats.Summarize(res.WriteCounts),
+	}, nil
 }
 
-// RunAll runs several configurations on the same function, checking
-// cancellation between configurations.
-func RunAll(ctx context.Context, m *mig.MIG, cfgs []Config, effort int, obs progress.Func) ([]*Report, error) {
-	out := make([]*Report, len(cfgs))
+// Stage is one rewrite stage of an execution plan: the set of planned
+// configurations (as indices into the planned slice) that share a single
+// rewriting pipeline and therefore a single rewritten MIG.
+type Stage struct {
+	Kind    RewriteKind
+	Configs []int
+}
+
+// Plan groups configurations by rewriting kind, preserving the order of
+// first appearance. The five Table I configurations plan into three
+// stages: none{naive}, algorithm1{compiler21, minwrite} and
+// algorithm2{rewriting, full} — so a staged run performs two rewrites
+// instead of four.
+func Plan(cfgs []Config) []Stage {
+	var stages []Stage
+	index := make(map[RewriteKind]int, 3)
 	for i, cfg := range cfgs {
-		rep, err := Run(ctx, m, cfg, effort, obs)
+		si, ok := index[cfg.Rewrite]
+		if !ok {
+			si = len(stages)
+			index[cfg.Rewrite] = si
+			stages = append(stages, Stage{Kind: cfg.Rewrite})
+		}
+		stages[si].Configs = append(stages[si].Configs, i)
+	}
+	return stages
+}
+
+// stageLabel names a stage in RewriteCycle progress events: the sole
+// configuration's name when the stage is private, the rewrite kind when it
+// is shared.
+func stageLabel(st Stage, cfgs []Config) string {
+	if len(st.Configs) == 1 {
+		return cfgs[st.Configs[0]].Name
+	}
+	return st.Kind.String()
+}
+
+// StagedOptions configures RunStaged.
+type StagedOptions struct {
+	// Effort is the rewriting cycle budget (0 = no cycles).
+	Effort int
+	// Workers bounds compile-stage parallelism when Spare is nil: the
+	// calling goroutine plus Workers-1 helpers. Values ≤ 1 compile inline.
+	Workers int
+	// Spare, when non-nil, is a shared pool of spare-worker tokens
+	// (internal/tables threads one pool through every benchmark job so the
+	// whole suite respects a single worker bound). Overrides Workers.
+	Spare chan struct{}
+	// Cache memoizes rewrite stages across calls; nil rewrites afresh.
+	Cache *RewriteCache
+	// Progress receives rewrite-cycle and compile start/done events. It may
+	// be invoked concurrently when compiles fan out.
+	Progress progress.Func
+}
+
+// RunStaged runs several configurations on the same function as a staged
+// plan: each distinct rewriting pipeline runs once (memoized through
+// opts.Cache when set) and the compile/alloc stages fan out over the shared
+// rewritten MIG on up to opts.Workers workers (or the opts.Spare pool).
+// Reports are returned in configuration order and are identical to those of
+// sequential per-configuration Run calls.
+func RunStaged(ctx context.Context, m *mig.MIG, cfgs []Config, opts StagedOptions) ([]*Report, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	spare := opts.Spare
+	if spare == nil && opts.Workers > 1 {
+		spare = make(chan struct{}, opts.Workers-1)
+		for i := 0; i < opts.Workers-1; i++ {
+			spare <- struct{}{}
+		}
+	}
+	out := make([]*Report, len(cfgs))
+	for _, st := range Plan(cfgs) {
+		rm, rst, err := opts.Cache.Rewrite(ctx, m, st.Kind, opts.Effort, opts.Progress, stageLabel(st, cfgs))
 		if err != nil {
 			return nil, err
 		}
-		out[i] = rep
+		errs := make([]error, len(st.Configs))
+		fanOut(len(st.Configs), spare, func(i int) {
+			ci := st.Configs[i]
+			out[ci], errs[i] = CompileConfig(ctx, rm, cfgs[ci], rst, opts.Progress)
+		})
+		if err := errors.Join(errs...); err != nil {
+			return nil, err
+		}
 	}
 	return out, nil
+}
+
+// RunAll runs several configurations on the same function as a staged plan
+// with inline (sequential) compiles, checking cancellation between stages
+// and configurations. Reports match sequential Run calls exactly.
+func RunAll(ctx context.Context, m *mig.MIG, cfgs []Config, effort int, obs progress.Func) ([]*Report, error) {
+	return RunStaged(ctx, m, cfgs, StagedOptions{Effort: effort, Progress: obs})
+}
+
+// fanOut runs fn(0..n-1) on the calling goroutine plus as many helper
+// goroutines as tokens are available (non-blocking) in spare, returning the
+// borrowed tokens afterwards. A nil pool runs everything inline. fn must
+// handle every index — cancellation is the callee's concern — so callers
+// always get a fully populated result slice.
+func fanOut(n int, spare chan struct{}, fn func(int)) {
+	if n <= 1 {
+		if n == 1 {
+			fn(0)
+		}
+		return
+	}
+	var next atomic.Int64
+	next.Store(-1)
+	work := func() {
+		for {
+			i := next.Add(1)
+			if i >= int64(n) {
+				return
+			}
+			fn(int(i))
+		}
+	}
+	var wg sync.WaitGroup
+	borrowed := 0
+	for borrowed < n-1 {
+		select {
+		case <-spare:
+			borrowed++
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				work()
+				// Return the token as soon as this helper runs dry so other
+				// fan-outs can borrow it while our slowest job finishes.
+				spare <- struct{}{}
+			}()
+			continue
+		default:
+		}
+		break
+	}
+	work()
+	wg.Wait()
 }

@@ -1,12 +1,18 @@
 package core
 
 import (
+	"bytes"
 	"context"
+	"errors"
 	"math/rand"
+	"slices"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"testing"
 
 	"plim/internal/mig"
+	"plim/internal/progress"
 )
 
 func randomMIG(name string, pis, nodes, pos int, seed int64) *mig.MIG {
@@ -161,5 +167,227 @@ func TestLifetimeAccessor(t *testing.T) {
 	}
 	if lt != 1000/rep.Writes.Max {
 		t.Fatalf("lifetime = %d, want endurance/max = %d", lt, 1000/rep.Writes.Max)
+	}
+}
+
+// TestPlanGroupsByKind pins the stage grouping of the Table I plan: three
+// stages in first-appearance order, covering every configuration index
+// exactly once.
+func TestPlanGroupsByKind(t *testing.T) {
+	stages := Plan(append(TableIConfigs(), FullCap(10), FullCap(20)))
+	if len(stages) != 3 {
+		t.Fatalf("Table I (+caps) plans into %d stages, want 3", len(stages))
+	}
+	wantKinds := []RewriteKind{RewriteNone, RewriteAlgorithm1, RewriteAlgorithm2}
+	wantConfigs := [][]int{{0}, {1, 2}, {3, 4, 5, 6}}
+	for i, st := range stages {
+		if st.Kind != wantKinds[i] {
+			t.Fatalf("stage %d kind = %v, want %v", i, st.Kind, wantKinds[i])
+		}
+		if len(st.Configs) != len(wantConfigs[i]) {
+			t.Fatalf("stage %d has configs %v, want %v", i, st.Configs, wantConfigs[i])
+		}
+		for j, ci := range st.Configs {
+			if ci != wantConfigs[i][j] {
+				t.Fatalf("stage %d has configs %v, want %v", i, st.Configs, wantConfigs[i])
+			}
+		}
+	}
+	if len(Plan(nil)) != 0 {
+		t.Fatal("empty plan must have no stages")
+	}
+}
+
+// TestRunStagedMatchesSequential requires the staged runner — with and
+// without a cache, inline and fanned out — to produce byte-identical
+// programs and identical per-device write counts to sequential Run calls.
+func TestRunStagedMatchesSequential(t *testing.T) {
+	m := randomMIG("f", 8, 150, 8, 7)
+	cfgs := append(TableIConfigs(), FullCap(10), FullCap(50))
+	want := make([]*Report, len(cfgs))
+	for i, cfg := range cfgs {
+		rep, err := Run(context.Background(), m, cfg, 2, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = rep
+	}
+	for name, opts := range map[string]StagedOptions{
+		"inline":        {Effort: 2},
+		"workers":       {Effort: 2, Workers: 4},
+		"cached":        {Effort: 2, Cache: NewRewriteCache()},
+		"cached+worker": {Effort: 2, Workers: 4, Cache: NewRewriteCache()},
+	} {
+		got, err := RunStaged(context.Background(), m, cfgs, opts)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		for i := range cfgs {
+			if got[i].Config.Name != want[i].Config.Name {
+				t.Fatalf("%s: report %d is %q", name, i, got[i].Config.Name)
+			}
+			if got[i].Rewrite != want[i].Rewrite || got[i].Writes != want[i].Writes {
+				t.Fatalf("%s/%s: stats diverge", name, cfgs[i].Name)
+			}
+			var a, b bytes.Buffer
+			if err := want[i].Result.Program.WriteBinary(&a); err != nil {
+				t.Fatal(err)
+			}
+			if err := got[i].Result.Program.WriteBinary(&b); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(a.Bytes(), b.Bytes()) {
+				t.Fatalf("%s/%s: staged program differs from sequential", name, cfgs[i].Name)
+			}
+			if !slices.Equal(want[i].Result.WriteCounts, got[i].Result.WriteCounts) {
+				t.Fatalf("%s/%s: per-device write counts differ", name, cfgs[i].Name)
+			}
+		}
+	}
+}
+
+// TestRunStagedRewritesOncePerStage counts first-cycle rewrite events: a
+// staged run of the five Table I configurations must start exactly two
+// rewrites (algorithm 1 and algorithm 2), not four.
+func TestRunStagedRewritesOncePerStage(t *testing.T) {
+	m := randomMIG("f", 8, 150, 8, 3)
+	starts := map[string]int{}
+	_, err := RunStaged(context.Background(), m, TableIConfigs(), StagedOptions{
+		Effort: 2,
+		Progress: func(ev progress.Event) {
+			if c, ok := ev.(progress.RewriteCycle); ok && c.Cycle == 1 {
+				starts[c.Config]++
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(starts) != 2 || starts["algorithm1"] != 1 || starts["algorithm2"] != 1 {
+		t.Fatalf("rewrite starts = %v, want one per shared pipeline", starts)
+	}
+}
+
+// TestRewriteCacheHitSharesResult checks memoization: the second call with
+// an equal-fingerprint function returns the same MIG instance without
+// emitting rewrite events, and Len reports the entry.
+func TestRewriteCacheHitSharesResult(t *testing.T) {
+	cache := NewRewriteCache()
+	m := randomMIG("f", 8, 120, 8, 21)
+	events := 0
+	obs := progress.Func(func(progress.Event) { events++ })
+	first, st1, err := cache.Rewrite(context.Background(), m, RewriteAlgorithm2, 2, obs, "x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	firstEvents := events
+	if firstEvents == 0 {
+		t.Fatal("computing call emitted no rewrite events")
+	}
+	// A structurally identical rebuild must hit.
+	second, st2, err := cache.Rewrite(context.Background(), randomMIG("f", 8, 120, 8, 21), RewriteAlgorithm2, 2, obs, "x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second != first {
+		t.Fatal("cache hit returned a different instance")
+	}
+	if st1 != st2 {
+		t.Fatalf("cache hit returned different stats: %+v vs %+v", st1, st2)
+	}
+	if events != firstEvents {
+		t.Fatal("cache hit re-emitted rewrite events")
+	}
+	if cache.Len() != 1 {
+		t.Fatalf("cache holds %d entries, want 1", cache.Len())
+	}
+	// Different effort is a different key.
+	if _, _, err := cache.Rewrite(context.Background(), m, RewriteAlgorithm2, 3, nil, "x"); err != nil {
+		t.Fatal(err)
+	}
+	if cache.Len() != 2 {
+		t.Fatalf("cache holds %d entries after a new effort, want 2", cache.Len())
+	}
+}
+
+// TestRewriteCacheDoesNotCacheCancellation: a cancelled computation must
+// not poison the cache; the next caller recomputes successfully.
+func TestRewriteCacheDoesNotCacheCancellation(t *testing.T) {
+	cache := NewRewriteCache()
+	m := randomMIG("f", 8, 120, 8, 4)
+	cancelled, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, _, err := cache.Rewrite(cancelled, m, RewriteAlgorithm1, 2, nil, "x"); !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	if cache.Len() != 0 {
+		t.Fatalf("cancelled computation cached (%d entries)", cache.Len())
+	}
+	out, st, err := cache.Rewrite(context.Background(), m, RewriteAlgorithm1, 2, nil, "x")
+	if err != nil || out == nil || st.Cycles == 0 {
+		t.Fatalf("retry after cancellation failed: %v %+v", err, st)
+	}
+}
+
+// TestRewriteCacheSingleflight hammers one key from many goroutines; the
+// underlying rewrite must run exactly once.
+func TestRewriteCacheSingleflight(t *testing.T) {
+	cache := NewRewriteCache()
+	m := randomMIG("f", 8, 200, 8, 17)
+	var computes atomic.Int32
+	obs := progress.Func(func(ev progress.Event) {
+		if c, ok := ev.(progress.RewriteCycle); ok && c.Cycle == 1 {
+			computes.Add(1)
+		}
+	})
+	var wg sync.WaitGroup
+	outs := make([]*mig.MIG, 16)
+	for i := range outs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			out, _, err := cache.Rewrite(context.Background(), m, RewriteAlgorithm2, 3, obs, "x")
+			if err != nil {
+				t.Error(err)
+			}
+			outs[i] = out
+		}(i)
+	}
+	wg.Wait()
+	if n := computes.Load(); n != 1 {
+		t.Fatalf("rewrite computed %d times under contention, want 1", n)
+	}
+	for i := 1; i < len(outs); i++ {
+		if outs[i] != outs[0] {
+			t.Fatal("concurrent callers saw different instances")
+		}
+	}
+}
+
+// TestRewriteCacheNeverRetainsCallerMIG: with effort 0 the rewriter can
+// return the caller's own graph; the cache must store a private copy so
+// later caller mutations cannot corrupt hits.
+func TestRewriteCacheNeverRetainsCallerMIG(t *testing.T) {
+	cache := NewRewriteCache()
+	m := randomMIG("f", 6, 50, 4, 8)
+	nodesBefore := m.NumMaj()
+	out, st, err := cache.Rewrite(context.Background(), m, RewriteAlgorithm2, 0, nil, "x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Cycles != 0 {
+		t.Fatalf("effort 0 ran %d cycles", st.Cycles)
+	}
+	if out == m {
+		t.Fatal("cache handed back the caller's own MIG as the entry")
+	}
+	// The caller keeps building on its graph; the cached entry must not see it.
+	m.AddPO(m.Maj(m.PO(0), m.PO(1), mig.Const1), "junk")
+	hit, _, err := cache.Rewrite(context.Background(), randomMIG("f", 6, 50, 4, 8), RewriteAlgorithm2, 0, nil, "x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hit.NumMaj() != nodesBefore || hit.NumPOs() != 4 {
+		t.Fatalf("cache entry was mutated through the caller's MIG: maj=%d po=%d", hit.NumMaj(), hit.NumPOs())
 	}
 }

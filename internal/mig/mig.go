@@ -14,6 +14,7 @@ package mig
 
 import (
 	"fmt"
+	"maps"
 	"math/bits"
 	"sort"
 )
@@ -110,7 +111,9 @@ type MIG struct {
 	strash map[[3]Signal]NodeID
 }
 
-// New returns an empty MIG containing only the constant node.
+// New returns an empty MIG containing only the constant node. The
+// structural-hash map grows lazily; callers that know their graph's
+// magnitude should use NewSized.
 func New(name string) *MIG {
 	m := &MIG{
 		Name:   name,
@@ -119,6 +122,38 @@ func New(name string) *MIG {
 	}
 	m.nodes[0] = node{kind: KindConst}
 	return m
+}
+
+// NewSized returns an empty MIG with capacity reserved for roughly
+// nodeCap nodes: both the node arena and the structural-hash map are
+// pre-sized, so graphs of a known magnitude build without rehashing or
+// slice growth. nodeCap is a hint, not a limit.
+func NewSized(name string, nodeCap int) *MIG {
+	if nodeCap < 1 {
+		nodeCap = 1
+	}
+	m := &MIG{
+		Name:   name,
+		nodes:  make([]node, 1, 1+nodeCap),
+		strash: make(map[[3]Signal]NodeID, nodeCap),
+	}
+	m.nodes[0] = node{kind: KindConst}
+	return m
+}
+
+// Reset empties the MIG in place for reuse as a rebuild arena: the node
+// slice is truncated (keeping its capacity), the structural-hash map is
+// cleared (keeping its buckets) and the PI/PO tables drop to zero length.
+// It must only be called on MIGs obtained from New or NewSized.
+func (m *MIG) Reset(name string) {
+	m.Name = name
+	m.nodes = m.nodes[:1]
+	m.nodes[0] = node{kind: KindConst}
+	m.piNodes = m.piNodes[:0]
+	m.piNames = m.piNames[:0]
+	m.pos = m.pos[:0]
+	m.poNames = m.poNames[:0]
+	clear(m.strash)
 }
 
 // NumNodes returns the total node count including the constant node and the
@@ -350,26 +385,25 @@ func (m *MIG) FanoutCounts() []int32 {
 
 // LiveNodes marks every node reachable from a primary output.
 func (m *MIG) LiveNodes() []bool {
-	live := make([]bool, len(m.nodes))
-	var visit func(n NodeID)
-	visit = func(n NodeID) {
-		if live[n] {
-			return
-		}
-		live[n] = true
-		nd := &m.nodes[n]
-		if nd.kind == KindMaj {
-			for _, c := range nd.children {
-				visit(c.Node())
-			}
-		}
+	return m.LiveNodesInto(nil)
+}
+
+// LiveNodesInto is LiveNodes with a caller-provided scratch slice: buf is
+// grown (or allocated) to NumNodes, cleared and filled. Hot loops that
+// sweep many graphs reuse one buffer instead of allocating per sweep.
+func (m *MIG) LiveNodesInto(buf []bool) []bool {
+	var live []bool
+	if cap(buf) >= len(m.nodes) {
+		live = buf[:len(m.nodes)]
+		clear(live)
+	} else {
+		live = make([]bool, len(m.nodes))
 	}
 	// Iterative to survive very deep graphs.
 	stack := make([]NodeID, 0, 64)
 	for _, po := range m.pos {
 		stack = append(stack, po.Node())
 	}
-	_ = visit
 	for len(stack) > 0 {
 		n := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
@@ -525,26 +559,29 @@ func (s Stats) String() string {
 
 // Clone returns a deep copy of the MIG.
 func (m *MIG) Clone() *MIG {
-	c := &MIG{
+	return &MIG{
 		Name:    m.Name,
 		nodes:   append([]node(nil), m.nodes...),
 		piNodes: append([]NodeID(nil), m.piNodes...),
 		piNames: append([]string(nil), m.piNames...),
 		pos:     append([]Signal(nil), m.pos...),
 		poNames: append([]string(nil), m.poNames...),
-		strash:  make(map[[3]Signal]NodeID, len(m.strash)),
+		strash:  maps.Clone(m.strash),
 	}
-	for k, v := range m.strash {
-		c.strash[k] = v
-	}
-	return c
 }
 
 // Cleanup returns a copy of the MIG with dangling (unreachable) majority
 // nodes removed and ids renumbered topologically. PIs and POs are preserved
 // in order.
 func (m *MIG) Cleanup() *MIG {
-	out := New(m.Name)
+	live := m.LiveNodes()
+	liveCount := 0
+	for _, l := range live {
+		if l {
+			liveCount++
+		}
+	}
+	out := NewSized(m.Name, liveCount)
 	xl8 := make([]Signal, len(m.nodes)) // old node -> new signal (uncomplemented base)
 	for i := range xl8 {
 		xl8[i] = Const0
@@ -552,7 +589,6 @@ func (m *MIG) Cleanup() *MIG {
 	for i, name := range m.piNames {
 		xl8[m.piNodes[i]] = out.AddPI(name)
 	}
-	live := m.LiveNodes()
 	for i := range m.nodes {
 		n := &m.nodes[i]
 		if n.kind != KindMaj || !live[i] {
@@ -668,3 +704,53 @@ func ExhaustivePattern(v, w int) uint64 {
 // OnesCount64 is re-exported for convenience of callers building truth
 // tables (avoids importing math/bits everywhere).
 func OnesCount64(x uint64) int { return bits.OnesCount64(x) }
+
+// Fingerprint returns a 64-bit structural hash of the MIG: its name, the
+// placement and names of PIs, every majority node's (sorted) children and
+// every primary output with its name. Two MIGs built by the same
+// deterministic construction
+// sequence share a fingerprint; any structural difference — an extra node,
+// a flipped complement, a reordered PO — changes it with overwhelming
+// probability. It is the function component of rewrite-memoization keys
+// (see internal/core.RewriteCache) and costs one O(n) sweep.
+func (m *MIG) Fingerprint() uint64 {
+	const prime64 = 1099511628211
+	h := uint64(14695981039346656037) // FNV-1a offset basis
+	mix := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			h ^= v & 0xff
+			h *= prime64
+			v >>= 8
+		}
+	}
+	for i := 0; i < len(m.Name); i++ {
+		h ^= uint64(m.Name[i])
+		h *= prime64
+	}
+	mixString := func(s string) {
+		mix(uint64(len(s)))
+		for i := 0; i < len(s); i++ {
+			h ^= uint64(s[i])
+			h *= prime64
+		}
+	}
+	mix(uint64(len(m.piNodes)))
+	for i, pi := range m.piNodes {
+		mix(uint64(pi))
+		mixString(m.piNames[i])
+	}
+	for i := range m.nodes {
+		n := &m.nodes[i]
+		if n.kind != KindMaj {
+			continue
+		}
+		mix(uint64(n.children[0]) | uint64(n.children[1])<<32)
+		mix(uint64(n.children[2]) | uint64(i)<<32)
+	}
+	mix(uint64(len(m.pos)))
+	for i, po := range m.pos {
+		mix(uint64(po))
+		mixString(m.poNames[i])
+	}
+	return h
+}

@@ -506,3 +506,138 @@ func TestReadNeverPanicsOnMutatedInput(t *testing.T) {
 		}()
 	}
 }
+
+// buildFpMIG is a small deterministic graph for fingerprint/reset tests.
+func buildFpMIG(name string) *MIG {
+	m := New(name)
+	a := m.AddPI("a")
+	b := m.AddPI("b")
+	c := m.AddPI("c")
+	x := m.Maj(a, b, c)
+	y := m.And(x, a.Not())
+	m.AddPO(m.Or(y, c), "o")
+	m.AddPO(y.Not(), "p")
+	return m
+}
+
+func TestFingerprintStableAndSensitive(t *testing.T) {
+	m := buildFpMIG("f")
+	if m.Fingerprint() != m.Fingerprint() {
+		t.Fatal("fingerprint is not deterministic")
+	}
+	if m.Fingerprint() != buildFpMIG("f").Fingerprint() {
+		t.Fatal("identical construction sequences must share a fingerprint")
+	}
+	if m.Fingerprint() == buildFpMIG("g").Fingerprint() {
+		t.Fatal("fingerprint ignores the name")
+	}
+	bigger := buildFpMIG("f")
+	bigger.AddPO(Const1, "q")
+	if m.Fingerprint() == bigger.Fingerprint() {
+		t.Fatal("fingerprint ignores an extra PO")
+	}
+	flipped := buildFpMIG("f")
+	flipped.SetPO(0, flipped.PO(0).Not())
+	if m.Fingerprint() == flipped.Fingerprint() {
+		t.Fatal("fingerprint ignores PO polarity")
+	}
+}
+
+// TestResetReuse empties a graph in place and rebuilds a different one; the
+// result must be indistinguishable from a fresh build.
+func TestResetReuse(t *testing.T) {
+	m := buildFpMIG("first")
+	m.Reset("f")
+	if m.NumNodes() != 1 || m.NumPIs() != 0 || m.NumPOs() != 0 || m.NumMaj() != 0 {
+		t.Fatalf("Reset left state behind: %v", m.Statistics())
+	}
+	// Rebuild the reference graph into the reused arena.
+	a := m.AddPI("a")
+	b := m.AddPI("b")
+	c := m.AddPI("c")
+	x := m.Maj(a, b, c)
+	y := m.And(x, a.Not())
+	m.AddPO(m.Or(y, c), "o")
+	m.AddPO(y.Not(), "p")
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if m.Fingerprint() != buildFpMIG("f").Fingerprint() {
+		t.Fatal("rebuild into a Reset arena differs from a fresh build")
+	}
+}
+
+func TestNewSizedMatchesNew(t *testing.T) {
+	m := NewSized("f", 500)
+	if m.NumNodes() != 1 || m.Kind(0) != KindConst {
+		t.Fatal("NewSized must start with only the constant node")
+	}
+	a := m.AddPI("a")
+	b := m.AddPI("b")
+	m.AddPO(m.And(a, b), "o")
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	n := New("f")
+	na := n.AddPI("a")
+	nb := n.AddPI("b")
+	n.AddPO(n.And(na, nb), "o")
+	if m.Fingerprint() != n.Fingerprint() {
+		t.Fatal("NewSized and New build different graphs")
+	}
+}
+
+func TestLiveNodesIntoMatchesLiveNodes(t *testing.T) {
+	m := buildFpMIG("f")
+	// Add a dangling node so liveness is non-trivial.
+	m.Maj(m.PO(0), m.PO(1), Const1)
+	want := m.LiveNodes()
+	buf := make([]bool, 2) // too small: must reallocate
+	got := m.LiveNodesInto(buf)
+	if len(got) != len(want) {
+		t.Fatalf("length %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("live[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+	// A large dirty buffer must be cleared and reused.
+	big := make([]bool, len(want)+32)
+	for i := range big {
+		big[i] = true
+	}
+	got2 := m.LiveNodesInto(big)
+	if &got2[0] != &big[0] {
+		t.Fatal("large buffer was not reused")
+	}
+	for i := range want {
+		if got2[i] != want[i] {
+			t.Fatalf("reused buffer live[%d] = %v, want %v", i, got2[i], want[i])
+		}
+	}
+}
+
+// TestFingerprintCoversPinNames: structurally identical graphs with
+// different PI/PO names must not collide (a rewrite-cache hit would
+// otherwise return a graph carrying the first caller's names).
+func TestFingerprintCoversPinNames(t *testing.T) {
+	build := func(pi1, pi2, po string) *MIG {
+		m := New("f")
+		a := m.AddPI(pi1)
+		b := m.AddPI(pi2)
+		m.AddPO(m.And(a, b), po)
+		return m
+	}
+	base := build("a", "b", "o").Fingerprint()
+	if build("x", "b", "o").Fingerprint() == base {
+		t.Fatal("fingerprint ignores PI names")
+	}
+	if build("a", "b", "p").Fingerprint() == base {
+		t.Fatal("fingerprint ignores PO names")
+	}
+	// Shifting a name boundary must also be visible.
+	if build("ab", "", "o").Fingerprint() == build("a", "b", "o").Fingerprint() {
+		t.Fatal("fingerprint is ambiguous across name boundaries")
+	}
+}

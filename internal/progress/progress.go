@@ -8,7 +8,7 @@ package progress
 import "time"
 
 // Event is a progress notification. The concrete types are RewriteCycle,
-// BenchmarkStart and BenchmarkDone.
+// CompileStart, CompileDone, BenchmarkStart and BenchmarkDone.
 type Event interface{ event() }
 
 // Func receives progress events. A nil Func discards them. Unless the
@@ -32,6 +32,26 @@ type RewriteCycle struct {
 	Nodes    int    // majority nodes after the cycle
 }
 
+// CompileStart reports that the compile/alloc stage of one configuration
+// began. In a staged run several configurations share one rewrite, so
+// compile events are the per-configuration signal.
+type CompileStart struct {
+	Function string // name of the MIG being compiled
+	Config   string // configuration name
+}
+
+// CompileDone reports that the compile/alloc stage of one configuration
+// finished (Err != nil on failure). Instructions and RRAMs carry the
+// paper's #I and #R on success.
+type CompileDone struct {
+	Function     string
+	Config       string
+	Elapsed      time.Duration
+	Instructions int
+	RRAMs        int
+	Err          error
+}
+
 // BenchmarkStart reports that a suite job began building and compiling.
 type BenchmarkStart struct {
 	Benchmark string
@@ -49,5 +69,7 @@ type BenchmarkDone struct {
 }
 
 func (RewriteCycle) event()   {}
+func (CompileStart) event()   {}
+func (CompileDone) event()    {}
 func (BenchmarkStart) event() {}
 func (BenchmarkDone) event()  {}

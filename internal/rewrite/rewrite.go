@@ -113,6 +113,11 @@ func Run(m *mig.MIG, pipeline []Pass, effort int) (*mig.MIG, Stats) {
 // work); on cancellation the MIG result is nil and the error is ctx.Err().
 // After every completed cycle onCycle (if non-nil) receives the 1-based
 // cycle index and the current majority-node count.
+//
+// Internally the per-cycle pass loop runs over a pair of reusable arena
+// MIGs (see scratch), so a whole rewriting run performs O(1) graph
+// allocations regardless of effort; the returned MIG is always detached
+// from the arenas.
 func RunContext(ctx context.Context, m *mig.MIG, pipeline []Pass, effort int, onCycle func(cycle, nodes int)) (*mig.MIG, Stats, error) {
 	st := Stats{
 		NodesBefore:    m.Statistics().MajNodes,
@@ -120,15 +125,16 @@ func RunContext(ctx context.Context, m *mig.MIG, pipeline []Pass, effort int, on
 	}
 	_, st.DepthBefore = m.Levels()
 	cur := m
+	sc := &scratch{}
 	for cycle := 0; cycle < effort; cycle++ {
 		if err := ctx.Err(); err != nil {
 			return nil, st, err
 		}
 		before := fingerprint(cur)
 		for _, p := range pipeline {
-			cur = applyPass(cur, p)
+			cur = applyPass(sc, cur, p)
 		}
-		cur = cur.Cleanup()
+		cur = cleanupPass(sc, cur)
 		st.Cycles = cycle + 1
 		if onCycle != nil {
 			onCycle(st.Cycles, cur.NumMaj())
@@ -136,6 +142,9 @@ func RunContext(ctx context.Context, m *mig.MIG, pipeline []Pass, effort int, on
 		if fingerprint(cur) == before {
 			break
 		}
+	}
+	if cur != m {
+		cur = cur.Clone() // detach the result from the reusable arenas
 	}
 	st.NodesAfter = cur.Statistics().MajNodes
 	st.CompHistAfter = cur.ComplementHistogram()
@@ -158,22 +167,51 @@ func fingerprint(m *mig.MIG) [8]int {
 	return fp
 }
 
-func applyPass(m *mig.MIG, p Pass) *mig.MIG {
+func applyPass(sc *scratch, m *mig.MIG, p Pass) *mig.MIG {
 	switch p {
 	case PassM:
-		return passMajority(m)
+		return passMajority(sc, m)
 	case PassDRL:
-		return passDistributivityRL(m)
+		return passDistributivityRL(sc, m)
 	case PassA:
-		return passAssociativity(m)
+		return passAssociativity(sc, m)
 	case PassPsiC:
-		return passPsiC(m)
+		return passPsiC(sc, m)
 	case PassIRL13:
-		return passInverters(m, true)
+		return passInverters(sc, m, true)
 	case PassIRL:
-		return passInverters(m, false)
+		return passInverters(sc, m, false)
 	}
 	panic("rewrite: unknown pass")
+}
+
+// scratch is the reusable state of a rewriting run: two arena MIGs the
+// per-cycle pass loop ping-pongs between (each pass reads one and rebuilds
+// into the other, Reset in place) plus the translation/liveness/fanout
+// buffers every sweep needs. A nil *scratch makes each pass allocate
+// fresh state, which is what the single-pass axiom tests use.
+type scratch struct {
+	arenas [2]*mig.MIG
+	xl8    []mig.Signal
+	live   []bool
+	fanout []int32
+}
+
+// nextArena returns an empty arena distinct from src, creating it on first
+// use. src is at most one of the two arenas, so one is always free.
+func (sc *scratch) nextArena(src *mig.MIG) *mig.MIG {
+	for i := range sc.arenas {
+		if sc.arenas[i] == src {
+			continue
+		}
+		if sc.arenas[i] == nil {
+			sc.arenas[i] = mig.NewSized(src.Name, src.NumNodes())
+		} else {
+			sc.arenas[i].Reset(src.Name)
+		}
+		return sc.arenas[i]
+	}
+	panic("rewrite: both arenas alias the source")
 }
 
 // rebuild holds the state of one reconstruction sweep.
@@ -185,16 +223,31 @@ type rebuild struct {
 	fanout []int32
 }
 
-func newRebuild(src *mig.MIG) *rebuild {
-	r := &rebuild{
-		src:  src,
-		dst:  mig.New(src.Name),
-		xl8:  make([]mig.Signal, src.NumNodes()),
-		live: src.LiveNodes(),
+func newRebuild(src *mig.MIG, sc *scratch) *rebuild {
+	n := src.NumNodes()
+	r := &rebuild{src: src}
+	if sc == nil {
+		r.dst = mig.NewSized(src.Name, n)
+		r.xl8 = make([]mig.Signal, n)
+		r.live = src.LiveNodes()
+		r.fanout = make([]int32, n)
+	} else {
+		r.dst = sc.nextArena(src)
+		if cap(sc.xl8) < n {
+			sc.xl8 = make([]mig.Signal, n)
+		}
+		r.xl8 = sc.xl8[:n]
+		clear(r.xl8)
+		sc.live = src.LiveNodesInto(sc.live)
+		r.live = sc.live
+		if cap(sc.fanout) < n {
+			sc.fanout = make([]int32, n)
+		}
+		r.fanout = sc.fanout[:n]
+		clear(r.fanout)
 	}
 	// Fanout restricted to live parents: passes may leave dangling nodes
 	// behind, and a dangling parent must not block a single-fanout guard.
-	r.fanout = make([]int32, src.NumNodes())
 	src.ForEachMaj(func(n mig.NodeID, c [3]mig.Signal) {
 		if !r.live[n] {
 			return
@@ -237,10 +290,21 @@ func (r *rebuild) sweep(fn func(n mig.NodeID, c [3]mig.Signal) mig.Signal) *mig.
 	return r.finish()
 }
 
+// cleanupPass is mig.Cleanup as an arena sweep: dangling nodes are dropped
+// and ids renumbered, but the surviving structure is preserved exactly
+// (RawMaj, no folding), matching Cleanup's semantics without allocating a
+// fresh graph per cycle.
+func cleanupPass(sc *scratch, m *mig.MIG) *mig.MIG {
+	r := newRebuild(m, sc)
+	return r.sweep(func(_ mig.NodeID, c [3]mig.Signal) mig.Signal {
+		return r.dst.RawMaj(r.get(c[0]), r.get(c[1]), r.get(c[2]))
+	})
+}
+
 // passMajority rebuilds the graph through the hashing constructor, which
 // applies Ω.M everywhere (including opportunities opened by earlier folds).
-func passMajority(m *mig.MIG) *mig.MIG {
-	r := newRebuild(m)
+func passMajority(sc *scratch, m *mig.MIG) *mig.MIG {
+	r := newRebuild(m, sc)
 	return r.sweep(func(_ mig.NodeID, c [3]mig.Signal) mig.Signal {
 		return r.dst.Maj(r.get(c[0]), r.get(c[1]), r.get(c[2]))
 	})
@@ -260,8 +324,8 @@ func effChildren(c [3]mig.Signal, comp bool) [3]mig.Signal {
 // ⟨⟨x y u⟩ ⟨x y v⟩ z⟩ → ⟨x y ⟨u v z⟩⟩, saving one node whenever the two
 // inner nodes have no other fanout. Polarities are handled through
 // self-duality, so e.g. ⟨⟨x y u⟩' ⟨x̄ ȳ v⟩ z⟩ also matches with {x̄, ȳ}.
-func passDistributivityRL(m *mig.MIG) *mig.MIG {
-	r := newRebuild(m)
+func passDistributivityRL(sc *scratch, m *mig.MIG) *mig.MIG {
+	r := newRebuild(m, sc)
 	return r.sweep(func(n mig.NodeID, c [3]mig.Signal) mig.Signal {
 		// Try each pair of children as the two products.
 		for ia := 0; ia < 3; ia++ {
@@ -335,8 +399,8 @@ func remaining(set [3]mig.Signal, shared [2]mig.Signal) mig.Signal {
 // swap is profitable: the new inner node ⟨y u x⟩ folds by Ω.M or already
 // exists (sharing). The inner node must be single-fanout so the graph cannot
 // grow.
-func passAssociativity(m *mig.MIG) *mig.MIG {
-	r := newRebuild(m)
+func passAssociativity(sc *scratch, m *mig.MIG) *mig.MIG {
+	r := newRebuild(m, sc)
 	return r.sweep(func(n mig.NodeID, c [3]mig.Signal) mig.Signal {
 		for ii := 0; ii < 3; ii++ { // candidate inner child
 			w := c[ii]
@@ -380,8 +444,8 @@ func passAssociativity(m *mig.MIG) *mig.MIG {
 // plain x "removes a single complemented edge of an MIG node", destroying
 // the ideal one-complement shape that maps to a single RM3 instruction.
 // The endurance-aware Algorithm 2 therefore drops this pass.
-func passPsiC(m *mig.MIG) *mig.MIG {
-	r := newRebuild(m)
+func passPsiC(sc *scratch, m *mig.MIG) *mig.MIG {
+	r := newRebuild(m, sc)
 	return r.sweep(func(n mig.NodeID, c [3]mig.Signal) mig.Signal {
 		for ii := 0; ii < 3; ii++ {
 			w := c[ii]
@@ -417,8 +481,8 @@ func passPsiC(m *mig.MIG) *mig.MIG {
 // one complemented fanin. With full=false only rule (1) applies (all three
 // fanins complemented). The complement moves to the node's fanout edges and
 // primary-output edges, where the sweep picks it up via the translation map.
-func passInverters(m *mig.MIG, full bool) *mig.MIG {
-	r := newRebuild(m)
+func passInverters(sc *scratch, m *mig.MIG, full bool) *mig.MIG {
+	r := newRebuild(m, sc)
 	return r.sweep(func(n mig.NodeID, c [3]mig.Signal) mig.Signal {
 		d := [3]mig.Signal{r.get(c[0]), r.get(c[1]), r.get(c[2])}
 		comp, nonconst := 0, 0

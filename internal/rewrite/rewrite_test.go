@@ -155,7 +155,7 @@ func TestEachPassPreservesFunction(t *testing.T) {
 		t.Run(p.String(), func(t *testing.T) {
 			for seed := int64(1); seed <= 5; seed++ {
 				m := buildTestMIG(t, "rnd", 8, 60, 6, seed)
-				out := applyPass(m, p)
+				out := applyPass(nil, m, p)
 				if err := out.Validate(); err != nil {
 					t.Fatal(err)
 				}
@@ -184,7 +184,7 @@ func TestDistributivityReducesConstructedCase(t *testing.T) {
 	if m.NumMaj() != 3 {
 		t.Fatalf("setup: want 3 nodes, have %d", m.NumMaj())
 	}
-	out := passDistributivityRL(m).Cleanup()
+	out := passDistributivityRL(nil, m).Cleanup()
 	if out.NumMaj() != 2 {
 		t.Fatalf("Ω.D R→L should leave 2 nodes, got %d", out.NumMaj())
 	}
@@ -202,7 +202,7 @@ func TestDistributivityRespectsFanoutGuard(t *testing.T) {
 	b := m.Maj(x, y, v)
 	m.AddPO(m.Maj(a, b, z), "f")
 	m.AddPO(a, "keep") // a has a second fanout: rewriting would grow the graph
-	out := passDistributivityRL(m).Cleanup()
+	out := passDistributivityRL(nil, m).Cleanup()
 	if out.NumMaj() != 3 {
 		t.Fatalf("guard failed: got %d nodes, want 3", out.NumMaj())
 	}
@@ -220,7 +220,7 @@ func TestDistributivityWithComplementedProducts(t *testing.T) {
 	a := m.Maj(x, y, u)
 	b := m.Maj(x.Not(), y.Not(), v)
 	m.AddPO(m.Maj(a.Not(), b, z), "f")
-	out := passDistributivityRL(m).Cleanup()
+	out := passDistributivityRL(nil, m).Cleanup()
 	if out.NumMaj() != 2 {
 		t.Fatalf("polarity-aware Ω.D failed: got %d nodes, want 2", out.NumMaj())
 	}
@@ -230,7 +230,7 @@ func TestDistributivityWithComplementedProducts(t *testing.T) {
 func TestInverterNormalizationInvariant(t *testing.T) {
 	for seed := int64(1); seed <= 8; seed++ {
 		m := buildTestMIG(t, "rnd", 10, 120, 8, seed)
-		out := passInverters(m, true).Cleanup()
+		out := passInverters(nil, m, true).Cleanup()
 		hist := out.ComplementHistogram()
 		if hist[2] != 0 || hist[3] != 0 {
 			t.Fatalf("seed %d: nodes with ≥2 complemented fanins remain: %v", seed, hist)
@@ -248,7 +248,7 @@ func TestInverterRule1Only(t *testing.T) {
 	n2 := m.Maj(x.Not(), y.Not(), z)       // 2 complemented
 	m.AddPO(n3, "a")
 	m.AddPO(n2, "b")
-	out := passInverters(m, false).Cleanup()
+	out := passInverters(nil, m, false).Cleanup()
 	hist := out.ComplementHistogram()
 	if hist[3] != 0 {
 		t.Fatalf("rule (1) left a 3-complemented node: %v", hist)
@@ -277,7 +277,7 @@ func TestAssociativityEnablesFold(t *testing.T) {
 	f := m.Maj(x, u, inner)
 	m.AddPO(f, "f")
 	before := m.Cleanup().NumMaj()
-	out := passAssociativity(m).Cleanup()
+	out := passAssociativity(nil, m).Cleanup()
 	if out.NumMaj() >= before {
 		t.Fatalf("Ω.A sharing case: %d nodes before, %d after", before, out.NumMaj())
 	}
@@ -294,7 +294,7 @@ func TestPsiCEnablesFold(t *testing.T) {
 	inner := m.Maj(x.Not(), u.Not(), z)
 	f := m.Maj(x, u, inner)
 	m.AddPO(f, "f")
-	out := passPsiC(m).Cleanup()
+	out := passPsiC(nil, m).Cleanup()
 	if out.NumMaj() != 1 {
 		t.Fatalf("Ψ.C fold case: got %d nodes, want 1", out.NumMaj())
 	}
@@ -369,5 +369,61 @@ func TestPassStrings(t *testing.T) {
 	}
 	if Pass(99).String() != "?" {
 		t.Fatalf("unknown pass must stringify as ?")
+	}
+}
+
+// TestRunResultDetachedFromArenas guards the arena reuse: the MIG returned
+// by Run must stay valid and functionally intact after later Run calls
+// reuse (or would reuse) the internal scratch state, and repeated runs must
+// be deterministic.
+func TestRunResultDetachedFromArenas(t *testing.T) {
+	build := func(seed int64) *mig.MIG {
+		rng := rand.New(rand.NewSource(seed))
+		m := mig.New("det")
+		sigs := make([]mig.Signal, 0, 64)
+		for i := 0; i < 6; i++ {
+			sigs = append(sigs, m.AddPI(""))
+		}
+		pick := func() mig.Signal {
+			s := sigs[rng.Intn(len(sigs))]
+			if rng.Intn(3) == 0 {
+				s = s.Not()
+			}
+			return s
+		}
+		for i := 0; i < 60; i++ {
+			sigs = append(sigs, m.Maj(pick(), pick(), pick()))
+		}
+		for i := 0; i < 4; i++ {
+			m.AddPO(pick(), "")
+		}
+		return m.Cleanup()
+	}
+	m1 := build(1)
+	out1, st1 := Run(m1, Algorithm2, 5)
+	want := truthTables(out1)
+	fp := out1.Fingerprint()
+
+	// Further runs on other graphs must not disturb out1.
+	for seed := int64(2); seed < 6; seed++ {
+		Run(build(seed), Algorithm1, 5)
+		Run(build(seed), Algorithm2, 5)
+	}
+	if err := out1.Validate(); err != nil {
+		t.Fatalf("result corrupted by later runs: %v", err)
+	}
+	if out1.Fingerprint() != fp {
+		t.Fatal("result mutated by later runs")
+	}
+	got := truthTables(out1)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("PO %d function changed after later runs", i)
+		}
+	}
+	// Determinism: a fresh run of the same input reproduces the result.
+	out2, st2 := Run(build(1), Algorithm2, 5)
+	if st1 != st2 || out2.Fingerprint() != fp {
+		t.Fatalf("rewriting is not deterministic: %+v vs %+v", st1, st2)
 	}
 }

@@ -1,0 +1,81 @@
+package suite
+
+import (
+	"sync"
+
+	"plim/internal/mig"
+)
+
+// Cache memoizes benchmark generator output per (name, shrink). Every
+// generator is deterministic, so a cached graph is structurally identical
+// to a fresh build; the expensive word-level construction (and the
+// follow-up Cleanup/Validate) runs once.
+//
+// Cached MIGs are shared between callers and must be treated as read-only.
+// The compilation flow only reads its input, so internal/tables hands the
+// shared instance straight to the staged runner; plim.Engine.Benchmark
+// clones before returning a cached graph to user code.
+//
+// Concurrent callers of the same key share one build (singleflight).
+// Errors (unknown benchmark, validation failure) are not cached.
+type Cache struct {
+	mu      sync.Mutex
+	entries map[buildKey]*buildEntry
+}
+
+type buildKey struct {
+	name   string
+	shrink int
+}
+
+type buildEntry struct {
+	done chan struct{}
+	m    *mig.MIG
+	err  error
+}
+
+// NewCache returns an empty benchmark cache.
+func NewCache() *Cache {
+	return &Cache{entries: make(map[buildKey]*buildEntry)}
+}
+
+// Len reports the number of cached benchmark builds.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+// BuildScaled is suite.BuildScaled memoized through the cache. The
+// returned MIG is shared: callers must not mutate it. A nil *Cache builds
+// afresh.
+func (c *Cache) BuildScaled(name string, shrink int) (*mig.MIG, error) {
+	if c == nil {
+		return BuildScaled(name, shrink)
+	}
+	key := buildKey{name: name, shrink: shrink}
+	for {
+		c.mu.Lock()
+		e, ok := c.entries[key]
+		if !ok {
+			e = &buildEntry{done: make(chan struct{})}
+			c.entries[key] = e
+			c.mu.Unlock()
+			e.m, e.err = BuildScaled(name, shrink)
+			if e.err != nil {
+				c.mu.Lock()
+				delete(c.entries, key)
+				c.mu.Unlock()
+			}
+			close(e.done)
+			return e.m, e.err
+		}
+		c.mu.Unlock()
+		<-e.done
+		if e.err == nil {
+			return e.m, nil
+		}
+		// The building caller failed and removed the entry; retry so this
+		// caller either rebuilds or reports its own error.
+	}
+}

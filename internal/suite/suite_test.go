@@ -3,6 +3,7 @@ package suite
 import (
 	"math/big"
 	"math/rand"
+	"sync"
 	"testing"
 
 	"plim/internal/mig"
@@ -400,6 +401,76 @@ func TestSyntheticBenchmarksUseEveryInput(t *testing.T) {
 			if fo[m.PINode(i)] == 0 {
 				t.Fatalf("%s: input %d unused", name, i)
 			}
+		}
+	}
+}
+
+// TestCacheSharesDeterministicBuilds checks the benchmark cache: repeated
+// builds return one shared instance, structurally identical to a fresh
+// build, and distinct (name, shrink) keys get distinct entries.
+func TestCacheSharesDeterministicBuilds(t *testing.T) {
+	c := NewCache()
+	a, err := c.BuildScaled("ctrl", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := c.BuildScaled("ctrl", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatal("cache rebuilt instead of sharing")
+	}
+	fresh, err := BuildScaled("ctrl", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Fingerprint() != fresh.Fingerprint() {
+		t.Fatal("cached build differs from a fresh build")
+	}
+	if _, err := c.BuildScaled("ctrl", 2); err != nil {
+		t.Fatal(err)
+	}
+	if c.Len() != 2 {
+		t.Fatalf("cache holds %d entries, want 2", c.Len())
+	}
+	if _, err := c.BuildScaled("no-such-benchmark", 1); err == nil {
+		t.Fatal("unknown benchmark must error")
+	}
+	if c.Len() != 2 {
+		t.Fatal("errors must not be cached")
+	}
+	// A nil cache is the uncached path.
+	var nc *Cache
+	if _, err := nc.BuildScaled("ctrl", 4); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCacheConcurrentSingleflight hammers one key concurrently; all
+// callers must see the same instance.
+func TestCacheConcurrentSingleflight(t *testing.T) {
+	c := NewCache()
+	var wg sync.WaitGroup
+	outs := make([]*mig.MIG, 8)
+	for i := range outs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			m, err := c.BuildScaled("router", 2)
+			if err != nil {
+				t.Error(err)
+			}
+			outs[i] = m
+		}(i)
+	}
+	wg.Wait()
+	if c.Len() != 1 {
+		t.Fatalf("cache holds %d entries, want 1", c.Len())
+	}
+	for i := 1; i < len(outs); i++ {
+		if outs[i] != outs[0] {
+			t.Fatal("concurrent callers saw different instances")
 		}
 	}
 }

@@ -42,12 +42,20 @@ type Options struct {
 	Effort int
 	// Shrink divides datapath widths for quick runs (1 = paper scale).
 	Shrink int
-	// Workers bounds parallelism.
+	// Workers bounds parallelism across the whole run: benchmark jobs and
+	// the compile jobs they fan out share one worker budget.
 	Workers int
 	// Progress receives typed suite events. It may be invoked concurrently
 	// from worker goroutines; callers that need serialized delivery must
 	// wrap it (plim.Engine does).
 	Progress progress.Func
+	// BenchCache, when non-nil, reuses benchmark generator output across
+	// runs (shared read-only instances). plim.Engine threads its cache
+	// through here.
+	BenchCache *suite.Cache
+	// RewriteCache, when non-nil, memoizes rewrite stages across
+	// configurations, benchmarks and runs.
+	RewriteCache *core.RewriteCache
 }
 
 func (o *Options) validate() error {
@@ -63,10 +71,18 @@ func (o *Options) validate() error {
 	return nil
 }
 
-// RunSuite evaluates every configuration on every requested benchmark.
-// Benchmarks run in parallel; results are deterministic and ordered.
-// Cancellation is checked between suite jobs (and, inside each job, between
-// rewrite cycles); once ctx is cancelled RunSuite stops dispatching work and
+// RunSuite evaluates every configuration on every requested benchmark as a
+// two-level schedule. Level one runs benchmark jobs in parallel: build the
+// MIG (through the benchmark cache, when set) and run each distinct
+// rewrite stage of the configuration plan exactly once (memoized through
+// the rewrite cache, when set). Level two fans the per-configuration
+// compile jobs out over the same worker budget: a benchmark job holds one
+// worker and borrows idle spare workers for its compile stages, so the
+// whole run never exceeds opts.Workers goroutines doing work.
+//
+// Results are deterministic and ordered. Cancellation is checked between
+// suite jobs (and, inside each job, between rewrite cycles and compile
+// stages); once ctx is cancelled RunSuite stops dispatching work and
 // returns ctx.Err(). When several benchmarks fail independently, every
 // failure is reported through one joined error.
 func RunSuite(ctx context.Context, cfgs []core.Config, opts Options) (*SuiteResult, error) {
@@ -81,10 +97,17 @@ func RunSuite(ctx context.Context, cfgs []core.Config, opts Options) (*SuiteResu
 		Configs:    cfgs,
 		Reports:    make([][]*core.Report, len(opts.Benchmarks)),
 	}
+	// Workers not running benchmark jobs are spare tokens the compile
+	// fan-out of in-flight benchmarks may borrow.
+	benchWorkers := min(opts.Workers, len(opts.Benchmarks))
+	spare := make(chan struct{}, opts.Workers)
+	for i := 0; i < opts.Workers-benchWorkers; i++ {
+		spare <- struct{}{}
+	}
 	jobs := make(chan int)
 	errs := make([]error, len(opts.Benchmarks))
 	var wg sync.WaitGroup
-	for w := 0; w < min(opts.Workers, len(opts.Benchmarks)); w++ {
+	for w := 0; w < benchWorkers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
@@ -92,7 +115,7 @@ func RunSuite(ctx context.Context, cfgs []core.Config, opts Options) (*SuiteResu
 				if ctx.Err() != nil {
 					continue // drain without starting new work
 				}
-				errs[idx] = sr.runOne(ctx, idx, opts)
+				errs[idx] = sr.runOne(ctx, idx, opts, spare)
 			}
 		}()
 	}
@@ -115,13 +138,13 @@ dispatch:
 	return sr, nil
 }
 
-func (sr *SuiteResult) runOne(ctx context.Context, idx int, opts Options) error {
+func (sr *SuiteResult) runOne(ctx context.Context, idx int, opts Options, spare chan struct{}) error {
 	name := opts.Benchmarks[idx]
 	opts.Progress.Emit(progress.BenchmarkStart{
 		Benchmark: name, Index: idx, Total: len(opts.Benchmarks),
 	})
 	start := time.Now()
-	err := sr.buildAndRun(ctx, idx, opts)
+	err := sr.buildAndRun(ctx, idx, opts, spare)
 	opts.Progress.Emit(progress.BenchmarkDone{
 		Benchmark: name, Index: idx, Total: len(opts.Benchmarks),
 		Elapsed: time.Since(start), Err: err,
@@ -129,13 +152,13 @@ func (sr *SuiteResult) runOne(ctx context.Context, idx int, opts Options) error 
 	return err
 }
 
-func (sr *SuiteResult) buildAndRun(ctx context.Context, idx int, opts Options) error {
+func (sr *SuiteResult) buildAndRun(ctx context.Context, idx int, opts Options, spare chan struct{}) error {
 	name := opts.Benchmarks[idx]
 	info, ok := suite.Get(name)
 	if !ok {
 		return fmt.Errorf("tables: unknown benchmark %q", name)
 	}
-	m, err := suite.BuildScaled(name, opts.Shrink)
+	m, err := opts.BenchCache.BuildScaled(name, opts.Shrink)
 	if err != nil {
 		return err
 	}
@@ -144,16 +167,17 @@ func (sr *SuiteResult) buildAndRun(ctx context.Context, idx int, opts Options) e
 		info.PO = m.NumPOs()
 	}
 	sr.Benchmarks[idx] = info
-	reports := make([]*core.Report, len(sr.Configs))
-	for c, cfg := range sr.Configs {
-		rep, err := core.Run(ctx, m, cfg, opts.Effort, opts.Progress)
-		if err != nil {
-			if ctx.Err() != nil {
-				return err // cancellation, not a benchmark failure: no wrap
-			}
-			return fmt.Errorf("tables: %s/%s: %w", name, cfg.Name, err)
+	reports, err := core.RunStaged(ctx, m, sr.Configs, core.StagedOptions{
+		Effort:   opts.Effort,
+		Spare:    spare,
+		Cache:    opts.RewriteCache,
+		Progress: opts.Progress,
+	})
+	if err != nil {
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			return err // cancellation, not a benchmark failure: no wrap
 		}
-		reports[c] = rep
+		return fmt.Errorf("tables: %s: %w", name, err)
 	}
 	sr.Reports[idx] = reports
 	return nil

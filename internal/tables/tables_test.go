@@ -4,10 +4,14 @@ import (
 	"context"
 	"errors"
 	"math"
+	"slices"
 	"strings"
+	"sync"
 	"testing"
 
 	"plim/internal/core"
+	"plim/internal/progress"
+	"plim/internal/suite"
 )
 
 // quickOpts runs a few small benchmarks at reduced scale so the full
@@ -274,5 +278,169 @@ func TestRunSuiteCancelledContext(t *testing.T) {
 	_, err := RunSuite(ctx, core.TableIConfigs(), quickOpts())
 	if !errors.Is(err, context.Canceled) {
 		t.Fatalf("want context.Canceled, got %v", err)
+	}
+}
+
+// referenceSuite is the pre-staged sequential path: every configuration
+// rewrites from scratch, every benchmark rebuilds its MIG, nothing is
+// cached. The staged scheduler must be byte-identical to it.
+func referenceSuite(t *testing.T, cfgs []core.Config, opts Options) *SuiteResult {
+	t.Helper()
+	sr := &SuiteResult{
+		Benchmarks: make([]suite.Info, len(opts.Benchmarks)),
+		Configs:    cfgs,
+		Reports:    make([][]*core.Report, len(opts.Benchmarks)),
+	}
+	for i, name := range opts.Benchmarks {
+		info, ok := suite.Get(name)
+		if !ok {
+			t.Fatalf("unknown benchmark %q", name)
+		}
+		m, err := suite.BuildScaled(name, opts.Shrink)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if opts.Shrink != 1 {
+			info.PI = m.NumPIs()
+			info.PO = m.NumPOs()
+		}
+		sr.Benchmarks[i] = info
+		reps := make([]*core.Report, len(cfgs))
+		for c, cfg := range cfgs {
+			if reps[c], err = core.Run(context.Background(), m, cfg, opts.Effort, nil); err != nil {
+				t.Fatalf("%s/%s: %v", name, cfg.Name, err)
+			}
+		}
+		sr.Reports[i] = reps
+	}
+	return sr
+}
+
+// TestStagedSuiteParity requires the cached parallel scheduler to render
+// byte-identical tables — and identical per-device write counts — to the
+// sequential uncached path, for the Table I and Table III configurations.
+func TestStagedSuiteParity(t *testing.T) {
+	cases := map[string][]core.Config{
+		"tableI":   core.TableIConfigs(),
+		"tableIII": {core.FullCap(10), core.FullCap(20), core.FullCap(50), core.FullCap(100)},
+	}
+	for name, cfgs := range cases {
+		opts := quickOpts()
+		want := referenceSuite(t, cfgs, opts)
+		opts.Workers = 4
+		opts.BenchCache = suite.NewCache()
+		opts.RewriteCache = core.NewRewriteCache()
+		got, err := RunSuite(context.Background(), cfgs, opts)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		// Run the staged path twice: the second pass is served from warm
+		// caches and must still match.
+		again, err := RunSuite(context.Background(), cfgs, opts)
+		if err != nil {
+			t.Fatalf("%s (warm): %v", name, err)
+		}
+		for _, staged := range []*SuiteResult{got, again} {
+			for b := range want.Benchmarks {
+				if want.Benchmarks[b] != staged.Benchmarks[b] {
+					t.Fatalf("%s: benchmark info %d differs", name, b)
+				}
+				for c := range cfgs {
+					ra, rb := want.Reports[b][c], staged.Reports[b][c]
+					if ra.Rewrite != rb.Rewrite || ra.Writes != rb.Writes {
+						t.Fatalf("%s: stats diverge at [%d][%d]", name, b, c)
+					}
+					if !slices.Equal(ra.Result.WriteCounts, rb.Result.WriteCounts) {
+						t.Fatalf("%s: write counts diverge at [%d][%d]", name, b, c)
+					}
+				}
+			}
+			var ga, gb *Grid
+			if name == "tableIII" {
+				da, err := TableIII(want)
+				if err != nil {
+					t.Fatal(err)
+				}
+				db, err := TableIII(staged)
+				if err != nil {
+					t.Fatal(err)
+				}
+				ga, gb = da.Grid(), db.Grid()
+			} else {
+				da, err := TableI(want)
+				if err != nil {
+					t.Fatal(err)
+				}
+				db, err := TableI(staged)
+				if err != nil {
+					t.Fatal(err)
+				}
+				ga, gb = da.Grid(), db.Grid()
+			}
+			if ga.CSV() != gb.CSV() || ga.Text() != gb.Text() {
+				t.Fatalf("%s: staged run rendered a different table", name)
+			}
+		}
+	}
+}
+
+// TestRunSuitePipelineOncePerBenchmark asserts, by counting first-cycle
+// rewrite events, that a Table I suite run starts each distinct rewriting
+// pipeline exactly once per benchmark — two rewrites, not four.
+func TestRunSuitePipelineOncePerBenchmark(t *testing.T) {
+	opts := quickOpts()
+	opts.Workers = 1
+	var mu sync.Mutex
+	starts := map[string]map[string]int{} // function -> pipeline -> count
+	opts.Progress = func(ev progress.Event) {
+		c, ok := ev.(progress.RewriteCycle)
+		if !ok || c.Cycle != 1 {
+			return
+		}
+		mu.Lock()
+		defer mu.Unlock()
+		if starts[c.Function] == nil {
+			starts[c.Function] = map[string]int{}
+		}
+		starts[c.Function][c.Config]++
+	}
+	if _, err := RunSuite(context.Background(), core.TableIConfigs(), opts); err != nil {
+		t.Fatal(err)
+	}
+	for _, bench := range opts.Benchmarks {
+		got := starts[bench]
+		if len(got) != 2 || got["algorithm1"] != 1 || got["algorithm2"] != 1 {
+			t.Fatalf("%s: rewrite starts = %v, want exactly one per distinct pipeline", bench, got)
+		}
+	}
+}
+
+// TestRunSuiteEmitsCompileEvents checks the per-configuration compile
+// events: one start/done pair per benchmark × configuration, with #I
+// populated on success.
+func TestRunSuiteEmitsCompileEvents(t *testing.T) {
+	opts := quickOpts()
+	opts.Workers = 1
+	var mu sync.Mutex
+	startN, doneN := 0, 0
+	opts.Progress = func(ev progress.Event) {
+		mu.Lock()
+		defer mu.Unlock()
+		switch ev := ev.(type) {
+		case progress.CompileStart:
+			startN++
+		case progress.CompileDone:
+			doneN++
+			if ev.Err != nil || ev.Instructions == 0 || ev.RRAMs == 0 {
+				t.Errorf("compile done for %s/%s incomplete: %+v", ev.Function, ev.Config, ev)
+			}
+		}
+	}
+	if _, err := RunSuite(context.Background(), core.TableIConfigs(), opts); err != nil {
+		t.Fatal(err)
+	}
+	want := len(opts.Benchmarks) * 5
+	if startN != want || doneN != want {
+		t.Fatalf("compile events: %d starts, %d dones, want %d each", startN, doneN, want)
 	}
 }
