@@ -165,15 +165,43 @@ func BenchmarkRewriteAlgorithm2(b *testing.B) {
 }
 
 // BenchmarkCompileFull measures endurance-aware compilation throughput
-// (nodes → RM3 instructions) on a rewritten multiplier.
+// (nodes → RM3 instructions) on a rewritten multiplier. ReportAllocs guards
+// the compile scratch pool: the steady state is O(1) allocations per
+// compilation, not O(graph).
 func BenchmarkCompileFull(b *testing.B) {
 	m := benchmarkMIG(b, "multiplier")
 	mr, _ := rewrite.Run(m, rewrite.Algorithm2, core.DefaultEffort)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := Compile(mr, CompileOptions{Selection: 2, Alloc: 1}); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkCompilePolicies measures each selection policy separately on the
+// same rewritten multiplier, isolating the cost of the candidate-heap
+// orderings from rewriting.
+func BenchmarkCompilePolicies(b *testing.B) {
+	m := benchmarkMIG(b, "multiplier")
+	mr, _ := rewrite.Run(m, rewrite.Algorithm2, core.DefaultEffort)
+	for _, tc := range []struct {
+		name string
+		opts CompileOptions
+	}{
+		{"node-order", CompileOptions{Selection: 0, Alloc: 0}},
+		{"standard", CompileOptions{Selection: 1, Alloc: 1}},
+		{"endurance", CompileOptions{Selection: 2, Alloc: 1}},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := Compile(mr, tc.opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

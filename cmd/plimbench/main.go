@@ -4,6 +4,14 @@
 //
 //	plimbench                        # representative set, shrink 2
 //	plimbench -shrink 1 -out -       # paper scale, JSON to stdout
+//	plimbench -baseline BENCH_plim.json   # fail on >10% ns/op regressions
+//
+// With -baseline the run additionally diffs each benchmark's ns/op against
+// the named (typically committed) report and exits non-zero when any hot
+// path regressed by more than -maxregress percent — the CI trend gate. The
+// escape hatch for intentional regressions is the PLIM_BENCH_ALLOW_REGRESSION
+// environment variable (any non-empty value downgrades the failure to a
+// warning); CI sets it from a pull-request label.
 //
 // Alongside the micro-benchmarks (rewriting pipelines, compilation) it
 // times the Table I benchmark × configuration sweep twice: once with the
@@ -54,9 +62,11 @@ type Report struct {
 
 func main() {
 	var (
-		shrink  = flag.Int("shrink", 2, "divide benchmark datapath widths (1 = paper scale)")
-		benches = flag.String("benchmarks", "div,i2c,bar,ctrl", "suite-sweep benchmark subset")
-		outFile = flag.String("out", "BENCH_plim.json", "output file ('-' = stdout)")
+		shrink     = flag.Int("shrink", 2, "divide benchmark datapath widths (1 = paper scale)")
+		benches    = flag.String("benchmarks", "div,i2c,bar,ctrl", "suite-sweep benchmark subset")
+		outFile    = flag.String("out", "BENCH_plim.json", "output file ('-' = stdout)")
+		baseline   = flag.String("baseline", "", "baseline report to diff ns/op against (empty = no gate)")
+		maxRegress = flag.Float64("maxregress", 10, "with -baseline: fail when ns/op regresses by more than this percent")
 	)
 	flag.Parse()
 	names := strings.Split(*benches, ",")
@@ -101,6 +111,24 @@ func main() {
 		for i := 0; i < b.N; i++ {
 			if _, err := plim.Compile(rewritten, plim.CompileOptions{
 				Selection: plim.Full.Selection, Alloc: plim.Full.Alloc,
+			}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	add("compile/node-order", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := plim.Compile(rewritten, plim.CompileOptions{
+				Selection: plim.Naive.Selection, Alloc: plim.Naive.Alloc,
+			}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	add("compile/standard", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := plim.Compile(rewritten, plim.CompileOptions{
+				Selection: plim.MinWrite.Selection, Alloc: plim.MinWrite.Alloc,
 			}); err != nil {
 				b.Fatal(err)
 			}
@@ -171,11 +199,77 @@ func main() {
 	out = append(out, '\n')
 	if *outFile == "-" {
 		os.Stdout.Write(out)
-		return
-	}
-	if err := os.WriteFile(*outFile, out, 0o644); err != nil {
+	} else if err := os.WriteFile(*outFile, out, 0o644); err != nil {
 		fatal(err)
 	}
+
+	// Trend gate: the new numbers are written out above regardless, so a
+	// failing run still leaves the fresh report for inspection.
+	if *baseline != "" {
+		if err := checkRegressions(*baseline, &rep, *maxRegress); err != nil {
+			if os.Getenv("PLIM_BENCH_ALLOW_REGRESSION") != "" {
+				fmt.Fprintf(os.Stderr, "plimbench: WARNING (allowed by PLIM_BENCH_ALLOW_REGRESSION): %v\n", err)
+				return
+			}
+			fmt.Fprintf(os.Stderr, "plimbench: %v\n", err)
+			fmt.Fprintln(os.Stderr, "plimbench: set PLIM_BENCH_ALLOW_REGRESSION=1 (CI: the allow-bench-regression label) to accept")
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "plimbench: no ns/op regression beyond %.0f%% vs %s\n", *maxRegress, *baseline)
+	}
+}
+
+// allocsFloor is the absolute allocs/op growth below which the gate stays
+// quiet: a handful of extra allocations on an already-lean path (say
+// 12 -> 20) is a huge percentage but no regression worth failing CI over.
+const allocsFloor = 16
+
+// checkRegressions compares each measured benchmark against the baseline
+// report and returns an error naming every benchmark that regressed beyond
+// maxRegress percent — on ns/op (wall clock, noisy on shared runners but
+// the headline number) and on allocs/op (deterministic, so it catches an
+// allocation-churn regression even when a faster runner masks the time).
+// Benchmarks absent from the baseline (new hot paths) are skipped; the
+// comparison only ever tightens once they are committed.
+func checkRegressions(path string, rep *Report, maxRegress float64) error {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("baseline: %w", err)
+	}
+	var base Report
+	if err := json.Unmarshal(raw, &base); err != nil {
+		return fmt.Errorf("baseline %s: %w", path, err)
+	}
+	if base.Shrink != rep.Shrink {
+		return fmt.Errorf("baseline %s measured shrink %d, this run shrink %d — not comparable", path, base.Shrink, rep.Shrink)
+	}
+	baseBy := make(map[string]Entry, len(base.Benchmarks))
+	for _, e := range base.Benchmarks {
+		baseBy[e.Name] = e
+	}
+	var failures []string
+	for _, e := range rep.Benchmarks {
+		old, ok := baseBy[e.Name]
+		if !ok {
+			continue
+		}
+		if old.NsPerOp > 0 {
+			pct := 100 * (float64(e.NsPerOp) - float64(old.NsPerOp)) / float64(old.NsPerOp)
+			if pct > maxRegress {
+				failures = append(failures, fmt.Sprintf("%s: %d -> %d ns/op (+%.1f%%)", e.Name, old.NsPerOp, e.NsPerOp, pct))
+			}
+		}
+		if old.AllocsPerOp > 0 && e.AllocsPerOp-old.AllocsPerOp > allocsFloor {
+			pct := 100 * (float64(e.AllocsPerOp) - float64(old.AllocsPerOp)) / float64(old.AllocsPerOp)
+			if pct > maxRegress {
+				failures = append(failures, fmt.Sprintf("%s: %d -> %d allocs/op (+%.1f%%)", e.Name, old.AllocsPerOp, e.AllocsPerOp, pct))
+			}
+		}
+	}
+	if len(failures) > 0 {
+		return fmt.Errorf("regressed beyond %.0f%% vs baseline:\n  %s", maxRegress, strings.Join(failures, "\n  "))
+	}
+	return nil
 }
 
 // runPerConfig is the legacy uncached sequential-per-configuration suite

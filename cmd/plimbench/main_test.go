@@ -1,0 +1,90 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeBaseline(t *testing.T, rep Report) string {
+	t.Helper()
+	raw, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "baseline.json")
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestCheckRegressionsGate(t *testing.T) {
+	base := Report{Shrink: 2, Benchmarks: []Entry{
+		{Name: "compile/full", NsPerOp: 1000},
+		{Name: "rewrite/algorithm2", NsPerOp: 2000},
+	}}
+	path := writeBaseline(t, base)
+
+	// Within tolerance (and a brand-new benchmark) passes.
+	ok := &Report{Shrink: 2, Benchmarks: []Entry{
+		{Name: "compile/full", NsPerOp: 1050},
+		{Name: "rewrite/algorithm2", NsPerOp: 1500},
+		{Name: "compile/new-path", NsPerOp: 999999},
+	}}
+	if err := checkRegressions(path, ok, 10); err != nil {
+		t.Fatalf("within-tolerance run failed the gate: %v", err)
+	}
+
+	// Beyond tolerance fails and names the offender.
+	bad := &Report{Shrink: 2, Benchmarks: []Entry{
+		{Name: "compile/full", NsPerOp: 1200},
+		{Name: "rewrite/algorithm2", NsPerOp: 2000},
+	}}
+	err := checkRegressions(path, bad, 10)
+	if err == nil {
+		t.Fatal("20% regression passed a 10% gate")
+	}
+	if !strings.Contains(err.Error(), "compile/full") {
+		t.Fatalf("failure does not name the regressed benchmark: %v", err)
+	}
+	// A looser gate accepts the same numbers.
+	if err := checkRegressions(path, bad, 25); err != nil {
+		t.Fatalf("20%% regression failed a 25%% gate: %v", err)
+	}
+
+	// An allocation regression fails even when ns/op improved (a faster
+	// runner must not mask allocation churn)...
+	churn := &Report{Shrink: 2, Benchmarks: []Entry{
+		{Name: "compile/full", NsPerOp: 500, AllocsPerOp: 5000},
+		{Name: "rewrite/algorithm2", NsPerOp: 2000},
+	}}
+	allocBase := writeBaseline(t, Report{Shrink: 2, Benchmarks: []Entry{
+		{Name: "compile/full", NsPerOp: 1000, AllocsPerOp: 12},
+		{Name: "rewrite/algorithm2", NsPerOp: 2000},
+	}})
+	err = checkRegressions(allocBase, churn, 10)
+	if err == nil || !strings.Contains(err.Error(), "allocs/op") {
+		t.Fatalf("allocation churn passed the gate: %v", err)
+	}
+	// ...but small absolute growth on a lean path stays under the floor.
+	lean := &Report{Shrink: 2, Benchmarks: []Entry{
+		{Name: "compile/full", NsPerOp: 1000, AllocsPerOp: 20},
+		{Name: "rewrite/algorithm2", NsPerOp: 2000},
+	}}
+	if err := checkRegressions(allocBase, lean, 10); err != nil {
+		t.Fatalf("12 -> 20 allocs/op must stay under the absolute floor: %v", err)
+	}
+
+	// Mismatched shrink is not comparable.
+	if err := checkRegressions(path, &Report{Shrink: 1}, 10); err == nil {
+		t.Fatal("cross-shrink comparison must be rejected")
+	}
+
+	// Missing baseline is an error, not a silent pass.
+	if err := checkRegressions(filepath.Join(t.TempDir(), "nope.json"), ok, 10); err == nil {
+		t.Fatal("missing baseline must error")
+	}
+}

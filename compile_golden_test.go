@@ -1,0 +1,86 @@
+package plim
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"testing"
+
+	"plim/internal/alloc"
+	"plim/internal/compile"
+	"plim/internal/core"
+	"plim/internal/rewrite"
+	"plim/internal/suite"
+)
+
+// compileDigest hashes everything the acceptance criteria pin: the binary
+// program, the per-device write counts and the #I/#R metrics.
+func compileDigest(t *testing.T, res *compile.Result) string {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := res.Program.WriteBinary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	h := sha256.New()
+	h.Write(buf.Bytes())
+	var word [8]byte
+	for _, w := range res.WriteCounts {
+		binary.LittleEndian.PutUint64(word[:], w)
+		h.Write(word[:])
+	}
+	binary.LittleEndian.PutUint64(word[:], uint64(res.NumInstructions))
+	h.Write(word[:])
+	binary.LittleEndian.PutUint64(word[:], uint64(res.NumRRAMs))
+	h.Write(word[:])
+	return hex.EncodeToString(h.Sum(nil))[:16]
+}
+
+// TestCompileGoldenOutputs pins the compiler's exact output — program bytes,
+// write counts, #I and #R — on the shrink-2 multiplier rewritten by
+// Algorithm 2 at paper effort, for all three selection policies and both
+// allocators. The hashes were recorded before the compile-scratch reuse
+// landed, so any deviation means the allocation-lean path changed observable
+// behaviour, which the refactor must never do.
+func TestCompileGoldenOutputs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("golden sweep in short mode")
+	}
+	m, err := suite.BuildScaled("multiplier", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rewritten, _ := rewrite.Run(m, rewrite.Algorithm2, core.DefaultEffort)
+	cases := []struct {
+		name string
+		opts compile.Options
+		want string
+	}{
+		{"node-order/lifo", compile.Options{Selection: compile.NodeOrder, Alloc: alloc.LIFO}, "c27638fe72a2b44c"},
+		{"standard/lifo", compile.Options{Selection: compile.Standard, Alloc: alloc.LIFO}, "4f2de26384f4d89f"},
+		{"standard/minwrite", compile.Options{Selection: compile.Standard, Alloc: alloc.MinWrite}, "375ee31bce332d83"},
+		{"endurance/minwrite", compile.Options{Selection: compile.Endurance, Alloc: alloc.MinWrite}, "d678adec7364eabd"},
+		{"endurance/minwrite/cap50", compile.Options{Selection: compile.Endurance, Alloc: alloc.MinWrite, MaxWrites: 50}, "2281cba13ebdb42a"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			res, err := compile.Compile(rewritten, tc.opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := compileDigest(t, res)
+			if got != tc.want {
+				t.Fatalf("compile output changed: digest %s, want %s", got, tc.want)
+			}
+			// A second compile of the same graph (which reuses the pooled
+			// scratch the first call released) must be byte-identical too.
+			res2, err := compile.Compile(rewritten, tc.opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if d2 := compileDigest(t, res2); d2 != got {
+				t.Fatalf("repeat compile diverged: %s vs %s", d2, got)
+			}
+		})
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"runtime"
 	"sync"
 
+	"plim/internal/compile"
 	"plim/internal/core"
 	"plim/internal/progress"
 	"plim/internal/suite"
@@ -30,21 +31,33 @@ import (
 // really runs zero rewriting cycles, and WithWorkers(1) really serializes a
 // suite (which also makes progress-event order deterministic).
 type Engine struct {
-	effort   int
-	workers  int
-	shrink   int
-	cache    bool
-	progress progress.Func
-	mu       sync.Mutex // serializes progress delivery
-	err      error      // first invalid option; surfaced by every method
+	effort      int
+	workers     int
+	shrink      int
+	cache       bool
+	cacheBudget int
+	progress    progress.Func
+	mu          sync.Mutex // serializes progress delivery
+	err         error      // first invalid option; surfaced by every method
 
 	// Populated at construction when cache is true: benchCache memoizes
 	// benchmark generator output, rwCache memoizes rewrite stages by
-	// (function fingerprint, pipeline, effort). Both grow with the set of
-	// distinct functions the engine sees and are dropped with the engine.
+	// (function fingerprint, pipeline, effort). Both hold at most
+	// cacheBudget entries (least-recently-used entries are evicted), so a
+	// long-lived engine fed a stream of distinct functions stays bounded.
 	benchCache *suite.Cache
 	rwCache    *core.RewriteCache
+
+	// scratch recycles compile-stage state (per-node tables, candidate
+	// heap, device allocator) across every compilation the engine runs.
+	scratch *compile.ScratchPool
 }
+
+// DefaultCacheBudget is the default LRU entry budget of the engine's
+// benchmark and rewrite caches. Each cached entry holds a whole MIG, so the
+// budget bounds memory on long-lived engines; a full paper sweep (18
+// benchmarks × 3 distinct pipelines) fits with ample headroom.
+const DefaultCacheBudget = 128
 
 // Option configures an Engine at construction time.
 type Option func(*Engine)
@@ -55,17 +68,19 @@ type Option func(*Engine)
 // option does not panic; it is reported by the first Engine method call.
 func NewEngine(opts ...Option) *Engine {
 	e := &Engine{
-		effort:  DefaultEffort,
-		workers: runtime.GOMAXPROCS(0),
-		shrink:  1,
-		cache:   true,
+		effort:      DefaultEffort,
+		workers:     runtime.GOMAXPROCS(0),
+		shrink:      1,
+		cache:       true,
+		cacheBudget: DefaultCacheBudget,
+		scratch:     compile.NewScratchPool(),
 	}
 	for _, opt := range opts {
 		opt(e)
 	}
 	if e.cache {
-		e.benchCache = suite.NewCache()
-		e.rwCache = core.NewRewriteCache()
+		e.benchCache = suite.NewCacheWithBudget(e.cacheBudget)
+		e.rwCache = core.NewRewriteCacheWithBudget(e.cacheBudget)
 	}
 	return e
 }
@@ -116,10 +131,28 @@ func WithShrink(s int) Option {
 // cache that reuses generator output across runs and a rewrite cache that
 // runs each distinct (function, pipeline, effort) rewrite once — so
 // regenerating Table III after Table I skips every algorithm-2 rewrite.
-// Results are bit-identical either way; disable it to bound memory on
-// engines fed an unbounded stream of distinct functions.
+// Results are bit-identical either way. Both caches are LRU-bounded (see
+// WithCacheBudget), so even engines fed an unbounded stream of distinct
+// functions stay within budget; WithCache(false) turns memoization off
+// entirely.
 func WithCache(enabled bool) Option {
 	return func(e *Engine) { e.cache = enabled }
+}
+
+// WithCacheBudget bounds the engine's benchmark and rewrite caches to n
+// entries each; beyond the budget the least-recently-used entry is evicted.
+// Every cached entry holds a whole MIG, so the budget is the engine's memory
+// knob for server-style workloads over unbounded streams of distinct
+// functions. n must be ≥ 1; the default is DefaultCacheBudget. To disable
+// memoization entirely use WithCache(false).
+func WithCacheBudget(n int) Option {
+	return func(e *Engine) {
+		if n < 1 {
+			e.fail(fmt.Errorf("plim: WithCacheBudget(%d): budget must be ≥ 1", n))
+			return
+		}
+		e.cacheBudget = n
+	}
 }
 
 // WithProgress installs a progress callback. The engine serializes
@@ -154,6 +187,9 @@ func (e *Engine) Shrink() int { return e.shrink }
 // stages.
 func (e *Engine) Cached() bool { return e.cache }
 
+// CacheBudget reports the LRU entry budget of the engine's caches.
+func (e *Engine) CacheBudget() int { return e.cacheBudget }
+
 // Run rewrites and compiles m under the given configuration. The input MIG
 // is not modified; the rewrite stage is served from the engine's cache
 // when it has already run for this function. Cancellation is honoured
@@ -166,6 +202,7 @@ func (e *Engine) Run(ctx context.Context, m *MIG, cfg Config) (*Report, error) {
 	reps, err := core.RunStaged(ctx, m, []Config{cfg}, core.StagedOptions{
 		Effort:   e.effort,
 		Cache:    e.rwCache,
+		Scratch:  e.scratch,
 		Progress: e.observer(),
 	})
 	if err != nil {
@@ -186,6 +223,7 @@ func (e *Engine) RunAll(ctx context.Context, m *MIG, cfgs []Config) ([]*Report, 
 		Effort:   e.effort,
 		Workers:  e.workers,
 		Cache:    e.rwCache,
+		Scratch:  e.scratch,
 		Progress: e.observer(),
 	})
 }
@@ -211,6 +249,7 @@ func (e *Engine) RunSuite(ctx context.Context, cfgs []Config, benchmarks ...stri
 		Progress:     e.observer(),
 		BenchCache:   e.benchCache,
 		RewriteCache: e.rwCache,
+		Scratch:      e.scratch,
 	})
 }
 
@@ -229,6 +268,10 @@ func (e *Engine) Rewrite(ctx context.Context, m *MIG, kind RewriteKind) (*MIG, R
 	}
 	if e.rwCache != nil {
 		out = out.Clone() // cache entries are shared; hand out a private copy
+	} else if out == m {
+		// Uncached effort-0 (or RewriteNone on a clean graph) hands the
+		// input straight back; the privacy guarantee still holds.
+		out = out.Clone()
 	}
 	return out, st, nil
 }

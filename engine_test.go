@@ -22,6 +22,19 @@ func engineTestMIG(t *testing.T) *MIG {
 	return b.M
 }
 
+// engineRandomMIG builds structurally distinct small functions (the width
+// varies with the seed, so fingerprints differ).
+func engineRandomMIG(seed int64) *MIG {
+	b := NewNetlistBuilder("etest-rnd")
+	w := 3 + int(seed)
+	x := b.Input("x", w)
+	y := b.Input("y", w)
+	sum, carry := b.Add(x, y, Const0)
+	b.Output("s", sum)
+	b.OutputBit("c", carry)
+	return b.M
+}
+
 func TestEngineOptionAccessors(t *testing.T) {
 	eng := NewEngine(WithEffort(3), WithWorkers(2), WithShrink(4))
 	if eng.Effort() != 3 || eng.Workers() != 2 || eng.Shrink() != 4 {
@@ -33,15 +46,43 @@ func TestEngineOptionAccessors(t *testing.T) {
 		t.Fatalf("defaults wrong: effort=%d workers=%d shrink=%d",
 			def.Effort(), def.Workers(), def.Shrink())
 	}
+	if def.CacheBudget() != DefaultCacheBudget {
+		t.Fatalf("default cache budget = %d, want %d", def.CacheBudget(), DefaultCacheBudget)
+	}
+	if b := NewEngine(WithCacheBudget(7)).CacheBudget(); b != 7 {
+		t.Fatalf("WithCacheBudget not applied: %d", b)
+	}
+}
+
+// TestEngineCacheBudgetBoundsRewriteCache runs more distinct functions
+// through a budget-1 engine than its caches may retain; results must stay
+// correct and the rewrite cache must not grow past the budget.
+func TestEngineCacheBudgetBoundsRewriteCache(t *testing.T) {
+	eng := NewEngine(WithCacheBudget(1), WithEffort(2))
+	ctx := context.Background()
+	for seed := int64(1); seed <= 4; seed++ {
+		m := engineRandomMIG(seed)
+		rep, err := eng.Run(ctx, m, Full)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.NumInstructions() == 0 {
+			t.Fatal("empty program")
+		}
+	}
+	if n := eng.rwCache.Len(); n > 1 {
+		t.Fatalf("rewrite cache holds %d entries over a budget of 1", n)
+	}
 }
 
 func TestEngineInvalidOptionsSurface(t *testing.T) {
 	ctx := context.Background()
 	m := engineTestMIG(t)
 	for name, eng := range map[string]*Engine{
-		"effort":  NewEngine(WithEffort(-1)),
-		"workers": NewEngine(WithWorkers(0)),
-		"shrink":  NewEngine(WithShrink(0)),
+		"effort":       NewEngine(WithEffort(-1)),
+		"workers":      NewEngine(WithWorkers(0)),
+		"shrink":       NewEngine(WithShrink(0)),
+		"cache-budget": NewEngine(WithCacheBudget(0)),
 	} {
 		if _, err := eng.Run(ctx, m, Full); err == nil {
 			t.Errorf("%s: invalid option not surfaced by Run", name)
@@ -531,5 +572,23 @@ func TestEngineRewriteCacheHitIsPrivate(t *testing.T) {
 	}
 	if third.Fingerprint() != fp {
 		t.Fatal("mutating a returned rewrite leaked into the cache")
+	}
+}
+
+// TestEngineRewriteUncachedEffortZeroIsPrivate: even with caching off and
+// effort 0 (where the rewriter hands the input back), Engine.Rewrite must
+// honour its "returned MIG is always private" guarantee.
+func TestEngineRewriteUncachedEffortZeroIsPrivate(t *testing.T) {
+	eng := NewEngine(WithCache(false), WithEffort(0))
+	m := engineTestMIG(t)
+	out, st, err := eng.Rewrite(context.Background(), m, RewriteAlgorithm1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Cycles != 0 {
+		t.Fatalf("effort 0 ran %d cycles", st.Cycles)
+	}
+	if out == m {
+		t.Fatal("Rewrite returned the caller's own MIG")
 	}
 }

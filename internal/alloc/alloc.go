@@ -20,7 +20,6 @@
 package alloc
 
 import (
-	"container/heap"
 	"fmt"
 )
 
@@ -58,11 +57,33 @@ type Allocator struct {
 
 	freeStack []uint32  // LIFO policy
 	freeHeap  writeHeap // MinWrite policy
+
+	// Acquire-time scratch for free-set entries skipped because they lack
+	// headroom for the current request. Reused across calls so a cap-heavy
+	// compilation does not allocate per Acquire.
+	skipStack []uint32
+	skipHeap  []heapEntry
 }
 
 // New returns an allocator with the given policy and write cap (0 = none).
 func New(kind Kind, maxWrites uint64) *Allocator {
 	return &Allocator{kind: kind, maxWrites: maxWrites}
+}
+
+// Reset re-initializes the allocator for a new program under a (possibly
+// different) policy and cap, keeping the capacity of every internal slice.
+// A reset allocator behaves exactly like a fresh New(kind, maxWrites): all
+// devices, write counts, retirements and free-set state are dropped. It is
+// the reuse hook of the compile scratch pool — one Allocator serves many
+// compilations without reallocating its tables.
+func (a *Allocator) Reset(kind Kind, maxWrites uint64) {
+	a.kind = kind
+	a.maxWrites = maxWrites
+	a.writes = a.writes[:0]
+	a.inUse = a.inUse[:0]
+	a.retired = a.retired[:0]
+	a.freeStack = a.freeStack[:0]
+	a.freeHeap = a.freeHeap[:0]
 }
 
 // Kind returns the policy.
@@ -106,7 +127,7 @@ func (a *Allocator) CanWrite(addr uint32, n uint64) bool {
 func (a *Allocator) Acquire(need uint64) uint32 {
 	switch a.kind {
 	case LIFO:
-		var skipped []uint32
+		skipped := a.skipStack[:0]
 		for len(a.freeStack) > 0 {
 			addr := a.freeStack[len(a.freeStack)-1]
 			a.freeStack = a.freeStack[:len(a.freeStack)-1]
@@ -115,6 +136,7 @@ func (a *Allocator) Acquire(need uint64) uint32 {
 				for i := len(skipped) - 1; i >= 0; i-- {
 					a.freeStack = append(a.freeStack, skipped[i])
 				}
+				a.skipStack = skipped[:0]
 				a.inUse[addr] = true
 				if DebugAcquireHook != nil {
 					DebugAcquireHook(addr, a.writes[addr], len(a.freeStack))
@@ -126,10 +148,11 @@ func (a *Allocator) Acquire(need uint64) uint32 {
 		for i := len(skipped) - 1; i >= 0; i-- {
 			a.freeStack = append(a.freeStack, skipped[i])
 		}
+		a.skipStack = skipped[:0]
 	case MinWrite:
-		var skipped []heapEntry
+		skipped := a.skipHeap[:0]
 		for a.freeHeap.Len() > 0 {
-			addr := heap.Pop(&a.freeHeap).(uint32)
+			addr := a.freeHeap.pop()
 			if debugCheck {
 				for _, e := range a.freeHeap {
 					if a.writes[e.addr] < a.writes[addr] {
@@ -140,8 +163,9 @@ func (a *Allocator) Acquire(need uint64) uint32 {
 			}
 			if a.eligible(addr, need) {
 				for _, e := range skipped {
-					heap.Push(&a.freeHeap, e)
+					a.freeHeap.push(e)
 				}
+				a.skipHeap = skipped[:0]
 				a.inUse[addr] = true
 				if DebugAcquireHook != nil {
 					DebugAcquireHook(addr, a.writes[addr], a.freeHeap.Len())
@@ -151,8 +175,9 @@ func (a *Allocator) Acquire(need uint64) uint32 {
 			skipped = append(skipped, heapEntry{addr: addr, writes: a.writes[addr]})
 		}
 		for _, e := range skipped {
-			heap.Push(&a.freeHeap, e)
+			a.freeHeap.push(e)
 		}
+		a.skipHeap = skipped[:0]
 	}
 	addr := uint32(len(a.writes))
 	a.writes = append(a.writes, 0)
@@ -176,7 +201,7 @@ func (a *Allocator) Release(addr uint32) {
 	case LIFO:
 		a.freeStack = append(a.freeStack, addr)
 	case MinWrite:
-		heap.Push(&a.freeHeap, heapEntry{addr: addr, writes: a.writes[addr]})
+		a.freeHeap.push(heapEntry{addr: addr, writes: a.writes[addr]})
 	}
 }
 
@@ -206,6 +231,13 @@ func (a *Allocator) FreeCount() int {
 // writeHeap is a min-heap of free devices ordered by write count with the
 // address as a deterministic tie-break. Write counts of free devices never
 // change (only in-use devices are written), so stored keys stay valid.
+//
+// The sift operations replicate container/heap's algorithm exactly over the
+// concretely-typed slice, so element movement (and thus pop order among
+// re-heapified entries) is bit-identical to the former container/heap
+// implementation while avoiding its per-Push interface boxing — one heap
+// allocation per device release, which dominated allocation counts under
+// the MinWrite policy.
 type heapEntry struct {
 	addr   uint32
 	writes uint64
@@ -214,20 +246,57 @@ type heapEntry struct {
 type writeHeap []heapEntry
 
 func (h writeHeap) Len() int { return len(h) }
-func (h writeHeap) Less(i, j int) bool {
+func (h writeHeap) less(i, j int) bool {
 	if h[i].writes != h[j].writes {
 		return h[i].writes < h[j].writes
 	}
 	return h[i].addr < h[j].addr
 }
-func (h writeHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *writeHeap) Push(x interface{}) { *h = append(*h, x.(heapEntry)) }
-func (h *writeHeap) Pop() interface{} {
+func (h writeHeap) swap(i, j int) { h[i], h[j] = h[j], h[i] }
+
+func (h *writeHeap) push(e heapEntry) {
+	*h = append(*h, e)
+	h.up(len(*h) - 1)
+}
+
+func (h *writeHeap) pop() uint32 {
 	old := *h
-	n := len(old)
-	e := old[n-1]
-	*h = old[:n-1]
+	n := len(old) - 1
+	old.swap(0, n)
+	old.down(0, n)
+	e := old[n]
+	*h = old[:n]
 	return e.addr
+}
+
+func (h writeHeap) up(j int) {
+	for {
+		i := (j - 1) / 2 // parent
+		if i == j || !h.less(j, i) {
+			break
+		}
+		h.swap(i, j)
+		j = i
+	}
+}
+
+func (h writeHeap) down(i0, n int) {
+	i := i0
+	for {
+		j1 := 2*i + 1
+		if j1 >= n || j1 < 0 { // j1 < 0 after int overflow
+			break
+		}
+		j := j1 // left child
+		if j2 := j1 + 1; j2 < n && h.less(j2, j1) {
+			j = j2 // = 2*i + 2, right child
+		}
+		if !h.less(j, i) {
+			break
+		}
+		h.swap(i, j)
+		i = j
+	}
 }
 
 // debugCheck enables expensive internal invariant checks; tests and probes

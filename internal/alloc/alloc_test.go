@@ -290,3 +290,87 @@ func TestDebugFacilities(t *testing.T) {
 		}
 	}
 }
+
+// TestResetMatchesFresh drives a deterministic acquire/write/release script
+// against a freshly constructed allocator and against one that previously
+// ran a different workload and was Reset — addresses, write counts, cell
+// totals and retirements must match exactly. This pins the scratch pool's
+// "reused allocator == fresh allocator" contract across both policies and
+// the capped path.
+func TestResetMatchesFresh(t *testing.T) {
+	script := func(a *Allocator, seed int64) ([]uint32, []uint64, []bool) {
+		rng := rand.New(rand.NewSource(seed))
+		var addrs []uint32
+		var inUse []uint32
+		for i := 0; i < 300; i++ {
+			switch rng.Intn(3) {
+			case 0:
+				d := a.Acquire(uint64(2 + rng.Intn(2)))
+				addrs = append(addrs, d)
+				inUse = append(inUse, d)
+			case 1:
+				if len(inUse) > 0 {
+					d := inUse[rng.Intn(len(inUse))]
+					if a.CanWrite(d, 1) {
+						a.NoteWrite(d, 1)
+					}
+				}
+			case 2:
+				if len(inUse) > 0 {
+					j := rng.Intn(len(inUse))
+					a.Release(inUse[j])
+					inUse = append(inUse[:j], inUse[j+1:]...)
+				}
+			}
+		}
+		retired := make([]bool, a.NumCells())
+		for d := uint32(0); int(d) < a.NumCells(); d++ {
+			retired[d] = a.Retired(d)
+		}
+		return addrs, a.WriteCounts(), retired
+	}
+	cases := []struct {
+		kind Kind
+		cap  uint64
+	}{
+		{LIFO, 0}, {LIFO, 8}, {MinWrite, 0}, {MinWrite, 8},
+	}
+	for _, tc := range cases {
+		fresh := New(tc.kind, tc.cap)
+		wantAddrs, wantWrites, wantRetired := script(fresh, 42)
+
+		// Dirty a reusable allocator with a different policy, cap and
+		// workload, then Reset it into the case under test.
+		reused := New(MinWrite, 6)
+		script(reused, 7)
+		reused.Reset(tc.kind, tc.cap)
+		if reused.Kind() != tc.kind || reused.MaxWrites() != tc.cap {
+			t.Fatalf("%v/cap%d: Reset did not apply policy", tc.kind, tc.cap)
+		}
+		if reused.NumCells() != 0 || reused.FreeCount() != 0 {
+			t.Fatalf("%v/cap%d: Reset left state behind", tc.kind, tc.cap)
+		}
+		gotAddrs, gotWrites, gotRetired := script(reused, 42)
+
+		if len(gotAddrs) != len(wantAddrs) {
+			t.Fatalf("%v/cap%d: %d acquisitions vs %d fresh", tc.kind, tc.cap, len(gotAddrs), len(wantAddrs))
+		}
+		for i := range wantAddrs {
+			if gotAddrs[i] != wantAddrs[i] {
+				t.Fatalf("%v/cap%d: acquisition %d returned %d, fresh returned %d",
+					tc.kind, tc.cap, i, gotAddrs[i], wantAddrs[i])
+			}
+		}
+		for i := range wantWrites {
+			if gotWrites[i] != wantWrites[i] {
+				t.Fatalf("%v/cap%d: device %d has %d writes, fresh has %d",
+					tc.kind, tc.cap, i, gotWrites[i], wantWrites[i])
+			}
+		}
+		for i := range wantRetired {
+			if gotRetired[i] != wantRetired[i] {
+				t.Fatalf("%v/cap%d: device %d retirement differs", tc.kind, tc.cap, i)
+			}
+		}
+	}
+}

@@ -93,21 +93,48 @@ type Result struct {
 	NumRRAMs int
 }
 
-// Compile translates m into a PLiM program.
+// Compile translates m into a PLiM program, drawing scratch state from the
+// package's shared pool.
 func Compile(m *mig.MIG, opts Options) (*Result, error) {
+	return CompileWith(m, opts, defaultScratchPool)
+}
+
+// CompileWith is Compile with an explicit scratch pool: the per-node tables,
+// candidate heap, instruction buffer and device allocator are acquired from
+// pool and returned to it when compilation finishes, so a hot caller (the
+// staged per-configuration fan-out) performs O(1) graph-sized allocations
+// per compilation. A nil pool disables reuse and compiles on fresh scratch.
+// The returned Result is always private to the caller — nothing in it
+// aliases pooled memory.
+func CompileWith(m *mig.MIG, opts Options, pool *ScratchPool) (*Result, error) {
 	if opts.MaxWrites > 0 && opts.MaxWrites < 4 {
 		return nil, fmt.Errorf("compile: max-write cap %d cannot fit a preset+copy+RM3 sequence; use 0 or ≥4", opts.MaxWrites)
 	}
-	c := newCompiler(m, opts)
+	sc := pool.get(m.NumNodes())
+	res, err := compileOn(m, opts, sc)
+	// The scratch returns to the pool on every path: after an error its
+	// contents are garbage, but acquisition re-sizes and clears every table.
+	pool.put(sc)
+	return res, err
+}
+
+func compileOn(m *mig.MIG, opts Options, sc *compileScratch) (*Result, error) {
+	c := newCompiler(m, opts, sc)
+	// Buffers that grow by append live on the compiler; hand their grown
+	// capacity back to the scratch whichever way compilation ends.
+	defer func() {
+		sc.insts = c.insts[:0]
+		sc.heapEntries = c.heap.entries[:0]
+	}()
 	if err := c.run(); err != nil {
 		return nil, err
 	}
 	prog := &isa.Program{
 		Name:     m.Name,
-		Insts:    c.insts,
+		Insts:    append([]isa.Instruction(nil), c.insts...),
 		NumCells: uint32(c.alloc.NumCells()),
-		PICells:  c.piCells,
-		POs:      c.pos,
+		PICells:  append([]uint32(nil), c.piCells...),
+		POs:      append([]isa.PORef(nil), c.pos...),
 	}
 	if err := prog.Validate(); err != nil {
 		return nil, fmt.Errorf("compile: emitted invalid program: %w", err)
@@ -115,7 +142,7 @@ func Compile(m *mig.MIG, opts Options) (*Result, error) {
 	return &Result{
 		Program:         prog,
 		WriteCounts:     c.alloc.WriteCounts(),
-		NumInstructions: len(c.insts),
+		NumInstructions: len(prog.Insts),
 		NumRRAMs:        c.alloc.NumCells(),
 	}, nil
 }
@@ -123,6 +150,7 @@ func Compile(m *mig.MIG, opts Options) (*Result, error) {
 type compiler struct {
 	m     *mig.MIG
 	opts  Options
+	sc    *compileScratch
 	alloc *alloc.Allocator
 
 	insts   []isa.Instruction
@@ -147,46 +175,73 @@ type compiler struct {
 
 	// pending[n] counts distinct majority children of n not yet computed.
 	pending []int32
-	// parents[n] lists distinct majority parents of n.
-	parents [][]mig.NodeID
+	// The distinct majority parents of node n are
+	// parentBuf[parentOff[n]:parentOff[n+1]], in ascending parent order
+	// (the order the old per-node slices accumulated them in).
+	parentOff []int32
+	parentBuf []mig.NodeID
 
 	heap candidateHeap
 
-	// invPOCells memoizes materialized inverted PO values per node, and
-	// constPOCells the two constant PO cells.
+	// invPOCells memoizes materialized inverted PO values per node (created
+	// lazily — most graphs have no complemented POs left after rewriting),
+	// and constPOCells the two constant PO cells.
 	invPOCells   map[mig.NodeID]uint32
 	constPOCells [2]int64
 }
 
-func newCompiler(m *mig.MIG, opts Options) *compiler {
+// parentsOf returns the distinct majority parents of node n.
+func (c *compiler) parentsOf(n mig.NodeID) []mig.NodeID {
+	return c.parentBuf[c.parentOff[n]:c.parentOff[n+1]]
+}
+
+func newCompiler(m *mig.MIG, opts Options, sc *compileScratch) *compiler {
 	n := m.NumNodes()
+	sc.alloc.Reset(opts.Alloc, opts.MaxWrites)
+	sc.cell = growClear(sc.cell, n)
+	sc.remaining = growClear(sc.remaining, n)
+	sc.computed = growClear(sc.computed, n)
+	sc.foLevel = growClear(sc.foLevel, n)
+	sc.pending = growClear(sc.pending, n)
+	sc.parentOff = growClear(sc.parentOff, n+1)
+	sc.live = m.LiveNodesInto(sc.live)
+	if sc.invPOCells != nil {
+		clear(sc.invPOCells)
+	}
 	c := &compiler{
 		m:          m,
 		opts:       opts,
-		alloc:      alloc.New(opts.Alloc, opts.MaxWrites),
-		cell:       make([]uint32, n),
-		remaining:  make([]int32, n),
-		computed:   make([]bool, n),
-		foLevel:    make([]int32, n),
-		pending:    make([]int32, n),
-		parents:    make([][]mig.NodeID, n),
-		live:       m.LiveNodes(),
-		invPOCells: make(map[mig.NodeID]uint32),
+		sc:         sc,
+		alloc:      &sc.alloc,
+		cell:       sc.cell,
+		remaining:  sc.remaining,
+		computed:   sc.computed,
+		foLevel:    sc.foLevel,
+		pending:    sc.pending,
+		parentOff:  sc.parentOff,
+		live:       sc.live,
+		insts:      sc.insts[:0],
+		invPOCells: sc.invPOCells,
 	}
+	c.heap.entries = sc.heapEntries[:0]
 	c.constPOCells[0] = -1
 	c.constPOCells[1] = -1
 
 	var depth int32
-	c.level, depth = m.Levels()
+	c.level, depth = m.LevelsInto(sc.level)
+	sc.level = c.level
 
-	// Uses, parents and pending counts over the live subgraph.
+	// Uses, fanout levels, pending counts and parent-list sizes over the
+	// live subgraph, in one sweep: the duplicate-child scan both dedups the
+	// parent edge and classifies it (majority children feed pending).
+	// parentOff[cn+1] accumulates node cn's distinct-parent count so the
+	// prefix sum below turns it into CSR offsets.
 	m.ForEachMaj(func(p mig.NodeID, ch [3]mig.Signal) {
 		if !c.live[p] {
 			return
 		}
-		seen := [3]mig.NodeID{}
-		nseen := 0
-		for _, s := range ch {
+		pendingCnt := int32(0)
+		for i, s := range ch {
 			cn := s.Node()
 			if cn == 0 {
 				continue // constants are free operands, not devices
@@ -196,8 +251,8 @@ func newCompiler(m *mig.MIG, opts Options) *compiler {
 				c.foLevel[cn] = c.level[p]
 			}
 			dup := false
-			for i := 0; i < nseen; i++ {
-				if seen[i] == cn {
+			for j := 0; j < i; j++ {
+				if ch[j].Node() == cn {
 					dup = true
 					break
 				}
@@ -205,22 +260,48 @@ func newCompiler(m *mig.MIG, opts Options) *compiler {
 			if dup {
 				continue
 			}
-			seen[nseen] = cn
-			nseen++
-			c.parents[cn] = append(c.parents[cn], p)
+			c.parentOff[cn+1]++
 			if c.m.IsMaj(cn) {
-				// counted below via pending of p; nothing here
-				_ = cn
+				pendingCnt++
 			}
 		}
 		// pending = distinct maj children not yet computed.
-		cnt := int32(0)
-		for i := 0; i < nseen; i++ {
-			if c.m.IsMaj(seen[i]) {
-				cnt++
-			}
+		c.pending[p] = pendingCnt
+	})
+
+	// Prefix-sum the counts into offsets and fill the flattened adjacency;
+	// sweeping parents in ascending order reproduces the append order of
+	// the former per-node slices.
+	for i := 0; i < n; i++ {
+		c.parentOff[i+1] += c.parentOff[i]
+	}
+	sc.parentCur = growClear(sc.parentCur, n)
+	cur := sc.parentCur
+	copy(cur, c.parentOff[:n])
+	sc.parentBuf = grow(sc.parentBuf, int(c.parentOff[n]))
+	c.parentBuf = sc.parentBuf
+	m.ForEachMaj(func(p mig.NodeID, ch [3]mig.Signal) {
+		if !c.live[p] {
+			return
 		}
-		c.pending[p] = cnt
+		for i, s := range ch {
+			cn := s.Node()
+			if cn == 0 {
+				continue
+			}
+			dup := false
+			for j := 0; j < i; j++ {
+				if ch[j].Node() == cn {
+					dup = true
+					break
+				}
+			}
+			if dup {
+				continue
+			}
+			c.parentBuf[cur[cn]] = p
+			cur[cn]++
+		}
 	})
 
 	// Primary outputs pin their drivers and extend storage duration to the
@@ -246,7 +327,8 @@ func (c *compiler) run() error {
 	// write pulses). Unused inputs release after all assignments — not
 	// during them, or the allocator would hand the same device to two
 	// inputs.
-	c.piCells = make([]uint32, m.NumPIs())
+	c.sc.piCells = grow(c.sc.piCells, m.NumPIs())
+	c.piCells = c.sc.piCells
 	for i := 0; i < m.NumPIs(); i++ {
 		pn := m.PINode(i)
 		addr := c.alloc.Acquire(0)
@@ -286,7 +368,7 @@ func (c *compiler) run() error {
 			}
 			compiledAny = true
 			// Unblock parents.
-			for _, p := range c.parents[n] {
+			for _, p := range c.parentsOf(n) {
 				c.pending[p]--
 				if c.pending[p] == 0 && c.live[p] {
 					c.push(p)
@@ -309,7 +391,8 @@ func (c *compiler) run() error {
 // complemented outputs get inverted copies (unless KeepComplementedPOs).
 func (c *compiler) finalizePOs() error {
 	m := c.m
-	c.pos = make([]isa.PORef, m.NumPOs())
+	c.sc.pos = grow(c.sc.pos, m.NumPOs())
+	c.pos = c.sc.pos
 	for i := 0; i < m.NumPOs(); i++ {
 		po := m.PO(i)
 		pn := po.Node()
@@ -344,6 +427,10 @@ func (c *compiler) finalizePOs() error {
 			addr = c.alloc.Acquire(2)
 			c.emitPreset(addr, true)
 			c.emit(isa.Instruction{A: isa.Zero, B: isa.Cell(src), Z: addr}) // ⟨0 v̄ 1⟩ = v̄
+			if c.invPOCells == nil {
+				c.invPOCells = make(map[mig.NodeID]uint32)
+				c.sc.invPOCells = c.invPOCells
+			}
 			c.invPOCells[pn] = addr
 		}
 		c.pos[i] = isa.PORef{Addr: addr}

@@ -1,7 +1,9 @@
 package compile
 
 import (
+	"bytes"
 	"math/rand"
+	"slices"
 	"testing"
 
 	"plim/internal/alloc"
@@ -458,4 +460,115 @@ func sd(w []uint64) float64 {
 		ss += d * d
 	}
 	return ss / float64(len(w))
+}
+
+// TestCompileAllocsPinned pins the steady-state allocation count of Compile
+// under every selection policy. With the scratch pool warm, a compilation
+// should only allocate its outputs (Program, instruction/PI/PO copies,
+// write counts, Result) plus small fixed overheads — a graph-sized table
+// rebuild would blow the budget by orders of magnitude and fail here before
+// it shows up in BENCH_plim.json.
+func TestCompileAllocsPinned(t *testing.T) {
+	m := buildRandomMIG("allocpin", 10, 400, 8, 5)
+	cases := []struct {
+		name string
+		opts Options
+	}{
+		{"node-order/lifo", Options{Selection: NodeOrder, Alloc: alloc.LIFO}},
+		{"standard/minwrite", Options{Selection: Standard, Alloc: alloc.MinWrite}},
+		{"endurance/minwrite", Options{Selection: Endurance, Alloc: alloc.MinWrite}},
+		{"endurance/capped", Options{Selection: Endurance, Alloc: alloc.MinWrite, MaxWrites: 20}},
+	}
+	// The budget is deliberately loose (the steady state is ~10): it only
+	// needs to catch a regression back to per-node allocation, which costs
+	// hundreds on this graph.
+	const budget = 48.0
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			// Warm the pool so the measurement sees the steady state.
+			if _, err := Compile(m, tc.opts); err != nil {
+				t.Fatal(err)
+			}
+			avg := testing.AllocsPerRun(20, func() {
+				if _, err := Compile(m, tc.opts); err != nil {
+					t.Fatal(err)
+				}
+			})
+			if avg > budget {
+				t.Errorf("Compile averages %.1f allocs/run, budget %.0f", avg, budget)
+			}
+		})
+	}
+}
+
+// TestScratchReuseParity compiles the same graphs over and over through one
+// pool (so every table and the Allocator are reused) and against a nil pool
+// (fresh scratch each time): programs, write counts and metrics must be
+// byte-identical. This is the reused-allocator == fresh-allocator guarantee
+// the scratch pool's Reset contract promises.
+func TestScratchReuseParity(t *testing.T) {
+	pool := NewScratchPool()
+	for seed := int64(1); seed <= 4; seed++ {
+		m := buildRandomMIG("parity", 9, 220, 8, seed)
+		for _, opts := range allOptions() {
+			fresh, err := CompileWith(m, opts, nil)
+			if err != nil {
+				t.Fatalf("seed %d %+v: %v", seed, opts, err)
+			}
+			for round := 0; round < 3; round++ {
+				pooled, err := CompileWith(m, opts, pool)
+				if err != nil {
+					t.Fatalf("seed %d %+v round %d: %v", seed, opts, round, err)
+				}
+				var a, b bytes.Buffer
+				if err := fresh.Program.WriteBinary(&a); err != nil {
+					t.Fatal(err)
+				}
+				if err := pooled.Program.WriteBinary(&b); err != nil {
+					t.Fatal(err)
+				}
+				if !bytes.Equal(a.Bytes(), b.Bytes()) {
+					t.Fatalf("seed %d %+v round %d: pooled program differs from fresh", seed, opts, round)
+				}
+				if !slices.Equal(fresh.WriteCounts, pooled.WriteCounts) {
+					t.Fatalf("seed %d %+v round %d: write counts differ", seed, opts, round)
+				}
+				if fresh.NumInstructions != pooled.NumInstructions || fresh.NumRRAMs != pooled.NumRRAMs {
+					t.Fatalf("seed %d %+v round %d: metrics differ", seed, opts, round)
+				}
+			}
+		}
+	}
+}
+
+// TestResultDoesNotAliasScratch: the Result must stay intact after the
+// scratch that built it is reused by another compilation.
+func TestResultDoesNotAliasScratch(t *testing.T) {
+	pool := NewScratchPool()
+	m1 := buildRandomMIG("alias1", 8, 150, 6, 11)
+	m2 := buildRandomMIG("alias2", 8, 150, 6, 12)
+	opts := Options{Selection: Endurance, Alloc: alloc.MinWrite}
+	r1, err := CompileWith(m1, opts, pool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var before bytes.Buffer
+	if err := r1.Program.WriteBinary(&before); err != nil {
+		t.Fatal(err)
+	}
+	wcBefore := append([]uint64(nil), r1.WriteCounts...)
+	// Reuse the scratch on a different graph, then re-serialize r1.
+	if _, err := CompileWith(m2, opts, pool); err != nil {
+		t.Fatal(err)
+	}
+	var after bytes.Buffer
+	if err := r1.Program.WriteBinary(&after); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(before.Bytes(), after.Bytes()) {
+		t.Fatal("Result program mutated by a later compilation reusing the scratch")
+	}
+	if !slices.Equal(wcBefore, r1.WriteCounts) {
+		t.Fatal("Result write counts mutated by a later compilation")
+	}
 }

@@ -1,7 +1,7 @@
 package compile
 
 import (
-	"container/heap"
+	"fmt"
 
 	"plim/internal/mig"
 )
@@ -13,6 +13,14 @@ import (
 // re-pushed with its fresh key. Releasing counts only grow while a node
 // waits (uses of its children only decrease), so every node is popped a
 // bounded number of times.
+//
+// The sift operations replicate container/heap's algorithm exactly (append
+// + up on push; swap-root-to-end + down on pop) over a concretely-typed
+// backing slice, so entry movement — and therefore tie-breaking among
+// equal-priority candidates — is bit-identical to the former
+// container/heap implementation while avoiding its per-operation interface
+// boxing. The backing slice comes from the compile scratch and is reused
+// across compilations.
 type candidateHeap struct {
 	policy  Selection
 	entries []heapEntry
@@ -26,7 +34,7 @@ type heapEntry struct {
 
 func (h *candidateHeap) Len() int { return len(h.entries) }
 
-func (h *candidateHeap) Less(i, j int) bool {
+func (h *candidateHeap) less(i, j int) bool {
 	a, b := h.entries[i], h.entries[j]
 	switch h.policy {
 	case Standard:
@@ -51,21 +59,59 @@ func (h *candidateHeap) Less(i, j int) bool {
 	return a.node < b.node
 }
 
-func (h *candidateHeap) Swap(i, j int) { h.entries[i], h.entries[j] = h.entries[j], h.entries[i] }
+func (h *candidateHeap) swap(i, j int) {
+	h.entries[i], h.entries[j] = h.entries[j], h.entries[i]
+}
 
-func (h *candidateHeap) Push(x interface{}) { h.entries = append(h.entries, x.(heapEntry)) }
+func (h *candidateHeap) pushEntry(e heapEntry) {
+	h.entries = append(h.entries, e)
+	h.up(len(h.entries) - 1)
+}
 
-func (h *candidateHeap) Pop() interface{} {
-	old := h.entries
-	n := len(old)
-	e := old[n-1]
-	h.entries = old[:n-1]
+func (h *candidateHeap) popEntry() heapEntry {
+	n := len(h.entries) - 1
+	h.swap(0, n)
+	h.down(0, n)
+	e := h.entries[n]
+	h.entries = h.entries[:n]
 	return e
+}
+
+func (h *candidateHeap) up(j int) {
+	for {
+		i := (j - 1) / 2 // parent
+		if i == j || !h.less(j, i) {
+			break
+		}
+		h.swap(i, j)
+		j = i
+	}
+}
+
+func (h *candidateHeap) down(i0, n int) {
+	i := i0
+	for {
+		j1 := 2*i + 1
+		if j1 >= n || j1 < 0 { // j1 < 0 after int overflow
+			break
+		}
+		j := j1 // left child
+		if j2 := j1 + 1; j2 < n && h.less(j2, j1) {
+			j = j2 // = 2*i + 2, right child
+		}
+		if !h.less(j, i) {
+			break
+		}
+		h.swap(i, j)
+		i = j
+	}
 }
 
 // releasingCount returns how many devices computing n would free: distinct
 // non-constant children whose remaining uses are exactly n's own uses of
-// them (n is their last consumer).
+// them (n is their last consumer). One scan suffices: for each child, the
+// backward half of the triple detects duplicates (only the first occurrence
+// counts) and the forward half tallies n's remaining uses of it.
 func (c *compiler) releasingCount(n mig.NodeID) int32 {
 	ch := c.m.Children(n)
 	var cnt int32
@@ -84,9 +130,9 @@ func (c *compiler) releasingCount(n mig.NodeID) int32 {
 		if dup {
 			continue
 		}
-		uses := int32(0)
-		for _, s2 := range ch {
-			if s2.Node() == cn {
+		uses := int32(1)
+		for j := i + 1; j < 3; j++ {
+			if ch[j].Node() == cn {
 				uses++
 			}
 		}
@@ -99,7 +145,7 @@ func (c *compiler) releasingCount(n mig.NodeID) int32 {
 
 // push inserts a candidate with a fresh key snapshot.
 func (c *compiler) push(n mig.NodeID) {
-	heap.Push(&c.heap, heapEntry{
+	c.heap.pushEntry(heapEntry{
 		node:      n,
 		releasing: c.releasingCount(n),
 		foLevel:   c.foLevel[n],
@@ -109,12 +155,23 @@ func (c *compiler) push(n mig.NodeID) {
 // popBest pops the top candidate, re-validating its dynamic key. It returns
 // ok=false when the popped entry was stale and has been re-pushed; callers
 // loop until the heap empties or a valid entry appears.
+//
+// Of the three key components only `releasing` is dynamic: a node's id never
+// changes and its fanout level is fixed once newCompiler has swept the graph
+// (no parent edges are added or removed during compilation), so those two
+// are trusted from the snapshot and only the releasing count is recomputed.
+// The invariant is asserted here — a drifting foLevel would mean the
+// priority order itself is stale, which lazy re-push cannot repair.
 func (c *compiler) popBest() (mig.NodeID, bool) {
-	e := heap.Pop(&c.heap).(heapEntry)
+	e := c.heap.popEntry()
+	if e.foLevel != c.foLevel[e.node] {
+		panic(fmt.Sprintf("compile: fanout level of node %d changed while queued (%d -> %d); popBest assumes it is static",
+			e.node, e.foLevel, c.foLevel[e.node]))
+	}
 	if c.heap.policy != NodeOrder {
 		if rel := c.releasingCount(e.node); rel != e.releasing {
 			e.releasing = rel
-			heap.Push(&c.heap, e)
+			c.heap.pushEntry(e)
 			return 0, false
 		}
 	}

@@ -146,7 +146,10 @@ func (c *compiler) isLastUse(n mig.NodeID, cn mig.NodeID) bool {
 // compiler state.
 func (c *compiler) executePlan(n mig.NodeID, contribs [3]contribution, p plan) error {
 	var ops [2]isa.Operand // A and B
-	var temps []uint32     // inverted copies to release after the main RM3
+	// Inverted copies to release after the main RM3: at most one per
+	// A/B slot, so a fixed array avoids a per-node allocation.
+	var temps [2]uint32
+	nTemps := 0
 	var dest uint32
 	inPlaceChild := mig.NodeID(0)
 	hasInPlace := false
@@ -191,7 +194,8 @@ func (c *compiler) executePlan(n mig.NodeID, contribs [3]contribution, p plan) e
 			c.emitPreset(tmp, true)
 			c.emit(isa.Instruction{A: isa.Zero, B: isa.Cell(c.cell[ct.node]), Z: tmp})
 			ops[slot] = isa.Cell(tmp)
-			temps = append(temps, tmp)
+			temps[nTemps] = tmp
+			nTemps++
 		}
 	}
 
@@ -211,18 +215,27 @@ func (c *compiler) executePlan(n mig.NodeID, contribs [3]contribution, p plan) e
 			return fmt.Errorf("compile: negative remaining uses on node %d", cn)
 		}
 	}
-	seen := map[mig.NodeID]bool{}
-	for _, s := range c.m.Children(n) {
+	ch := c.m.Children(n)
+	for i, s := range ch {
 		cn := s.Node()
-		if cn == 0 || seen[cn] {
+		if cn == 0 {
 			continue
 		}
-		seen[cn] = true
+		dup := false
+		for j := 0; j < i; j++ {
+			if ch[j].Node() == cn {
+				dup = true
+				break
+			}
+		}
+		if dup {
+			continue
+		}
 		if c.remaining[cn] == 0 && !(hasInPlace && cn == inPlaceChild) {
 			c.alloc.Release(c.cell[cn])
 		}
 	}
-	for _, tmp := range temps {
+	for _, tmp := range temps[:nTemps] {
 		c.alloc.Release(tmp)
 	}
 

@@ -2,12 +2,19 @@ package core
 
 import (
 	"context"
+	"errors"
 	"sync"
 
+	"plim/internal/lru"
 	"plim/internal/mig"
 	"plim/internal/progress"
 	"plim/internal/rewrite"
 )
+
+// errComputePanicked is what waiters observe when the computing caller
+// panicked instead of completing: the entry is gone, so they retry (and hit
+// the same panic in their own stack if it is deterministic).
+var errComputePanicked = errors.New("core: rewrite computation panicked")
 
 // RewriteCache memoizes rewriting runs across configurations, benchmarks
 // and engine calls. Entries are keyed by (function fingerprint, rewrite
@@ -20,13 +27,20 @@ import (
 // the rest wait on the result. Failed computations (typically context
 // cancellation) are never cached; the next caller retries.
 //
+// The cache holds at most its budget of entries; completing a computation
+// evicts the least-recently-used completed entries beyond it, so long-lived
+// engines do not accumulate one rewritten MIG per distinct function they
+// ever saw. In-flight computations are never evicted. Waiters that already
+// hold an entry observe its result even if it is evicted concurrently —
+// eviction only unindexes.
+//
 // Cached MIGs are shared across callers and must be treated as read-only.
 // The compilation stages only read their input, so the staged runners can
 // share entries freely; the public facade clones before handing a cached
 // graph to user code.
 type RewriteCache struct {
 	mu      sync.Mutex
-	entries map[rewriteKey]*rewriteEntry
+	entries *lru.Map[rewriteKey, *rewriteEntry]
 }
 
 type rewriteKey struct {
@@ -42,17 +56,28 @@ type rewriteEntry struct {
 	err  error
 }
 
-// NewRewriteCache returns an empty cache.
+// NewRewriteCache returns an unbounded cache (every distinct key is kept
+// until the cache is dropped). Long-lived callers should prefer
+// NewRewriteCacheWithBudget.
 func NewRewriteCache() *RewriteCache {
-	return &RewriteCache{entries: make(map[rewriteKey]*rewriteEntry)}
+	return NewRewriteCacheWithBudget(0)
 }
 
-// Len reports the number of cached rewrites.
+// NewRewriteCacheWithBudget returns a cache evicting least-recently-used
+// entries beyond budget; budget ≤ 0 means unbounded.
+func NewRewriteCacheWithBudget(budget int) *RewriteCache {
+	return &RewriteCache{entries: lru.New[rewriteKey, *rewriteEntry](budget)}
+}
+
+// Len reports the number of cached rewrites (including in-flight ones).
 func (c *RewriteCache) Len() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return len(c.entries)
+	return c.entries.Len()
 }
+
+// Budget reports the cache's entry budget (≤ 0 = unbounded).
+func (c *RewriteCache) Budget() int { return c.entries.Budget() }
 
 // Rewrite is core.Rewrite memoized through the cache. A nil *RewriteCache
 // computes directly (the uncached path). On a hit no progress events are
@@ -69,31 +94,49 @@ func (c *RewriteCache) Rewrite(ctx context.Context, m *mig.MIG, kind RewriteKind
 	key := rewriteKey{fp: m.Fingerprint(), kind: kind, effort: effort}
 	for {
 		c.mu.Lock()
-		e, ok := c.entries[key]
+		ent, ok := c.entries.Get(key)
 		if !ok {
-			e = &rewriteEntry{done: make(chan struct{})}
-			c.entries[key] = e
+			e := &rewriteEntry{done: make(chan struct{})}
+			handle := c.entries.Add(key, e)
 			c.mu.Unlock()
-			e.m, e.st, e.err = Rewrite(ctx, m, kind, effort, obs, label)
-			if e.err == nil && e.m == m {
-				// Effort 0 (or RewriteNone on an already-clean graph) can
-				// hand the caller's own MIG back; the cache must never
-				// retain a graph the caller may keep mutating.
-				e.m = m.Clone()
-			}
-			if e.err != nil {
-				// Don't poison the cache with (usually cancellation)
-				// errors; waiters observe it and retry or fail themselves.
-				c.mu.Lock()
-				delete(c.entries, key)
-				c.mu.Unlock()
-			}
-			close(e.done)
+			// Publish via defer so a panicking rewrite (a compiler-invariant
+			// panic, a malformed caller-built MIG) still unindexes the entry
+			// and closes done — otherwise every future caller of this key
+			// would block forever on an entry nobody is computing.
+			completed := false
+			func() {
+				defer func() {
+					if !completed && e.err == nil {
+						e.err = errComputePanicked
+					}
+					c.mu.Lock()
+					if e.err != nil {
+						// Don't poison the cache with (usually cancellation)
+						// errors; waiters observe the error and retry or
+						// fail themselves.
+						c.entries.Delete(key)
+					} else {
+						handle.Evictable = true
+						c.entries.EvictExcess(nil)
+					}
+					c.mu.Unlock()
+					close(e.done)
+				}()
+				e.m, e.st, e.err = Rewrite(ctx, m, kind, effort, obs, label)
+				if e.err == nil && e.m == m {
+					// Effort 0 (or RewriteNone on an already-clean graph) can
+					// hand the caller's own MIG back; the cache must never
+					// retain a graph the caller may keep mutating.
+					e.m = m.Clone()
+				}
+				completed = true
+			}()
 			if e.err != nil {
 				return nil, rewrite.Stats{}, e.err
 			}
 			return e.m, e.st, nil
 		}
+		e := ent.Value
 		c.mu.Unlock()
 		select {
 		case <-e.done:

@@ -177,24 +177,33 @@ func Run(ctx context.Context, m *mig.MIG, cfg Config, effort int, obs progress.F
 	if err != nil {
 		return nil, err
 	}
-	return CompileConfig(ctx, cur, cfg, st, obs)
+	return CompileConfig(ctx, cur, cfg, st, obs, nil)
 }
 
 // CompileConfig runs the compile/alloc stage of one configuration on an
 // already-rewritten MIG, emitting CompileStart/CompileDone progress events.
 // rst is the rewriting statistics to attach to the report (the staged
-// runner shares one rewrite across several configurations).
-func CompileConfig(ctx context.Context, rewritten *mig.MIG, cfg Config, rst rewrite.Stats, obs progress.Func) (*Report, error) {
+// runner shares one rewrite across several configurations). Scratch state
+// is drawn from pool; a nil pool falls back to the compile package's shared
+// default pool, so the fast path is always allocation-lean.
+func CompileConfig(ctx context.Context, rewritten *mig.MIG, cfg Config, rst rewrite.Stats, obs progress.Func, pool *compile.ScratchPool) (*Report, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
 	obs.Emit(progress.CompileStart{Function: rewritten.Name, Config: cfg.Name})
 	start := time.Now()
-	res, err := compile.Compile(rewritten, compile.Options{
+	copts := compile.Options{
 		Selection: cfg.Selection,
 		Alloc:     cfg.Alloc,
 		MaxWrites: cfg.MaxWrites,
-	})
+	}
+	var res *compile.Result
+	var err error
+	if pool != nil {
+		res, err = compile.CompileWith(rewritten, copts, pool)
+	} else {
+		res, err = compile.Compile(rewritten, copts)
+	}
 	done := progress.CompileDone{
 		Function: rewritten.Name, Config: cfg.Name,
 		Elapsed: time.Since(start), Err: err,
@@ -266,6 +275,10 @@ type StagedOptions struct {
 	Spare chan struct{}
 	// Cache memoizes rewrite stages across calls; nil rewrites afresh.
 	Cache *RewriteCache
+	// Scratch, when non-nil, supplies reusable compile scratch state to the
+	// per-configuration compile jobs (plim.Engine threads its pool through
+	// here); nil uses the compile package's shared default pool.
+	Scratch *compile.ScratchPool
 	// Progress receives rewrite-cycle and compile start/done events. It may
 	// be invoked concurrently when compiles fan out.
 	Progress progress.Func
@@ -297,8 +310,13 @@ func RunStaged(ctx context.Context, m *mig.MIG, cfgs []Config, opts StagedOption
 		errs := make([]error, len(st.Configs))
 		fanOut(len(st.Configs), spare, func(i int) {
 			ci := st.Configs[i]
-			out[ci], errs[i] = CompileConfig(ctx, rm, cfgs[ci], rst, opts.Progress)
+			out[ci], errs[i] = CompileConfig(ctx, rm, cfgs[ci], rst, opts.Progress, opts.Scratch)
 		})
+		if err := ctx.Err(); err != nil {
+			// Cancellation mid-fan-out surfaces as ctx.Err() itself (the
+			// documented contract), not wrapped inside errors.Join.
+			return nil, err
+		}
 		if err := errors.Join(errs...); err != nil {
 			return nil, err
 		}

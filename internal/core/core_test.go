@@ -11,6 +11,7 @@ import (
 	"sync/atomic"
 	"testing"
 
+	"plim/internal/compile"
 	"plim/internal/mig"
 	"plim/internal/progress"
 )
@@ -213,10 +214,13 @@ func TestRunStagedMatchesSequential(t *testing.T) {
 		want[i] = rep
 	}
 	for name, opts := range map[string]StagedOptions{
-		"inline":        {Effort: 2},
-		"workers":       {Effort: 2, Workers: 4},
-		"cached":        {Effort: 2, Cache: NewRewriteCache()},
-		"cached+worker": {Effort: 2, Workers: 4, Cache: NewRewriteCache()},
+		"inline":          {Effort: 2},
+		"workers":         {Effort: 2, Workers: 4},
+		"cached":          {Effort: 2, Cache: NewRewriteCache()},
+		"cached+worker":   {Effort: 2, Workers: 4, Cache: NewRewriteCache()},
+		"scratch":         {Effort: 2, Scratch: compile.NewScratchPool()},
+		"scratch+staged":  {Effort: 2, Workers: 4, Cache: NewRewriteCacheWithBudget(2), Scratch: compile.NewScratchPool()},
+		"scratch+bounded": {Effort: 2, Cache: NewRewriteCacheWithBudget(1), Scratch: compile.NewScratchPool()},
 	} {
 		got, err := RunStaged(context.Background(), m, cfgs, opts)
 		if err != nil {
@@ -389,5 +393,104 @@ func TestRewriteCacheNeverRetainsCallerMIG(t *testing.T) {
 	}
 	if hit.NumMaj() != nodesBefore || hit.NumPOs() != 4 {
 		t.Fatalf("cache entry was mutated through the caller's MIG: maj=%d po=%d", hit.NumMaj(), hit.NumPOs())
+	}
+}
+
+// TestRewriteCacheBudgetEvictsLRU checks the rewrite cache's size bound:
+// over-budget completions evict the least-recently-used entry, an evicted
+// key recomputes (new instance), and a recently-touched key survives.
+func TestRewriteCacheBudgetEvictsLRU(t *testing.T) {
+	cache := NewRewriteCacheWithBudget(2)
+	if cache.Budget() != 2 {
+		t.Fatalf("Budget = %d, want 2", cache.Budget())
+	}
+	m1 := randomMIG("f1", 6, 60, 4, 1)
+	m2 := randomMIG("f2", 6, 60, 4, 2)
+	m3 := randomMIG("f3", 6, 60, 4, 3)
+	r1, _, err := cache.Rewrite(context.Background(), m1, RewriteAlgorithm2, 2, nil, "x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, _, err := cache.Rewrite(context.Background(), m2, RewriteAlgorithm2, 2, nil, "x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Touch m1 so m2 is the LRU entry, then overflow with m3.
+	if hit, _, err := cache.Rewrite(context.Background(), m1, RewriteAlgorithm2, 2, nil, "x"); err != nil || hit != r1 {
+		t.Fatalf("expected m1 hit before overflow (err %v)", err)
+	}
+	if _, _, err := cache.Rewrite(context.Background(), m3, RewriteAlgorithm2, 2, nil, "x"); err != nil {
+		t.Fatal(err)
+	}
+	if cache.Len() != 2 {
+		t.Fatalf("cache holds %d entries over a budget of 2", cache.Len())
+	}
+	// m1 was refreshed after m2, so m2 is the victim: recompute (fresh
+	// instance) while m1 still hits.
+	if hit, _, err := cache.Rewrite(context.Background(), m1, RewriteAlgorithm2, 2, nil, "x"); err != nil || hit != r1 {
+		t.Fatalf("recently-used entry was evicted (err %v)", err)
+	}
+	again, _, err := cache.Rewrite(context.Background(), m2, RewriteAlgorithm2, 2, nil, "x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again == r2 {
+		t.Fatal("evicted entry still served the old instance")
+	}
+}
+
+// TestRewriteCachePanicDoesNotWedgeKey: a panicking computation (here a
+// malformed MIG whose PO references a nonexistent node) must propagate to
+// the computing caller but still unindex the entry and close its done
+// channel — otherwise every future caller of the key would block forever.
+func TestRewriteCachePanicDoesNotWedgeKey(t *testing.T) {
+	cache := NewRewriteCacheWithBudget(4)
+	bad := mig.New("bad")
+	bad.AddPI("x")
+	bad.AddPO(mig.MakeSignal(mig.NodeID(99), false), "f") // dangling reference
+	panicked := false
+	func() {
+		defer func() {
+			if recover() != nil {
+				panicked = true
+			}
+		}()
+		cache.Rewrite(context.Background(), bad, RewriteAlgorithm2, 1, nil, "x")
+	}()
+	if !panicked {
+		t.Fatal("malformed MIG did not panic; test premise broken")
+	}
+	if cache.Len() != 0 {
+		t.Fatalf("panicked computation left %d entries behind", cache.Len())
+	}
+	// The cache still works for sane keys afterwards.
+	good := randomMIG("f", 6, 50, 4, 1)
+	if _, _, err := cache.Rewrite(context.Background(), good, RewriteAlgorithm2, 1, nil, "x"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRunStagedCancellationIsCtxErr pins the documented contract: a run
+// cancelled during the compile fan-out returns ctx.Err() itself, not a
+// joined wrapper around it.
+func TestRunStagedCancellationIsCtxErr(t *testing.T) {
+	m := randomMIG("f", 8, 150, 8, 7)
+	ctx, cancel := context.WithCancel(context.Background())
+	_, err := RunStaged(ctx, m, TableIConfigs(), StagedOptions{
+		Effort: 1,
+		Progress: func(ev progress.Event) {
+			// Cancel once the first rewrite completes, so the compile
+			// fan-out observes a cancelled context.
+			if _, ok := ev.(progress.CompileStart); ok {
+				cancel()
+			}
+		},
+	})
+	cancel()
+	if err == nil {
+		t.Fatal("cancelled staged run returned nil error")
+	}
+	if err != context.Canceled {
+		t.Fatalf("staged cancellation returned %#v, want context.Canceled itself", err)
 	}
 }

@@ -1,0 +1,124 @@
+// Package lru provides the least-recently-used bookkeeping shared by the
+// repository's memoization caches (core.RewriteCache, suite.Cache). It is a
+// map plus an intrusive recency list with an entry budget; eviction is
+// explicit and skips entries the caller has marked not-yet-evictable, which
+// is how the singleflight caches protect in-flight computations (waiters
+// hold the entry pointer, so evicting a completed entry only drops it from
+// the index — it never invalidates a reader).
+//
+// The container performs no locking; callers guard every method with their
+// own mutex.
+package lru
+
+// Entry is one cached key/value pair threaded on the recency list.
+type Entry[K comparable, V any] struct {
+	Key   K
+	Value V
+	// Evictable marks entries EvictExcess may drop. Callers keep it false
+	// while a computation is in flight so a budget overrun never evicts an
+	// entry other goroutines are about to complete.
+	Evictable bool
+
+	prev, next *Entry[K, V]
+	linked     bool
+}
+
+// Map is a budgeted LRU map. The zero value is not usable; call New.
+type Map[K comparable, V any] struct {
+	budget  int // ≤ 0 = unbounded
+	entries map[K]*Entry[K, V]
+	// head is the most recently used entry, tail the least.
+	head, tail *Entry[K, V]
+}
+
+// New returns an empty map evicting beyond budget entries; budget ≤ 0
+// disables eviction.
+func New[K comparable, V any](budget int) *Map[K, V] {
+	return &Map[K, V]{budget: budget, entries: make(map[K]*Entry[K, V])}
+}
+
+// Budget returns the entry budget (≤ 0 = unbounded).
+func (m *Map[K, V]) Budget() int { return m.budget }
+
+// Len returns the number of entries currently indexed.
+func (m *Map[K, V]) Len() int { return len(m.entries) }
+
+// Get returns the entry for k and marks it most recently used.
+func (m *Map[K, V]) Get(k K) (*Entry[K, V], bool) {
+	e, ok := m.entries[k]
+	if !ok {
+		return nil, false
+	}
+	m.unlink(e)
+	m.pushFront(e)
+	return e, true
+}
+
+// Add inserts a fresh (non-evictable) entry for k as most recently used and
+// returns it. The caller must ensure k is not already present.
+func (m *Map[K, V]) Add(k K, v V) *Entry[K, V] {
+	e := &Entry[K, V]{Key: k, Value: v}
+	m.entries[k] = e
+	m.pushFront(e)
+	return e
+}
+
+// Delete drops the entry for k, if any.
+func (m *Map[K, V]) Delete(k K) {
+	if e, ok := m.entries[k]; ok {
+		m.unlink(e)
+		delete(m.entries, k)
+	}
+}
+
+// EvictExcess drops evictable entries, least recently used first, until the
+// map is within budget (or only non-evictable entries remain). Each victim
+// is reported to onEvict (which may be nil) after it is unindexed.
+func (m *Map[K, V]) EvictExcess(onEvict func(*Entry[K, V])) {
+	if m.budget <= 0 {
+		return
+	}
+	for e := m.tail; e != nil && len(m.entries) > m.budget; {
+		victim := e
+		e = e.prev
+		if !victim.Evictable {
+			continue
+		}
+		m.unlink(victim)
+		delete(m.entries, victim.Key)
+		if onEvict != nil {
+			onEvict(victim)
+		}
+	}
+}
+
+func (m *Map[K, V]) pushFront(e *Entry[K, V]) {
+	e.prev = nil
+	e.next = m.head
+	if m.head != nil {
+		m.head.prev = e
+	}
+	m.head = e
+	if m.tail == nil {
+		m.tail = e
+	}
+	e.linked = true
+}
+
+func (m *Map[K, V]) unlink(e *Entry[K, V]) {
+	if !e.linked {
+		return
+	}
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else {
+		m.head = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else {
+		m.tail = e.prev
+	}
+	e.prev, e.next = nil, nil
+	e.linked = false
+}

@@ -1,0 +1,99 @@
+package lru
+
+import "testing"
+
+func keys[K comparable, V any](m *Map[K, V]) []K {
+	var out []K
+	for e := m.head; e != nil; e = e.next {
+		out = append(out, e.Key)
+	}
+	return out
+}
+
+func TestEvictsLeastRecentlyUsed(t *testing.T) {
+	m := New[int, string](2)
+	m.Add(1, "a").Evictable = true
+	m.Add(2, "b").Evictable = true
+	m.Add(3, "c").Evictable = true
+	var evicted []int
+	m.EvictExcess(func(e *Entry[int, string]) { evicted = append(evicted, e.Key) })
+	if m.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", m.Len())
+	}
+	if len(evicted) != 1 || evicted[0] != 1 {
+		t.Fatalf("evicted %v, want [1]", evicted)
+	}
+	if _, ok := m.Get(1); ok {
+		t.Fatal("evicted key still indexed")
+	}
+}
+
+func TestGetRefreshesRecency(t *testing.T) {
+	m := New[int, string](2)
+	m.Add(1, "a").Evictable = true
+	m.Add(2, "b").Evictable = true
+	if _, ok := m.Get(1); !ok {
+		t.Fatal("key 1 missing")
+	}
+	m.Add(3, "c").Evictable = true
+	m.EvictExcess(nil)
+	if _, ok := m.Get(2); ok {
+		t.Fatal("key 2 should have been the LRU victim")
+	}
+	if _, ok := m.Get(1); !ok {
+		t.Fatal("refreshed key 1 must survive")
+	}
+}
+
+func TestEvictionSkipsNonEvictable(t *testing.T) {
+	m := New[int, string](1)
+	m.Add(1, "a") // Evictable defaults to false: pinned while in flight
+	m.Add(2, "b").Evictable = true
+	m.Add(3, "c").Evictable = true
+	m.EvictExcess(nil)
+	// The pinned entry is skipped; both evictable entries go to reach the
+	// budget, leaving only the pinned one.
+	if m.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", m.Len())
+	}
+	if _, ok := m.Get(1); !ok {
+		t.Fatal("in-flight entry evicted")
+	}
+
+	// A map full of pinned entries may overshoot its budget; eviction
+	// must leave them all alone.
+	p := New[int, string](1)
+	p.Add(1, "a")
+	p.Add(2, "b")
+	p.EvictExcess(nil)
+	if p.Len() != 2 {
+		t.Fatalf("Len = %d, want 2 (pinned entries cannot be evicted)", p.Len())
+	}
+}
+
+func TestUnboundedNeverEvicts(t *testing.T) {
+	m := New[int, int](0)
+	for i := 0; i < 100; i++ {
+		m.Add(i, i).Evictable = true
+	}
+	m.EvictExcess(nil)
+	if m.Len() != 100 {
+		t.Fatalf("unbounded map evicted down to %d", m.Len())
+	}
+}
+
+func TestDeleteUnlinks(t *testing.T) {
+	m := New[int, int](3)
+	m.Add(1, 1)
+	m.Add(2, 2)
+	m.Add(3, 3)
+	m.Delete(2)
+	got := keys(m)
+	if len(got) != 2 || got[0] != 3 || got[1] != 1 {
+		t.Fatalf("recency order after delete = %v, want [3 1]", got)
+	}
+	m.Delete(2) // deleting a missing key is a no-op
+	if m.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", m.Len())
+	}
+}

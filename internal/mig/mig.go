@@ -339,7 +339,19 @@ func (m *MIG) ForEachMaj(fn func(n NodeID, children [3]Signal)) {
 // a majority node is one more than its deepest child. The second result is
 // the depth (maximum level over POs' nodes).
 func (m *MIG) Levels() (levels []int32, depth int32) {
-	levels = make([]int32, len(m.nodes))
+	return m.LevelsInto(nil)
+}
+
+// LevelsInto is Levels with a caller-provided scratch slice: buf is grown
+// (or allocated) to NumNodes, cleared and filled. Hot loops that level many
+// graphs reuse one buffer instead of allocating per sweep.
+func (m *MIG) LevelsInto(buf []int32) (levels []int32, depth int32) {
+	if cap(buf) >= len(m.nodes) {
+		levels = buf[:len(m.nodes)]
+		clear(levels)
+	} else {
+		levels = make([]int32, len(m.nodes))
+	}
 	for i := range m.nodes {
 		n := &m.nodes[i]
 		if n.kind != KindMaj {

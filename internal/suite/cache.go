@@ -1,10 +1,16 @@
 package suite
 
 import (
+	"errors"
 	"sync"
 
+	"plim/internal/lru"
 	"plim/internal/mig"
 )
+
+// errBuildPanicked is what waiters observe when the building caller
+// panicked instead of completing; the entry is gone, so they retry.
+var errBuildPanicked = errors.New("suite: benchmark build panicked")
 
 // Cache memoizes benchmark generator output per (name, shrink). Every
 // generator is deterministic, so a cached graph is structurally identical
@@ -17,10 +23,13 @@ import (
 // clones before returning a cached graph to user code.
 //
 // Concurrent callers of the same key share one build (singleflight).
-// Errors (unknown benchmark, validation failure) are not cached.
+// Errors (unknown benchmark, validation failure) are not cached. The cache
+// keeps at most its budget of builds, evicting least-recently-used
+// completed entries beyond it (in-flight builds are never evicted), so
+// engines sweeping many (name, shrink) combinations stay bounded.
 type Cache struct {
 	mu      sync.Mutex
-	entries map[buildKey]*buildEntry
+	entries *lru.Map[buildKey, *buildEntry]
 }
 
 type buildKey struct {
@@ -34,17 +43,28 @@ type buildEntry struct {
 	err  error
 }
 
-// NewCache returns an empty benchmark cache.
+// NewCache returns an unbounded benchmark cache; long-lived callers should
+// prefer NewCacheWithBudget.
 func NewCache() *Cache {
-	return &Cache{entries: make(map[buildKey]*buildEntry)}
+	return NewCacheWithBudget(0)
 }
 
-// Len reports the number of cached benchmark builds.
+// NewCacheWithBudget returns a cache evicting least-recently-used builds
+// beyond budget; budget ≤ 0 means unbounded.
+func NewCacheWithBudget(budget int) *Cache {
+	return &Cache{entries: lru.New[buildKey, *buildEntry](budget)}
+}
+
+// Len reports the number of cached benchmark builds (including in-flight
+// ones).
 func (c *Cache) Len() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return len(c.entries)
+	return c.entries.Len()
 }
+
+// Budget reports the cache's entry budget (≤ 0 = unbounded).
+func (c *Cache) Budget() int { return c.entries.Budget() }
 
 // BuildScaled is suite.BuildScaled memoized through the cache. The
 // returned MIG is shared: callers must not mutate it. A nil *Cache builds
@@ -56,20 +76,36 @@ func (c *Cache) BuildScaled(name string, shrink int) (*mig.MIG, error) {
 	key := buildKey{name: name, shrink: shrink}
 	for {
 		c.mu.Lock()
-		e, ok := c.entries[key]
+		ent, ok := c.entries.Get(key)
 		if !ok {
-			e = &buildEntry{done: make(chan struct{})}
-			c.entries[key] = e
+			e := &buildEntry{done: make(chan struct{})}
+			handle := c.entries.Add(key, e)
 			c.mu.Unlock()
-			e.m, e.err = BuildScaled(name, shrink)
-			if e.err != nil {
-				c.mu.Lock()
-				delete(c.entries, key)
-				c.mu.Unlock()
-			}
-			close(e.done)
+			// Publish via defer so a panicking generator still unindexes
+			// the entry and closes done — waiters here have no context to
+			// bail out on, so a stuck entry would deadlock them forever.
+			completed := false
+			func() {
+				defer func() {
+					if !completed && e.err == nil {
+						e.err = errBuildPanicked
+					}
+					c.mu.Lock()
+					if e.err != nil {
+						c.entries.Delete(key)
+					} else {
+						handle.Evictable = true
+						c.entries.EvictExcess(nil)
+					}
+					c.mu.Unlock()
+					close(e.done)
+				}()
+				e.m, e.err = BuildScaled(name, shrink)
+				completed = true
+			}()
 			return e.m, e.err
 		}
+		e := ent.Value
 		c.mu.Unlock()
 		<-e.done
 		if e.err == nil {

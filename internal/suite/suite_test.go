@@ -474,3 +474,74 @@ func TestCacheConcurrentSingleflight(t *testing.T) {
 		}
 	}
 }
+
+// TestCacheBudgetEvictsLRU checks the size bound: a budget-1 cache drops
+// its least-recently-used build when a second key lands, and the evicted
+// key rebuilds (a fresh instance) on the next request while the surviving
+// key keeps its shared instance.
+func TestCacheBudgetEvictsLRU(t *testing.T) {
+	c := NewCacheWithBudget(1)
+	if c.Budget() != 1 {
+		t.Fatalf("Budget = %d, want 1", c.Budget())
+	}
+	a1, err := c.BuildScaled("ctrl", 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b1, err := c.BuildScaled("i2c", 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Len() != 1 {
+		t.Fatalf("cache holds %d entries over a budget of 1", c.Len())
+	}
+	// "i2c" is the survivor: it must still hit...
+	b2, err := c.BuildScaled("i2c", 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b2 != b1 {
+		t.Fatal("survivor was evicted")
+	}
+	// ...and "ctrl" was evicted: it rebuilds into a fresh instance.
+	a2, err := c.BuildScaled("ctrl", 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a2 == a1 {
+		t.Fatal("evicted entry still served the old instance")
+	}
+	if c.Len() != 1 {
+		t.Fatalf("cache holds %d entries after re-adding, want 1", c.Len())
+	}
+}
+
+// TestCacheBudgetRespectsRecency: touching an entry protects it from the
+// next eviction.
+func TestCacheBudgetRespectsRecency(t *testing.T) {
+	c := NewCacheWithBudget(2)
+	a1, err := c.BuildScaled("ctrl", 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.BuildScaled("i2c", 8); err != nil {
+		t.Fatal(err)
+	}
+	// Refresh "ctrl", then insert a third key: "i2c" must be the victim.
+	if _, err := c.BuildScaled("ctrl", 8); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.BuildScaled("router", 8); err != nil {
+		t.Fatal(err)
+	}
+	if c.Len() != 2 {
+		t.Fatalf("cache holds %d entries, want 2", c.Len())
+	}
+	a2, err := c.BuildScaled("ctrl", 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a2 != a1 {
+		t.Fatal("recently-used entry was evicted instead of the LRU one")
+	}
+}

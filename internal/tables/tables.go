@@ -56,6 +56,10 @@ type Options struct {
 	// RewriteCache, when non-nil, memoizes rewrite stages across
 	// configurations, benchmarks and runs.
 	RewriteCache *core.RewriteCache
+	// Scratch, when non-nil, supplies reusable compile scratch state to
+	// every compile job of the run; nil uses the compile package's shared
+	// default pool.
+	Scratch *compile.ScratchPool
 }
 
 func (o *Options) validate() error {
@@ -171,6 +175,7 @@ func (sr *SuiteResult) buildAndRun(ctx context.Context, idx int, opts Options, s
 		Effort:   opts.Effort,
 		Spare:    spare,
 		Cache:    opts.RewriteCache,
+		Scratch:  opts.Scratch,
 		Progress: opts.Progress,
 	})
 	if err != nil {
