@@ -34,7 +34,7 @@ func TestCheckRegressionsGate(t *testing.T) {
 		{Name: "rewrite/algorithm2", NsPerOp: 1500},
 		{Name: "compile/new-path", NsPerOp: 999999},
 	}}
-	if err := checkRegressions(path, ok, 10); err != nil {
+	if err := checkRegressions(path, ok, 10, 10); err != nil {
 		t.Fatalf("within-tolerance run failed the gate: %v", err)
 	}
 
@@ -43,7 +43,7 @@ func TestCheckRegressionsGate(t *testing.T) {
 		{Name: "compile/full", NsPerOp: 1200},
 		{Name: "rewrite/algorithm2", NsPerOp: 2000},
 	}}
-	err := checkRegressions(path, bad, 10)
+	err := checkRegressions(path, bad, 10, 10)
 	if err == nil {
 		t.Fatal("20% regression passed a 10% gate")
 	}
@@ -51,7 +51,7 @@ func TestCheckRegressionsGate(t *testing.T) {
 		t.Fatalf("failure does not name the regressed benchmark: %v", err)
 	}
 	// A looser gate accepts the same numbers.
-	if err := checkRegressions(path, bad, 25); err != nil {
+	if err := checkRegressions(path, bad, 25, 10); err != nil {
 		t.Fatalf("20%% regression failed a 25%% gate: %v", err)
 	}
 
@@ -65,7 +65,7 @@ func TestCheckRegressionsGate(t *testing.T) {
 		{Name: "compile/full", NsPerOp: 1000, AllocsPerOp: 12},
 		{Name: "rewrite/algorithm2", NsPerOp: 2000},
 	}})
-	err = checkRegressions(allocBase, churn, 10)
+	err = checkRegressions(allocBase, churn, 10, 10)
 	if err == nil || !strings.Contains(err.Error(), "allocs/op") {
 		t.Fatalf("allocation churn passed the gate: %v", err)
 	}
@@ -74,17 +74,54 @@ func TestCheckRegressionsGate(t *testing.T) {
 		{Name: "compile/full", NsPerOp: 1000, AllocsPerOp: 20},
 		{Name: "rewrite/algorithm2", NsPerOp: 2000},
 	}}
-	if err := checkRegressions(allocBase, lean, 10); err != nil {
+	if err := checkRegressions(allocBase, lean, 10, 10); err != nil {
 		t.Fatalf("12 -> 20 allocs/op must stay under the absolute floor: %v", err)
 	}
 
 	// Mismatched shrink is not comparable.
-	if err := checkRegressions(path, &Report{Shrink: 1}, 10); err == nil {
+	if err := checkRegressions(path, &Report{Shrink: 1}, 10, 10); err == nil {
 		t.Fatal("cross-shrink comparison must be rejected")
 	}
 
 	// Missing baseline is an error, not a silent pass.
-	if err := checkRegressions(filepath.Join(t.TempDir(), "nope.json"), ok, 10); err == nil {
+	if err := checkRegressions(filepath.Join(t.TempDir(), "nope.json"), ok, 10, 10); err == nil {
 		t.Fatal("missing baseline must error")
+	}
+}
+
+// TestTimeGateSplitFromAllocGate: the ns/op leg has its own tolerance and
+// can be skipped entirely (maxTime <= 0) without loosening the strict,
+// deterministic allocs/op gate — the CI configuration for shared runners,
+// where ±15% ns/op swings made the old single-tolerance gate cry wolf.
+func TestTimeGateSplitFromAllocGate(t *testing.T) {
+	base := writeBaseline(t, Report{Shrink: 2, Benchmarks: []Entry{
+		{Name: "compile/full", NsPerOp: 1000, AllocsPerOp: 100},
+	}})
+
+	// 15% slower: fails a 10% time gate, passes the default 25% one.
+	noisy := &Report{Shrink: 2, Benchmarks: []Entry{
+		{Name: "compile/full", NsPerOp: 1150, AllocsPerOp: 100},
+	}}
+	if err := checkRegressions(base, noisy, 10, 10); err == nil {
+		t.Fatal("15% ns/op regression passed a 10% time gate")
+	}
+	if err := checkRegressions(base, noisy, 25, 10); err != nil {
+		t.Fatalf("15%% ns/op noise failed the raised 25%% time gate: %v", err)
+	}
+
+	// With the time leg skipped, even a 3x slowdown passes...
+	slow := &Report{Shrink: 2, Benchmarks: []Entry{
+		{Name: "compile/full", NsPerOp: 3000, AllocsPerOp: 100},
+	}}
+	if err := checkRegressions(base, slow, 0, 10); err != nil {
+		t.Fatalf("skipped time leg still gated ns/op: %v", err)
+	}
+	// ...but an allocation regression still fails strictly.
+	churn := &Report{Shrink: 2, Benchmarks: []Entry{
+		{Name: "compile/full", NsPerOp: 500, AllocsPerOp: 200},
+	}}
+	err := checkRegressions(base, churn, 0, 10)
+	if err == nil || !strings.Contains(err.Error(), "allocs/op") {
+		t.Fatalf("allocs/op gate loosened by skipping the time leg: %v", err)
 	}
 }

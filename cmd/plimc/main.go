@@ -10,6 +10,12 @@
 //	plimc -bench adder -config full
 //	plimc -bench div -config full -cap 20 -asm div.plim
 //	plimc -in design.mig -config naive -o design.bin -stats -v
+//	plimc -bench log2 -config full -cache-dir ~/.cache/plim
+//
+// With -cache-dir (default $PLIM_CACHE_DIR) rewrite results and benchmark
+// builds persist across invocations: a run that plimtab (or an earlier
+// plimc) already performed is served from disk, byte-identical and with
+// zero rewrite cycles. A per-run cache summary is printed to stderr.
 package main
 
 import (
@@ -36,6 +42,8 @@ func main() {
 		list      = flag.Bool("list", false, "list benchmarks and exit")
 		showStats = flag.Bool("stats", true, "print compilation statistics")
 		verbose   = flag.Bool("v", false, "stream progress events to stderr")
+		cacheDir  = flag.String("cache-dir", os.Getenv("PLIM_CACHE_DIR"),
+			"persistent cache directory shared across plimc/plimtab invocations (default $PLIM_CACHE_DIR; empty = off)")
 	)
 	flag.Parse()
 
@@ -54,7 +62,11 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 
-	engOpts := []plim.Option{plim.WithEffort(*effort), plim.WithShrink(*shrink)}
+	engOpts := []plim.Option{
+		plim.WithEffort(*effort),
+		plim.WithShrink(*shrink),
+		plim.WithPersistentCache(*cacheDir),
+	}
 	if *verbose {
 		engOpts = append(engOpts, plim.WithProgress(func(ev plim.Event) {
 			fmt.Fprintln(os.Stderr, plim.FormatEvent(ev))
@@ -96,6 +108,18 @@ func main() {
 			fatal(err)
 		}
 	}
+	printCacheSummary(eng)
+}
+
+// printCacheSummary reports the persistent tier's per-run accounting; the
+// CI cold-vs-warm smoke job asserts on this line.
+func printCacheSummary(eng *plim.Engine) {
+	st, ok := eng.PersistentCacheStats()
+	if !ok {
+		return
+	}
+	fmt.Fprintf(os.Stderr, "persistent cache: rewrite %d hits / %d misses, benchmark %d hits / %d misses, %d stores (dir %s)\n",
+		st.RewriteHits, st.RewriteMisses, st.BenchmarkHits, st.BenchmarkMisses, st.Stores, eng.PersistentCacheDir())
 }
 
 func loadMIG(eng *plim.Engine, bench, file string) (*plim.MIG, error) {

@@ -8,6 +8,12 @@
 //	plimc -bench adder -config full -o adder.bin
 //	plimrun -in adder.bin -random 4 -wearmap
 //	plimrun -in adder.bin -verify adder.mig -patterns 16
+//	plimrun -in adder.bin -verify adder -shrink 1 -cache-dir ~/.cache/plim
+//
+// -verify accepts either a .mig netlist file or the name of one of the
+// paper's benchmarks; a benchmark reference is rebuilt at -shrink through
+// the persistent cache when -cache-dir (default $PLIM_CACHE_DIR) is set,
+// so verification reuses the build an earlier plimc/plimtab run stored.
 package main
 
 import (
@@ -25,11 +31,14 @@ func main() {
 		inFile    = flag.String("in", "", "compiled program (.bin or .plim assembly)")
 		inputsHex = flag.String("inputs", "", "input bits, LSB-first string of 0/1 (length = #PI)")
 		random    = flag.Int("random", 0, "run N random input vectors instead")
-		verify    = flag.String("verify", "", "reference .mig netlist to check outputs against")
+		verify    = flag.String("verify", "", "reference to check outputs against: a .mig netlist file or a benchmark name")
 		patterns  = flag.Int("patterns", 8, "number of random patterns for -verify")
 		seed      = flag.Int64("seed", 1, "random seed")
 		wearmap   = flag.Bool("wearmap", false, "print the crossbar wear map after the run")
 		endurance = flag.Uint64("endurance", 0, "per-device write budget (0 = unlimited)")
+		shrink    = flag.Int("shrink", 1, "datapath divisor when -verify names a benchmark")
+		cacheDir  = flag.String("cache-dir", os.Getenv("PLIM_CACHE_DIR"),
+			"persistent cache directory for benchmark rebuilds (default $PLIM_CACHE_DIR; empty = off)")
 	)
 	flag.Parse()
 
@@ -47,12 +56,7 @@ func main() {
 
 	var ref *plim.MIG
 	if *verify != "" {
-		f, err := os.Open(*verify)
-		if err != nil {
-			fatal(err)
-		}
-		ref, err = plim.ReadMIG(f)
-		f.Close()
+		ref, err = loadReference(*verify, *shrink, *cacheDir)
 		if err != nil {
 			fatal(err)
 		}
@@ -101,6 +105,25 @@ func main() {
 			fmt.Println(lastXbar.WearMap(int(prog.NumCells)))
 		}
 	}
+}
+
+// loadReference resolves -verify: an existing file is parsed as a .mig
+// netlist; otherwise the value must name one of the paper's benchmarks,
+// rebuilt at the given shrink through the persistent cache (when set).
+func loadReference(ref string, shrink int, cacheDir string) (*plim.MIG, error) {
+	if _, statErr := os.Stat(ref); statErr == nil {
+		f, err := os.Open(ref)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return plim.ReadMIG(f)
+	}
+	if _, ok := plim.LookupBenchmark(ref); !ok {
+		return nil, fmt.Errorf("plimrun: -verify %q is neither a readable file nor a benchmark name", ref)
+	}
+	eng := plim.NewEngine(plim.WithShrink(shrink), plim.WithPersistentCache(cacheDir))
+	return eng.Benchmark(ref)
 }
 
 func loadProgram(path string) (*plim.Program, error) {

@@ -10,6 +10,12 @@
 // shrink factor for quick runs. The suite runs on a plim.Engine: Ctrl-C
 // cancels between benchmarks, and -v streams per-benchmark and per-cycle
 // progress events.
+//
+// With -cache-dir (default $PLIM_CACHE_DIR) rewrite results and benchmark
+// builds persist on disk across invocations, so regenerating a table — or
+// compiling one of its benchmarks with plimc afterwards — skips every
+// rewrite an earlier run already performed, byte-identically. A cache
+// summary is printed to stderr unless -q is given.
 package main
 
 import (
@@ -28,16 +34,18 @@ import (
 
 func main() {
 	var (
-		table   = flag.String("table", "all", "1|2|3|ablation|all")
-		benches = flag.String("benchmarks", "", "comma-separated subset (default: all 18)")
-		effort  = flag.Int("effort", plim.DefaultEffort, "MIG rewriting cycles (0 = none)")
-		shrink  = flag.Int("shrink", 1, "divide datapath widths (quick runs)")
-		format  = flag.String("format", "text", "text|md|csv")
-		outFile = flag.String("out", "", "write to file instead of stdout")
-		workers = flag.Int("workers", runtime.GOMAXPROCS(0), "parallel benchmark workers")
-		caps    = flag.String("caps", "10,20,50,100", "write caps for Table III")
-		quiet   = flag.Bool("q", false, "suppress progress output")
-		verbose = flag.Bool("v", false, "stream per-benchmark progress events to stderr")
+		table    = flag.String("table", "all", "1|2|3|ablation|all")
+		benches  = flag.String("benchmarks", "", "comma-separated subset (default: all 18)")
+		effort   = flag.Int("effort", plim.DefaultEffort, "MIG rewriting cycles (0 = none)")
+		shrink   = flag.Int("shrink", 1, "divide datapath widths (quick runs)")
+		format   = flag.String("format", "text", "text|md|csv")
+		outFile  = flag.String("out", "", "write to file instead of stdout")
+		workers  = flag.Int("workers", runtime.GOMAXPROCS(0), "parallel benchmark workers")
+		caps     = flag.String("caps", "10,20,50,100", "write caps for Table III")
+		quiet    = flag.Bool("q", false, "suppress progress output")
+		verbose  = flag.Bool("v", false, "stream per-benchmark progress events to stderr")
+		cacheDir = flag.String("cache-dir", os.Getenv("PLIM_CACHE_DIR"),
+			"persistent cache directory shared across plimtab/plimc invocations (default $PLIM_CACHE_DIR; empty = off)")
 	)
 	flag.Parse()
 
@@ -48,6 +56,7 @@ func main() {
 		plim.WithEffort(*effort),
 		plim.WithShrink(*shrink),
 		plim.WithWorkers(*workers),
+		plim.WithPersistentCache(*cacheDir),
 	}
 	if *verbose && !*quiet {
 		engOpts = append(engOpts, plim.WithProgress(func(ev plim.Event) {
@@ -156,6 +165,10 @@ func main() {
 		render(g)
 	}
 
+	if st, ok := eng.PersistentCacheStats(); ok {
+		progress(fmt.Sprintf("persistent cache: rewrite %d hits / %d misses, benchmark %d hits / %d misses, %d stores (dir %s)",
+			st.RewriteHits, st.RewriteMisses, st.BenchmarkHits, st.BenchmarkMisses, st.Stores, eng.PersistentCacheDir()))
+	}
 	progress(fmt.Sprintf("done in %v", time.Since(start).Round(time.Millisecond)))
 }
 

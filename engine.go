@@ -8,6 +8,7 @@ import (
 
 	"plim/internal/compile"
 	"plim/internal/core"
+	"plim/internal/diskcache"
 	"plim/internal/progress"
 	"plim/internal/suite"
 	"plim/internal/tables"
@@ -36,6 +37,7 @@ type Engine struct {
 	shrink      int
 	cache       bool
 	cacheBudget int
+	persistDir  string
 	progress    progress.Func
 	mu          sync.Mutex // serializes progress delivery
 	err         error      // first invalid option; surfaced by every method
@@ -47,6 +49,10 @@ type Engine struct {
 	// long-lived engine fed a stream of distinct functions stays bounded.
 	benchCache *suite.Cache
 	rwCache    *core.RewriteCache
+
+	// disk is the persistent second tier below both caches, opened at
+	// construction when WithPersistentCache names a directory.
+	disk *diskcache.Cache
 
 	// scratch recycles compile-stage state (per-node tables, candidate
 	// heap, device allocator) across every compilation the engine runs.
@@ -78,9 +84,24 @@ func NewEngine(opts ...Option) *Engine {
 	for _, opt := range opts {
 		opt(e)
 	}
+	if e.persistDir != "" {
+		// The disk tier sits below the in-memory caches, so persistence
+		// implies caching even under WithCache(false).
+		e.cache = true
+	}
 	if e.cache {
 		e.benchCache = suite.NewCacheWithBudget(e.cacheBudget)
 		e.rwCache = core.NewRewriteCacheWithBudget(e.cacheBudget)
+	}
+	if e.persistDir != "" && e.err == nil {
+		d, err := diskcache.Open(e.persistDir)
+		if err != nil {
+			e.fail(fmt.Errorf("plim: WithPersistentCache(%q): %w", e.persistDir, err))
+		} else {
+			e.disk = d
+			e.benchCache.SetDisk(d)
+			e.rwCache.SetDisk(d)
+		}
 	}
 	return e
 }
@@ -154,6 +175,50 @@ func WithCacheBudget(n int) Option {
 		e.cacheBudget = n
 	}
 }
+
+// WithPersistentCache adds a persistent on-disk tier below the engine's
+// in-memory caches: rewrite results (keyed by function fingerprint,
+// pipeline and effort) and benchmark builds (keyed by name and shrink) are
+// spilled to dir and reloaded by later engines — including engines in
+// other processes, so a plimtab run warms the cache for a following plimc
+// run. Entries are written atomically and verified on load (corrupt,
+// truncated or version-mismatched files read as misses), the directory may
+// be shared by concurrent processes, and disk-served results are
+// byte-identical to freshly computed ones. The empty string disables
+// persistence (the default); a non-empty dir implies WithCache(true). The
+// directory is created if needed; a directory that cannot be created is
+// reported by the first Engine method call.
+func WithPersistentCache(dir string) Option {
+	return func(e *Engine) { e.persistDir = dir }
+}
+
+// CacheCounters is a snapshot of the persistent cache tier's accounting.
+// Loads that fail verification count as misses.
+type CacheCounters struct {
+	RewriteHits, RewriteMisses     uint64
+	BenchmarkHits, BenchmarkMisses uint64
+	Stores, StoreErrors            uint64
+}
+
+// PersistentCacheStats reports the persistent tier's hit/miss/store
+// counters since the engine was built. ok is false when the engine has no
+// persistent cache.
+func (e *Engine) PersistentCacheStats() (c CacheCounters, ok bool) {
+	if e.disk == nil {
+		return CacheCounters{}, false
+	}
+	d := e.disk.Counters()
+	return CacheCounters{
+		RewriteHits:   d.RewriteHits,
+		RewriteMisses: d.RewriteMisses,
+		BenchmarkHits: d.BenchmarkHits, BenchmarkMisses: d.BenchmarkMisses,
+		Stores: d.Stores, StoreErrors: d.StoreErrors,
+	}, true
+}
+
+// PersistentCacheDir reports the persistent cache directory ("" when
+// persistence is off).
+func (e *Engine) PersistentCacheDir() string { return e.persistDir }
 
 // WithProgress installs a progress callback. The engine serializes
 // delivery: fn is never invoked concurrently, even during parallel suite

@@ -479,9 +479,10 @@ func TestCompileAllocsPinned(t *testing.T) {
 		{"endurance/minwrite", Options{Selection: Endurance, Alloc: alloc.MinWrite}},
 		{"endurance/capped", Options{Selection: Endurance, Alloc: alloc.MinWrite, MaxWrites: 20}},
 	}
-	// The budget is deliberately loose (the steady state is ~10): it only
-	// needs to catch a regression back to per-node allocation, which costs
-	// hundreds on this graph.
+	// The budget is deliberately loose (the steady state is ~10, one lower
+	// since the LiveNodesInto reverse-sweep change, but -race inflates it
+	// past 40): it only needs to catch a regression back to per-node
+	// allocation, which costs hundreds on this graph.
 	const budget = 48.0
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"sync"
 
+	"plim/internal/diskcache"
 	"plim/internal/lru"
 	"plim/internal/mig"
 	"plim/internal/progress"
@@ -41,6 +42,12 @@ var errComputePanicked = errors.New("core: rewrite computation panicked")
 type RewriteCache struct {
 	mu      sync.Mutex
 	entries *lru.Map[rewriteKey, *rewriteEntry]
+
+	// disk, when non-nil, is the persistent second tier: an in-memory miss
+	// probes the disk before computing, and freshly computed results are
+	// written back (best-effort). Disk-served results are byte-identical to
+	// computed ones and emit no progress events, exactly like memory hits.
+	disk *diskcache.Cache
 }
 
 type rewriteKey struct {
@@ -68,6 +75,10 @@ func NewRewriteCache() *RewriteCache {
 func NewRewriteCacheWithBudget(budget int) *RewriteCache {
 	return &RewriteCache{entries: lru.New[rewriteKey, *rewriteEntry](budget)}
 }
+
+// SetDisk installs (or, with nil, removes) the persistent second tier.
+// It must be called before the cache is shared across goroutines.
+func (c *RewriteCache) SetDisk(d *diskcache.Cache) { c.disk = d }
 
 // Len reports the number of cached rewrites (including in-flight ones).
 func (c *RewriteCache) Len() int {
@@ -122,6 +133,17 @@ func (c *RewriteCache) Rewrite(ctx context.Context, m *mig.MIG, kind RewriteKind
 					c.mu.Unlock()
 					close(e.done)
 				}()
+				if c.disk != nil {
+					if dm, dst, ok := c.disk.LoadRewrite(key.fp, uint8(kind), effort); ok {
+						// Disk hit: the stored graph was computed (possibly by
+						// another process) from a fingerprint-identical input,
+						// so it is byte-identical to what Rewrite would
+						// produce. No progress events, like any cache hit.
+						e.m, e.st = dm, dst
+						completed = true
+						return
+					}
+				}
 				e.m, e.st, e.err = Rewrite(ctx, m, kind, effort, obs, label)
 				if e.err == nil && e.m == m {
 					// Effort 0 (or RewriteNone on an already-clean graph) can
@@ -130,6 +152,11 @@ func (c *RewriteCache) Rewrite(ctx context.Context, m *mig.MIG, kind RewriteKind
 					e.m = m.Clone()
 				}
 				completed = true
+				if e.err == nil && c.disk != nil {
+					// Best-effort write-back; a failed store only costs the
+					// next cold process a recomputation.
+					_ = c.disk.StoreRewrite(key.fp, uint8(kind), effort, e.m, e.st)
+				}
 			}()
 			if e.err != nil {
 				return nil, rewrite.Stats{}, e.err

@@ -12,6 +12,7 @@ import (
 	"testing"
 
 	"plim/internal/compile"
+	"plim/internal/diskcache"
 	"plim/internal/mig"
 	"plim/internal/progress"
 )
@@ -492,5 +493,115 @@ func TestRunStagedCancellationIsCtxErr(t *testing.T) {
 	}
 	if err != context.Canceled {
 		t.Fatalf("staged cancellation returned %#v, want context.Canceled itself", err)
+	}
+}
+
+// TestRewriteCacheDiskTier: an in-memory miss probes the disk tier; a
+// fresh computation is written back, and a second cold cache over the same
+// directory serves it without emitting rewrite-cycle events, byte-identical
+// to the computed result.
+func TestRewriteCacheDiskTier(t *testing.T) {
+	disk, err := diskcache.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := randomMIG("disk", 8, 160, 6, 31)
+	ctx := context.Background()
+
+	cycles := 0
+	obs := progress.Func(func(ev progress.Event) {
+		if _, ok := ev.(progress.RewriteCycle); ok {
+			cycles++
+		}
+	})
+
+	warmC := NewRewriteCache()
+	warmC.SetDisk(disk)
+	want, wantSt, err := warmC.Rewrite(ctx, m, RewriteAlgorithm2, DefaultEffort, obs, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cycles == 0 {
+		t.Fatal("cold computation emitted no rewrite cycles")
+	}
+	if c := disk.Counters(); c.Stores == 0 || c.RewriteHits != 0 {
+		t.Fatalf("cold run counters: %+v", c)
+	}
+
+	// A brand-new in-memory cache (a new process) over the same directory.
+	cycles = 0
+	coldC := NewRewriteCache()
+	coldC.SetDisk(disk)
+	got, gotSt, err := coldC.Rewrite(ctx, m, RewriteAlgorithm2, DefaultEffort, obs, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cycles != 0 {
+		t.Fatalf("disk-served rewrite emitted %d rewrite cycles, want 0", cycles)
+	}
+	if gotSt != wantSt {
+		t.Fatalf("disk-served stats differ: %+v vs %+v", gotSt, wantSt)
+	}
+	if got.Fingerprint() != want.Fingerprint() {
+		t.Fatal("disk-served MIG fingerprint differs from computed")
+	}
+	var a, b bytes.Buffer
+	if err := want.Write(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := got.Write(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("disk-served MIG serialization differs from computed")
+	}
+	if c := disk.Counters(); c.RewriteHits != 1 {
+		t.Fatalf("warm run counters: %+v", c)
+	}
+
+	// And the compiled programs must match exactly.
+	for _, cfg := range TableIConfigs() {
+		r1, err := CompileConfig(ctx, want, cfg, wantSt, nil, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r2, err := CompileConfig(ctx, got, cfg, gotSt, nil, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var p1, p2 bytes.Buffer
+		if err := r1.Result.Program.WriteBinary(&p1); err != nil {
+			t.Fatal(err)
+		}
+		if err := r2.Result.Program.WriteBinary(&p2); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(p1.Bytes(), p2.Bytes()) {
+			t.Fatalf("%s: disk-served compile differs from computed", cfg.Name)
+		}
+	}
+}
+
+// TestRewriteCacheDiskTierFailedComputeNotStored: cancelled computations
+// must not be persisted.
+func TestRewriteCacheDiskTierFailedComputeNotStored(t *testing.T) {
+	disk, err := diskcache.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewRewriteCache()
+	c.SetDisk(disk)
+	m := randomMIG("cancel", 8, 160, 6, 32)
+	ctx, cancel := context.WithCancel(context.Background())
+	obs := progress.Func(func(ev progress.Event) {
+		if _, ok := ev.(progress.RewriteCycle); ok {
+			cancel() // cancel mid-run, after the first cycle
+		}
+	})
+	if _, _, err := c.Rewrite(ctx, m, RewriteAlgorithm2, DefaultEffort, obs, ""); err == nil {
+		t.Fatal("cancelled rewrite succeeded")
+	}
+	if cnt := disk.Counters(); cnt.Stores != 0 {
+		t.Fatalf("cancelled computation was persisted: %+v", cnt)
 	}
 }

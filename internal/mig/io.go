@@ -21,37 +21,56 @@ import (
 // "!0". Node indices follow the file: the constant is node 0, the i-th .pi
 // line is node i+1, and .maj lines continue the numbering.
 
-func sigToken(s Signal) string {
-	if s.Complemented() {
-		return fmt.Sprintf("!%d", s.Node())
-	}
-	return fmt.Sprintf("%d", s.Node())
-}
-
 // Write serializes the MIG in .mig format.
+//
+// The file format numbers nodes const-first, then all PIs, then all majority
+// nodes, while in-memory graphs may interleave PI and majority creation
+// freely. Signals are therefore renumbered into file order on the way out —
+// writing an interleaved graph with raw in-memory ids would silently rebind
+// its edges on Read. Names are written exactly as stored (a nameless PI or
+// PO stays nameless), so a Write/Read round-trip of a canonically numbered
+// graph preserves Fingerprint() — the property the fingerprint-keyed
+// persistent cache depends on.
 func (m *MIG) Write(w io.Writer) error {
 	bw := bufio.NewWriter(w)
 	fmt.Fprintf(bw, ".model %s\n", m.Name)
-	for i := 0; i < m.NumPIs(); i++ {
-		name := m.piNames[i]
-		if name == "" {
-			name = fmt.Sprintf("x%d", i)
+	fileID := make([]uint32, len(m.nodes))
+	for i, pi := range m.piNodes {
+		fileID[pi] = uint32(i + 1)
+	}
+	next := uint32(len(m.piNodes) + 1)
+	for i := range m.nodes {
+		if m.nodes[i].kind == KindMaj {
+			fileID[i] = next
+			next++
 		}
-		fmt.Fprintf(bw, ".pi %s\n", name)
+	}
+	tok := func(s Signal) string {
+		if s.Complemented() {
+			return fmt.Sprintf("!%d", fileID[s.Node()])
+		}
+		return fmt.Sprintf("%d", fileID[s.Node()])
+	}
+	for i := 0; i < m.NumPIs(); i++ {
+		if name := m.piNames[i]; name != "" {
+			fmt.Fprintf(bw, ".pi %s\n", name)
+		} else {
+			fmt.Fprintln(bw, ".pi")
+		}
 	}
 	for i := range m.nodes {
 		n := &m.nodes[i]
 		if n.kind != KindMaj {
 			continue
 		}
-		fmt.Fprintf(bw, ".maj %s %s %s\n", sigToken(n.children[0]), sigToken(n.children[1]), sigToken(n.children[2]))
+		fmt.Fprintf(bw, ".maj %s %s %s\n", tok(n.children[0]), tok(n.children[1]), tok(n.children[2]))
 	}
 	for i, po := range m.pos {
 		name := m.poNames[i]
 		if name == "" {
-			fmt.Fprintf(bw, ".po %s\n", sigToken(po))
+			fmt.Fprintf(bw, ".po %s\n", tok(po))
 		} else {
-			fmt.Fprintf(bw, ".po %s %s\n", sigToken(po), name)
+			fmt.Fprintf(bw, ".po %s %s\n", tok(po), name)
 		}
 	}
 	fmt.Fprintln(bw, ".end")
@@ -59,9 +78,13 @@ func (m *MIG) Write(w io.Writer) error {
 }
 
 // Read parses a .mig file produced by Write. Majority nodes are inserted
-// verbatim (RawMaj): reading never rewrites the graph, so write/read
-// round-trips preserve structure except for the constructor's child sorting
-// and structural hashing, which are canonical anyway.
+// through RawMaj, which re-canonicalizes on load — children are sorted and
+// structurally hashed — but never applies the trivial folding rules, so the
+// file's exact node structure is preserved. For a graph in canonical
+// numbering (PIs before majority nodes, as produced by Cleanup, the rewrite
+// passes and the benchmark generators), Read(Write(m)) reproduces m
+// fingerprint-identically; interleaved graphs are renumbered by Write and
+// stabilize after one round trip.
 func Read(r io.Reader) (*MIG, error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1024*1024), 64*1024*1024)

@@ -402,7 +402,8 @@ func (m *MIG) LiveNodes() []bool {
 
 // LiveNodesInto is LiveNodes with a caller-provided scratch slice: buf is
 // grown (or allocated) to NumNodes, cleared and filled. Hot loops that
-// sweep many graphs reuse one buffer instead of allocating per sweep.
+// sweep many graphs reuse one buffer instead of allocating per sweep; with
+// a large-enough buf the sweep is allocation-free.
 func (m *MIG) LiveNodesInto(buf []bool) []bool {
 	var live []bool
 	if cap(buf) >= len(m.nodes) {
@@ -411,25 +412,22 @@ func (m *MIG) LiveNodesInto(buf []bool) []bool {
 	} else {
 		live = make([]bool, len(m.nodes))
 	}
-	// Iterative to survive very deep graphs.
-	stack := make([]NodeID, 0, 64)
 	for _, po := range m.pos {
-		stack = append(stack, po.Node())
+		live[po.Node()] = true
 	}
-	for len(stack) > 0 {
-		n := stack[len(stack)-1]
-		stack = stack[:len(stack)-1]
-		if live[n] {
+	// Children always have smaller ids than their parents, so one reverse
+	// sweep propagates liveness from the POs down to the leaves — no DFS
+	// stack needed, regardless of graph depth.
+	for i := len(m.nodes) - 1; i > 0; i-- {
+		if !live[i] {
 			continue
 		}
-		live[n] = true
-		nd := &m.nodes[n]
-		if nd.kind == KindMaj {
-			for _, c := range nd.children {
-				if !live[c.Node()] {
-					stack = append(stack, c.Node())
-				}
-			}
+		nd := &m.nodes[i]
+		if nd.kind != KindMaj {
+			continue
+		}
+		for _, c := range nd.children {
+			live[c.Node()] = true
 		}
 	}
 	live[0] = true

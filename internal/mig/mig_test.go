@@ -641,3 +641,147 @@ func TestFingerprintCoversPinNames(t *testing.T) {
 		t.Fatal("fingerprint is ambiguous across name boundaries")
 	}
 }
+
+// roundTrip serializes m and parses it back.
+func roundTrip(t *testing.T, m *MIG) *MIG {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := m.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return got
+}
+
+// TestWriteReadPreservesFingerprint: the persistent cache keys benchmark
+// builds and rewrite results by Fingerprint(), so a Write/Read round trip
+// of a canonically numbered graph — including nameless PIs and POs, which
+// Write used to rename to x0/x1/… defaults — must reproduce the
+// fingerprint exactly, or disk-served entries would silently never match
+// freshly built graphs.
+func TestWriteReadPreservesFingerprint(t *testing.T) {
+	named := New("named")
+	a := named.AddPI("a[0]")
+	b := named.AddPI("b[0]")
+	c := named.AddPI("")
+	n1 := named.Maj(a, b.Not(), c)
+	named.AddPO(n1, "s[0]")
+	named.AddPO(named.And(n1, a).Not(), "")
+
+	anon := New("anon")
+	x := anon.AddPI("")
+	y := anon.AddPI("")
+	anon.AddPO(anon.Or(x, y), "")
+
+	// A RawMaj-built graph keeps trivially foldable nodes; they must
+	// survive the round trip verbatim too.
+	raw := New("raw")
+	p := raw.AddPI("p")
+	q := raw.AddPI("q")
+	raw.AddPO(raw.RawMaj(p, p, q), "o")
+
+	for _, m := range []*MIG{named, anon, raw} {
+		got := roundTrip(t, m)
+		if got.Fingerprint() != m.Fingerprint() {
+			t.Errorf("%s: round trip changed fingerprint", m.Name)
+			for i := 0; i < m.NumPIs(); i++ {
+				if m.PIName(i) != got.PIName(i) {
+					t.Errorf("%s: PI %d name %q became %q", m.Name, i, m.PIName(i), got.PIName(i))
+				}
+			}
+		}
+		MustBeEquivalent(m, got, 2, 7)
+	}
+}
+
+// TestWriteRenumbersInterleavedPIs: in-memory graphs may add a PI after a
+// majority node, but the file format numbers all PIs first. Write must
+// renumber signals into file order — emitting raw in-memory ids used to
+// rebind edges silently — and the result must stabilize after one round
+// trip (Write∘Read is then the identity on the serialized form).
+func TestWriteRenumbersInterleavedPIs(t *testing.T) {
+	m := New("interleave")
+	p := m.AddPI("p")
+	q := m.AddPI("q")
+	g := m.And(p, q)
+	r := m.AddPI("r") // PI created after a majority node
+	m.AddPO(m.Or(g, r), "o")
+
+	got := roundTrip(t, m)
+	if err := got.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got.NumMaj() != m.NumMaj() || got.NumPIs() != m.NumPIs() {
+		t.Fatalf("round trip changed shape: maj %d→%d pi %d→%d",
+			m.NumMaj(), got.NumMaj(), m.NumPIs(), got.NumPIs())
+	}
+	MustBeEquivalent(m, got, 2, 7)
+
+	// Once canonical, further round trips are fingerprint- and
+	// byte-stable.
+	again := roundTrip(t, got)
+	if again.Fingerprint() != got.Fingerprint() {
+		t.Fatal("second round trip changed fingerprint")
+	}
+	var first, second bytes.Buffer
+	if err := got.Write(&first); err != nil {
+		t.Fatal(err)
+	}
+	if err := again.Write(&second); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(first.Bytes(), second.Bytes()) {
+		t.Fatal("serialized form not stable after one round trip")
+	}
+}
+
+// TestLiveNodesIntoAllocationFree pins the satellite fix for the warm-suite
+// allocation residue: with a caller-provided buffer, the liveness sweep
+// performs zero allocations (the old implementation built a DFS stack per
+// call).
+func TestLiveNodesIntoAllocationFree(t *testing.T) {
+	m := New("allocfree")
+	sigs := []Signal{m.AddPI("a"), m.AddPI("b"), m.AddPI("c")}
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 500; i++ {
+		a := sigs[rng.Intn(len(sigs))]
+		b := sigs[rng.Intn(len(sigs))].Not()
+		c := sigs[rng.Intn(len(sigs))]
+		if s := m.Maj(a, b, c); !s.IsConst() {
+			sigs = append(sigs, s)
+		}
+	}
+	m.AddPO(sigs[len(sigs)-1], "o")
+	buf := make([]bool, m.NumNodes())
+	if avg := testing.AllocsPerRun(20, func() {
+		buf = m.LiveNodesInto(buf)
+	}); avg != 0 {
+		t.Fatalf("LiveNodesInto allocates %.1f times per call with a warm buffer, want 0", avg)
+	}
+}
+
+// TestLiveNodesDeepChain: the reverse-sweep implementation must handle
+// graphs far deeper than any recursion or fixed-size stack would.
+func TestLiveNodesDeepChain(t *testing.T) {
+	m := New("deep")
+	a := m.AddPI("a")
+	b := m.AddPI("b")
+	cur := m.And(a, b)
+	for i := 0; i < 200000; i++ {
+		cur = m.Maj(cur, a.NotIf(i%2 == 0), b.NotIf(i%3 == 0))
+	}
+	m.AddPO(cur, "o")
+	live := m.LiveNodes()
+	n := 0
+	for _, l := range live {
+		if l {
+			n++
+		}
+	}
+	if n != m.NumNodes() {
+		t.Fatalf("deep chain: %d/%d nodes live, want all", n, m.NumNodes())
+	}
+}

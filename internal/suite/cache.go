@@ -4,6 +4,7 @@ import (
 	"errors"
 	"sync"
 
+	"plim/internal/diskcache"
 	"plim/internal/lru"
 	"plim/internal/mig"
 )
@@ -30,6 +31,13 @@ var errBuildPanicked = errors.New("suite: benchmark build panicked")
 type Cache struct {
 	mu      sync.Mutex
 	entries *lru.Map[buildKey, *buildEntry]
+
+	// disk, when non-nil, is the persistent second tier: an in-memory miss
+	// probes the disk before running the generator, and fresh builds are
+	// written back (best-effort). Generators are deterministic and their
+	// output serializes fingerprint-faithfully, so a disk-served graph is
+	// structurally identical to a fresh build.
+	disk *diskcache.Cache
 }
 
 type buildKey struct {
@@ -54,6 +62,10 @@ func NewCache() *Cache {
 func NewCacheWithBudget(budget int) *Cache {
 	return &Cache{entries: lru.New[buildKey, *buildEntry](budget)}
 }
+
+// SetDisk installs (or, with nil, removes) the persistent second tier.
+// It must be called before the cache is shared across goroutines.
+func (c *Cache) SetDisk(d *diskcache.Cache) { c.disk = d }
 
 // Len reports the number of cached benchmark builds (including in-flight
 // ones).
@@ -100,8 +112,18 @@ func (c *Cache) BuildScaled(name string, shrink int) (*mig.MIG, error) {
 					c.mu.Unlock()
 					close(e.done)
 				}()
+				if c.disk != nil {
+					if dm, ok := c.disk.LoadBenchmark(name, shrink); ok {
+						e.m = dm
+						completed = true
+						return
+					}
+				}
 				e.m, e.err = BuildScaled(name, shrink)
 				completed = true
+				if e.err == nil && c.disk != nil {
+					_ = c.disk.StoreBenchmark(name, shrink, e.m)
+				}
 			}()
 			return e.m, e.err
 		}

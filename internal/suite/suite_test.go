@@ -6,6 +6,7 @@ import (
 	"sync"
 	"testing"
 
+	"plim/internal/diskcache"
 	"plim/internal/mig"
 )
 
@@ -544,4 +545,41 @@ func TestCacheBudgetRespectsRecency(t *testing.T) {
 	if a2 != a1 {
 		t.Fatal("recently-used entry was evicted instead of the LRU one")
 	}
+}
+
+// TestCacheDiskTier: a cold Cache over a warm directory serves the
+// generator output from disk, fingerprint-identical to a fresh build —
+// the property the fingerprint-keyed rewrite cache depends on.
+func TestCacheDiskTier(t *testing.T) {
+	disk, err := diskcache.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh, err := BuildScaled("router", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	warm := NewCache()
+	warm.SetDisk(disk)
+	if _, err := warm.BuildScaled("router", 2); err != nil {
+		t.Fatal(err)
+	}
+	if c := disk.Counters(); c.Stores != 1 || c.BenchmarkMisses != 1 {
+		t.Fatalf("cold build counters: %+v", c)
+	}
+
+	cold := NewCache()
+	cold.SetDisk(disk)
+	got, err := cold.BuildScaled("router", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c := disk.Counters(); c.BenchmarkHits != 1 {
+		t.Fatalf("warm build counters: %+v", c)
+	}
+	if got.Fingerprint() != fresh.Fingerprint() {
+		t.Fatal("disk-served benchmark fingerprint differs from a fresh build")
+	}
+	mig.MustBeEquivalent(fresh, got, 2, 9)
 }
