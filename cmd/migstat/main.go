@@ -9,6 +9,12 @@
 //	migstat -bench sin
 //	migstat -bench sin -rewrite alg2 -o sin_opt.mig
 //	migstat -in design.mig -rewrite alg1 -effort 3 -dot design.dot -v
+//	migstat -bench log2 -rewrite alg2 -cache-dir ~/.cache/plim
+//
+// With -cache-dir (default $PLIM_CACHE_DIR) rewrite results and benchmark
+// builds persist across invocations and are shared with the other CLIs, so
+// a rewrite that plimtab or plimc already performed is served from disk
+// with zero cycles. A per-run cache summary is printed to stderr.
 package main
 
 import (
@@ -33,13 +39,19 @@ func main() {
 		outDot    = flag.String("dot", "", "write Graphviz DOT")
 		checkEq   = flag.Bool("check", true, "verify rewriting preserved the function")
 		verbose   = flag.Bool("v", false, "stream per-cycle progress events to stderr")
+		cacheDir  = flag.String("cache-dir", os.Getenv("PLIM_CACHE_DIR"),
+			"persistent cache directory shared across plimc/plimtab/migstat invocations (default $PLIM_CACHE_DIR; empty = off)")
 	)
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 
-	engOpts := []plim.Option{plim.WithEffort(*effort), plim.WithShrink(*shrink)}
+	engOpts := []plim.Option{
+		plim.WithEffort(*effort),
+		plim.WithShrink(*shrink),
+		plim.WithPersistentCache(*cacheDir),
+	}
 	if *verbose {
 		engOpts = append(engOpts, plim.WithProgress(func(ev plim.Event) {
 			fmt.Fprintln(os.Stderr, plim.FormatEvent(ev))
@@ -113,6 +125,9 @@ func main() {
 		if err := withFile(*outDot, out.WriteDOT); err != nil {
 			fatal(err)
 		}
+	}
+	if s, ok := eng.CacheSummary(); ok {
+		fmt.Fprintln(os.Stderr, s)
 	}
 }
 

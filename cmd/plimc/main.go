@@ -114,12 +114,9 @@ func main() {
 // printCacheSummary reports the persistent tier's per-run accounting; the
 // CI cold-vs-warm smoke job asserts on this line.
 func printCacheSummary(eng *plim.Engine) {
-	st, ok := eng.PersistentCacheStats()
-	if !ok {
-		return
+	if s, ok := eng.CacheSummary(); ok {
+		fmt.Fprintln(os.Stderr, s)
 	}
-	fmt.Fprintf(os.Stderr, "persistent cache: rewrite %d hits / %d misses, benchmark %d hits / %d misses, %d stores (dir %s)\n",
-		st.RewriteHits, st.RewriteMisses, st.BenchmarkHits, st.BenchmarkMisses, st.Stores, eng.PersistentCacheDir())
 }
 
 func loadMIG(eng *plim.Engine, bench, file string) (*plim.MIG, error) {

@@ -1,0 +1,171 @@
+// plimserve exposes a shared, long-lived plim.Engine over HTTP/JSON, so
+// many clients reuse one warm process (and one cache directory) instead of
+// each paying the full rewrite cost in a fresh CLI invocation:
+//
+//	plimserve -addr :8080 -cache-dir /var/cache/plim
+//
+//	curl -s localhost:8080/v1/benchmarks
+//	curl -s -X POST localhost:8080/v1/compile \
+//	     -d '{"benchmark":"adder","config":"full"}'
+//	curl -s -N -X POST -H 'Accept: text/event-stream' \
+//	     localhost:8080/v1/compile -d '{"benchmark":"div","config":"full"}'
+//	curl -s localhost:8080/metrics
+//
+// The server admits at most -concurrency computations at a time with a
+// bounded wait queue (-queue; beyond it: 429 + Retry-After), coalesces
+// identical in-flight requests into one computation, streams per-request
+// progress as server-sent events, and exposes Prometheus metrics. SIGTERM
+// (or Ctrl-C) drains gracefully: /healthz flips to 503, in-flight requests
+// finish (up to -drain-timeout), then the process exits.
+//
+// With -cache-dir (default $PLIM_CACHE_DIR) the persistent cache tier is
+// shared with the other CLIs, and a periodic janitor (-cache-gc-interval)
+// keeps the directory within -cache-max-age / -cache-max-bytes.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"plim"
+	"plim/internal/diskcache"
+	"plim/internal/server"
+)
+
+func main() {
+	var (
+		addr        = flag.String("addr", ":8080", "listen address")
+		effort      = flag.Int("effort", plim.DefaultEffort, "MIG rewriting cycles (0 = none)")
+		shrink      = flag.Int("shrink", 1, "default benchmark datapath shrink")
+		workers     = flag.Int("workers", runtime.GOMAXPROCS(0), "engine worker pool (also the default -concurrency)")
+		cacheBudget = flag.Int("cache-budget", plim.DefaultCacheBudget, "in-memory cache entries per tier")
+		cacheDir    = flag.String("cache-dir", os.Getenv("PLIM_CACHE_DIR"),
+			"persistent cache directory shared with plimc/plimtab/... (default $PLIM_CACHE_DIR; empty = off)")
+
+		concurrency = flag.Int("concurrency", 0, "max computations running at once (0 = -workers)")
+		queue       = flag.Int("queue", 0, "max computations waiting for a slot (0 = 4×concurrency); beyond it: 429")
+		reqTimeout  = flag.Duration("timeout", time.Minute, "default per-request deadline (<0 = none)")
+		maxTimeout  = flag.Duration("max-timeout", 10*time.Minute, "cap on client-requested deadlines")
+
+		gcInterval = flag.Duration("cache-gc-interval", 0, "disk-cache janitor period (0 = off; needs -cache-dir)")
+		gcMaxAge   = flag.Duration("cache-max-age", 0, "janitor: delete disk entries older than this (0 = no age limit)")
+		gcMaxBytes = flag.Int64("cache-max-bytes", 0, "janitor: keep the disk cache under this many bytes (0 = no size limit)")
+
+		drainTimeout = flag.Duration("drain-timeout", 10*time.Second, "graceful-shutdown budget for in-flight requests")
+		verbose      = flag.Bool("v", false, "log every progress event to stderr")
+	)
+	flag.Parse()
+
+	engOpts := []plim.Option{
+		plim.WithEffort(*effort),
+		plim.WithShrink(*shrink),
+		plim.WithWorkers(*workers),
+		plim.WithCacheBudget(*cacheBudget),
+		plim.WithPersistentCache(*cacheDir),
+	}
+	if *verbose {
+		engOpts = append(engOpts, plim.WithProgress(func(ev plim.Event) {
+			log.Println(plim.FormatEvent(ev))
+		}))
+	}
+	eng := plim.NewEngine(engOpts...)
+
+	srv := server.New(eng, server.Options{
+		Concurrency:    *concurrency,
+		QueueDepth:     *queue,
+		DefaultTimeout: *reqTimeout,
+		MaxTimeout:     *maxTimeout,
+	})
+	httpSrv := &http.Server{Addr: *addr, Handler: srv}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	if *gcInterval > 0 || *gcMaxAge > 0 || *gcMaxBytes > 0 {
+		if *cacheDir == "" {
+			fatal(errors.New("plimserve: the cache janitor flags need -cache-dir"))
+		}
+		if *gcInterval <= 0 {
+			// A budget without a period would be a silently-unenforced
+			// limit; default to an hourly sweep instead.
+			*gcInterval = time.Hour
+			log.Printf("cache janitor: -cache-gc-interval not set, defaulting to %v", *gcInterval)
+		}
+		go janitor(ctx, *cacheDir, *gcInterval, *gcMaxAge, *gcMaxBytes)
+	}
+
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+	log.Printf("plimserve listening on %s (effort %d, shrink %d, workers %d, cache-dir %q)",
+		*addr, eng.Effort(), eng.Shrink(), eng.Workers(), eng.PersistentCacheDir())
+
+	select {
+	case err := <-errc:
+		fatal(err)
+	case <-ctx.Done():
+	}
+
+	// Graceful drain: advertise unhealthiness first so load balancers stop
+	// routing here, then let in-flight requests finish.
+	log.Printf("plimserve draining (budget %v)", *drainTimeout)
+	srv.SetDraining(true)
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+		log.Printf("plimserve drain incomplete: %v", err)
+		os.Exit(1)
+	}
+	if s, ok := eng.CacheSummary(); ok {
+		log.Print(s)
+	}
+	log.Printf("plimserve stopped")
+}
+
+// janitor periodically bounds the shared cache directory. It opens its own
+// diskcache handle: GC is pure directory hygiene, and concurrent engine
+// reads/writes tolerate deletions by design (a deleted entry is a miss).
+func janitor(ctx context.Context, dir string, interval, maxAge time.Duration, maxBytes int64) {
+	c, err := diskcache.Open(dir)
+	if err != nil {
+		log.Printf("cache janitor disabled: %v", err)
+		return
+	}
+	sweep := func() {
+		st, err := c.GC(maxAge, maxBytes)
+		if err != nil {
+			log.Printf("cache gc: %v", err)
+			return
+		}
+		if st.Removed > 0 || st.TempsRemoved > 0 {
+			log.Printf("cache gc: removed %d entries (%d bytes) + %d stray temps; %d entries / %d bytes remain",
+				st.Removed, st.RemovedBytes, st.TempsRemoved, st.Entries, st.Bytes)
+		}
+	}
+	// Sweep once up front: a directory that outgrew its budget while the
+	// limits were unset must not stay over budget for a whole interval.
+	sweep()
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+		}
+		sweep()
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}

@@ -165,9 +165,8 @@ func main() {
 		render(g)
 	}
 
-	if st, ok := eng.PersistentCacheStats(); ok {
-		progress(fmt.Sprintf("persistent cache: rewrite %d hits / %d misses, benchmark %d hits / %d misses, %d stores (dir %s)",
-			st.RewriteHits, st.RewriteMisses, st.BenchmarkHits, st.BenchmarkMisses, st.Stores, eng.PersistentCacheDir()))
+	if s, ok := eng.CacheSummary(); ok {
+		progress(s)
 	}
 	progress(fmt.Sprintf("done in %v", time.Since(start).Round(time.Millisecond)))
 }

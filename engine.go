@@ -220,6 +220,18 @@ func (e *Engine) PersistentCacheStats() (c CacheCounters, ok bool) {
 // persistence is off).
 func (e *Engine) PersistentCacheDir() string { return e.persistDir }
 
+// CacheSummary renders the persistent tier's accounting as the stable
+// one-line summary the CLIs print on stderr (and CI smoke jobs grep for).
+// ok is false when the engine has no persistent cache.
+func (e *Engine) CacheSummary() (s string, ok bool) {
+	st, ok := e.PersistentCacheStats()
+	if !ok {
+		return "", false
+	}
+	return fmt.Sprintf("persistent cache: rewrite %d hits / %d misses, benchmark %d hits / %d misses, %d stores (dir %s)",
+		st.RewriteHits, st.RewriteMisses, st.BenchmarkHits, st.BenchmarkMisses, st.Stores, e.persistDir), true
+}
+
 // WithProgress installs a progress callback. The engine serializes
 // delivery: fn is never invoked concurrently, even during parallel suite
 // runs. fn must not block for long — it runs on the worker's critical path.
@@ -227,15 +239,25 @@ func WithProgress(fn func(Event)) Option {
 	return func(e *Engine) { e.progress = progress.Func(fn) }
 }
 
-// observer wraps the user callback with the engine's delivery lock.
-func (e *Engine) observer() progress.Func {
-	if e.progress == nil {
+// observer merges the engine's construction-time callback with the
+// per-call observer carried by ctx (see ContextWithProgress), both behind
+// the engine's delivery lock: no observer — construction-time or per-call,
+// on any concurrent call of the same engine — is ever invoked concurrently
+// with another.
+func (e *Engine) observer(ctx context.Context) progress.Func {
+	perCall := progress.FromContext(ctx)
+	if e.progress == nil && perCall == nil {
 		return nil
 	}
 	return func(ev progress.Event) {
 		e.mu.Lock()
 		defer e.mu.Unlock()
-		e.progress(ev)
+		if e.progress != nil {
+			e.progress(ev)
+		}
+		if perCall != nil {
+			perCall(ev)
+		}
 	}
 }
 
@@ -268,7 +290,7 @@ func (e *Engine) Run(ctx context.Context, m *MIG, cfg Config) (*Report, error) {
 		Effort:   e.effort,
 		Cache:    e.rwCache,
 		Scratch:  e.scratch,
-		Progress: e.observer(),
+		Progress: e.observer(ctx),
 	})
 	if err != nil {
 		return nil, err
@@ -289,7 +311,7 @@ func (e *Engine) RunAll(ctx context.Context, m *MIG, cfgs []Config) ([]*Report, 
 		Workers:  e.workers,
 		Cache:    e.rwCache,
 		Scratch:  e.scratch,
-		Progress: e.observer(),
+		Progress: e.observer(ctx),
 	})
 }
 
@@ -311,7 +333,7 @@ func (e *Engine) RunSuite(ctx context.Context, cfgs []Config, benchmarks ...stri
 		Effort:       e.effort,
 		Shrink:       e.shrink,
 		Workers:      e.workers,
-		Progress:     e.observer(),
+		Progress:     e.observer(ctx),
 		BenchCache:   e.benchCache,
 		RewriteCache: e.rwCache,
 		Scratch:      e.scratch,
@@ -327,7 +349,7 @@ func (e *Engine) Rewrite(ctx context.Context, m *MIG, kind RewriteKind) (*MIG, R
 	if e.err != nil {
 		return nil, RewriteStats{}, e.err
 	}
-	out, st, err := e.rwCache.Rewrite(ctx, m, kind, e.effort, e.observer(), "")
+	out, st, err := e.rwCache.Rewrite(ctx, m, kind, e.effort, e.observer(ctx), "")
 	if err != nil {
 		return nil, st, err
 	}
@@ -346,15 +368,41 @@ func (e *Engine) Rewrite(ctx context.Context, m *MIG, kind RewriteKind) (*MIG, R
 // graph instead of regenerating it; the result is always private to the
 // caller.
 func (e *Engine) Benchmark(name string) (*MIG, error) {
+	return e.BenchmarkScaled(name, e.shrink)
+}
+
+// BenchmarkScaled builds a benchmark at an explicit shrink, overriding the
+// engine's WithShrink setting for this one build. It shares the engine's
+// benchmark caches (memory and disk), so servers answering requests at
+// mixed shrinks still build each (benchmark, shrink) once. The result is
+// always private to the caller.
+func (e *Engine) BenchmarkScaled(name string, shrink int) (*MIG, error) {
 	if e.err != nil {
 		return nil, e.err
 	}
-	if e.benchCache == nil {
-		return suite.BuildScaled(name, e.shrink)
+	if shrink < 1 {
+		return nil, fmt.Errorf("plim: BenchmarkScaled(%q, %d): shrink must be ≥ 1", name, shrink)
 	}
-	m, err := e.benchCache.BuildScaled(name, e.shrink)
+	if e.benchCache == nil {
+		return suite.BuildScaled(name, shrink)
+	}
+	m, err := e.benchCache.BuildScaled(name, shrink)
 	if err != nil {
 		return nil, err
 	}
 	return m.Clone(), nil
+}
+
+// MemoryCacheLens reports how many entries the engine's in-memory caches
+// currently hold (rewrite results and benchmark builds, including in-flight
+// singleflight computations). Both are 0 with WithCache(false). Servers
+// export these alongside the persistent tier's CacheCounters.
+func (e *Engine) MemoryCacheLens() (rewrites, benchmarks int) {
+	if e.rwCache != nil {
+		rewrites = e.rwCache.Len()
+	}
+	if e.benchCache != nil {
+		benchmarks = e.benchCache.Len()
+	}
+	return rewrites, benchmarks
 }

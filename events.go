@@ -1,6 +1,7 @@
 package plim
 
 import (
+	"context"
 	"fmt"
 
 	"plim/internal/progress"
@@ -32,6 +33,23 @@ type EventBenchmarkStart = progress.BenchmarkStart
 
 // EventBenchmarkDone reports that a RunSuite job finished.
 type EventBenchmarkDone = progress.BenchmarkDone
+
+// ContextWithProgress returns a context that carries fn as a per-call
+// progress observer: an Engine method invoked with the returned context
+// delivers that call's events to fn, in addition to the engine-wide
+// WithProgress callback. This is how many concurrent users of one shared
+// engine each get their own progress stream — e.g. one SSE subscriber per
+// HTTP request in cmd/plimserve — without re-configuring the engine.
+//
+// Delivery stays serialized under the engine's lock: neither fn nor the
+// WithProgress callback is ever invoked concurrently with any other
+// observer of the same engine, so fn must not block for long. Like the
+// engine-wide callback, fn only sees events of work that actually runs in
+// this call: results served from the engine's caches (or computed by a
+// concurrent call that arrived first) emit no events.
+func ContextWithProgress(ctx context.Context, fn func(Event)) context.Context {
+	return progress.NewContext(ctx, progress.Func(fn))
+}
 
 // FormatEvent renders an event as a stable one-line human-readable string,
 // as printed by the CLIs under -v.

@@ -369,6 +369,12 @@ func (c *Cache) load(path, entryKind string) (payload []byte, header []string, o
 			if len(rest) != n || crc32.ChecksumIEEE(rest) != sum {
 				return nil, nil, false
 			}
+			// Mark the entry recently used so GC's oldest-first eviction
+			// approximates LRU rather than FIFO. Best-effort: a concurrent
+			// writer may just have renamed a fresh file over path, which only
+			// makes the entry look even younger.
+			now := time.Now()
+			_ = os.Chtimes(path, now, now)
 			return rest, header, true
 		}
 		header = append(header, string(line))

@@ -1,0 +1,104 @@
+package diskcache
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"time"
+)
+
+// GCStats reports what one garbage-collection sweep did.
+type GCStats struct {
+	Scanned      int   // cache entries examined
+	Removed      int   // cache entries deleted (age- or size-evicted)
+	RemovedBytes int64 // bytes freed by deleting entries
+	TempsRemoved int   // stray .tmp-* files reaped
+	Entries      int   // cache entries remaining after the sweep
+	Bytes        int64 // bytes remaining after the sweep
+}
+
+// GC bounds the cache directory: it deletes entries older than maxAge,
+// then — oldest first — entries beyond the maxBytes size budget, and reaps
+// stray .tmp-* files left behind by crashed writers. A zero (or negative)
+// maxAge or maxBytes disables that limit, so GC(0, 0) only reaps temp
+// files and reports the directory's size.
+//
+// "Oldest" is by modification time, which stores set and successful loads
+// refresh (see load), so eviction order approximates least-recently-used.
+// GC is safe to run concurrently with readers and writers sharing the
+// directory: a deleted entry reads as a miss and is simply recomputed and
+// stored again, and a concurrent store of a scanned entry at worst makes
+// this sweep's accounting slightly stale. Individual deletions are
+// best-effort; only an unreadable directory is an error.
+func (c *Cache) GC(maxAge time.Duration, maxBytes int64) (GCStats, error) {
+	var st GCStats
+	des, err := os.ReadDir(c.dir)
+	if err != nil {
+		return st, fmt.Errorf("diskcache: gc: %w", err)
+	}
+	type entry struct {
+		path    string
+		size    int64
+		modTime time.Time
+	}
+	var entries []entry
+	now := time.Now()
+	tempCutoff := now.Add(-staleTempAge)
+	for _, de := range des {
+		name := de.Name()
+		fi, err := de.Info()
+		if err != nil || !fi.Mode().IsRegular() {
+			continue // deleted concurrently, or not ours
+		}
+		switch {
+		case filepath.Ext(name) == ".plimcache":
+			entries = append(entries, entry{
+				path:    filepath.Join(c.dir, name),
+				size:    fi.Size(),
+				modTime: fi.ModTime(),
+			})
+		case len(name) > 5 && name[:5] == ".tmp-":
+			if fi.ModTime().Before(tempCutoff) {
+				if os.Remove(filepath.Join(c.dir, name)) == nil {
+					st.TempsRemoved++
+				}
+			}
+		}
+	}
+	st.Scanned = len(entries)
+	sort.Slice(entries, func(i, j int) bool { return entries[i].modTime.Before(entries[j].modTime) })
+	var total int64
+	for _, e := range entries {
+		total += e.size
+	}
+	ageCutoff := now.Add(-maxAge)
+	remove := func(e entry) {
+		// A concurrent deleter (another GC) racing us is fine; only count
+		// and discount entries we actually removed.
+		if os.Remove(e.path) == nil {
+			st.Removed++
+			st.RemovedBytes += e.size
+			total -= e.size
+		}
+	}
+	kept := entries[:0]
+	for _, e := range entries {
+		if maxAge > 0 && e.modTime.Before(ageCutoff) {
+			remove(e)
+		} else {
+			kept = append(kept, e)
+		}
+	}
+	if maxBytes > 0 {
+		for _, e := range kept {
+			if total <= maxBytes {
+				break
+			}
+			remove(e)
+		}
+	}
+	st.Entries = st.Scanned - st.Removed
+	st.Bytes = total
+	return st, nil
+}

@@ -5,7 +5,10 @@
 // them through a Func threaded down from the caller.
 package progress
 
-import "time"
+import (
+	"context"
+	"time"
+)
 
 // Event is a progress notification. The concrete types are RewriteCycle,
 // CompileStart, CompileDone, BenchmarkStart and BenchmarkDone.
@@ -21,6 +24,28 @@ func (f Func) Emit(ev Event) {
 	if f != nil {
 		f(ev)
 	}
+}
+
+// ctxKey keys the per-call observer carried by a context.
+type ctxKey struct{}
+
+// NewContext returns a context carrying f as a per-call progress observer.
+// Engine methods deliver the events of a call to the observer of the
+// context the call was made with, in addition to any construction-time
+// callback — the mechanism behind per-request progress streams in servers
+// that share one long-lived engine. A nil f returns ctx unchanged; an
+// observer already present is replaced for the derived context.
+func NewContext(ctx context.Context, f Func) context.Context {
+	if f == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, ctxKey{}, f)
+}
+
+// FromContext extracts the per-call observer from ctx (nil when absent).
+func FromContext(ctx context.Context) Func {
+	f, _ := ctx.Value(ctxKey{}).(Func)
+	return f
 }
 
 // RewriteCycle reports one completed MIG-rewriting cycle.

@@ -1,0 +1,111 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"math"
+	"sync"
+	"time"
+)
+
+// errQueueFull is returned by acquire when the bounded wait queue already
+// holds its configured number of waiters; the handler answers 429 with a
+// Retry-After estimate instead of queueing unboundedly.
+var errQueueFull = errors.New("server: admission queue full")
+
+// admission is the server's bounded work queue: at most concurrency
+// computations run at once, at most queueDepth more wait for a slot, and
+// everything beyond that is rejected immediately. Waiting respects the
+// caller's context, so a request deadline spent in the queue is a deadline
+// honoured.
+type admission struct {
+	concurrency int
+	queueDepth  int
+	slots       chan struct{} // occupied while a computation runs
+	queue       chan struct{} // occupied while waiting *or* running
+
+	mu   sync.Mutex
+	ewma float64 // exponentially-weighted average service seconds
+}
+
+func newAdmission(concurrency, queueDepth int) *admission {
+	return &admission{
+		concurrency: concurrency,
+		queueDepth:  queueDepth,
+		slots:       make(chan struct{}, concurrency),
+		queue:       make(chan struct{}, concurrency+queueDepth),
+	}
+}
+
+// acquire claims a run slot, waiting in the bounded queue if necessary.
+// It returns a release function on success, errQueueFull when the queue is
+// at capacity, or ctx.Err() when the caller's context expires while
+// waiting. release must be called exactly once.
+func (a *admission) acquire(ctx context.Context) (release func(), err error) {
+	select {
+	case a.queue <- struct{}{}:
+	default:
+		return nil, errQueueFull
+	}
+	select {
+	case a.slots <- struct{}{}:
+	case <-ctx.Done():
+		<-a.queue
+		return nil, ctx.Err()
+	}
+	start := time.Now()
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			a.observe(time.Since(start))
+			<-a.slots
+			<-a.queue
+		})
+	}, nil
+}
+
+// observe folds one service time into the EWMA that retryAfter scales.
+func (a *admission) observe(d time.Duration) {
+	const alpha = 0.3
+	a.mu.Lock()
+	if a.ewma == 0 {
+		a.ewma = d.Seconds()
+	} else {
+		a.ewma = alpha*d.Seconds() + (1-alpha)*a.ewma
+	}
+	a.mu.Unlock()
+}
+
+// running reports how many computations hold a slot right now.
+func (a *admission) running() int { return len(a.slots) }
+
+// queuedWaiting reports how many admitted computations are waiting for a
+// slot (queue occupancy minus the running ones).
+func (a *admission) queuedWaiting() int {
+	q := len(a.queue) - len(a.slots)
+	if q < 0 {
+		q = 0 // the two reads race benignly
+	}
+	return q
+}
+
+// retryAfter estimates when a rejected client should try again: the queue's
+// current backlog divided by the service rate, using the observed average
+// service time (1s before any observation), clamped to [1s, 60s].
+func (a *admission) retryAfter() time.Duration {
+	a.mu.Lock()
+	ewma := a.ewma
+	a.mu.Unlock()
+	if ewma <= 0 {
+		ewma = 1
+	}
+	backlog := float64(len(a.queue)) / float64(a.concurrency)
+	secs := math.Ceil(ewma * backlog)
+	if secs < 1 {
+		secs = 1
+	}
+	if secs > 60 {
+		secs = 60
+	}
+	return time.Duration(secs) * time.Second
+}

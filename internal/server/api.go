@@ -1,0 +1,213 @@
+// Package server exposes a plim.Engine over HTTP/JSON as a long-lived
+// shared service: POST /v1/compile, /v1/rewrite and /v1/suite run the
+// engine, GET /v1/benchmarks lists the paper's benchmarks, and /healthz and
+// /metrics make the daemon operable. Beyond handler glue the package
+// provides the serving machinery a shared compiler needs:
+//
+//   - admission control: a bounded work queue sized from the engine's
+//     worker count; beyond it requests are rejected with 429 + Retry-After
+//     instead of queueing unboundedly, and per-request deadlines map onto
+//     context cancellation end to end (admission wait included);
+//   - request coalescing: identical in-flight requests share one
+//     computation (and one admission slot) on top of the engine's
+//     singleflight caches, so a thundering herd compiles once and every
+//     client receives the byte-identical response;
+//   - live progress: any compute request with Accept: text/event-stream
+//     receives the engine's typed progress events as server-sent events,
+//     fanned out per request via plim.ContextWithProgress — coalesced
+//     followers replay the full stream of the shared computation;
+//   - operability: /metrics exposes request counts, latency histograms,
+//     coalescing/admission counters and both cache tiers in Prometheus
+//     text format.
+//
+// cmd/plimserve wraps the package as a daemon with graceful drain and a
+// periodic disk-cache janitor.
+package server
+
+import (
+	"fmt"
+	"time"
+
+	"plim"
+)
+
+// computeRequest is the body shared by the three compute endpoints; each
+// endpoint ignores the fields it has no use for.
+type computeRequest struct {
+	// Benchmark names one of the paper's benchmarks; Netlist inlines a .mig
+	// netlist. Exactly one must be set on /v1/compile and /v1/rewrite;
+	// /v1/suite takes the Benchmarks list instead.
+	Benchmark string `json:"benchmark,omitempty"`
+	Netlist   string `json:"netlist,omitempty"`
+
+	// Config names an endurance configuration (naive, compiler21, minwrite,
+	// rewriting, full; default full) for /v1/compile; Configs is the
+	// /v1/suite variant (default: the five Table I configurations). A
+	// "+capN" suffix (e.g. "full+cap20") applies the maximum-write cap.
+	Config  string   `json:"config,omitempty"`
+	Configs []string `json:"configs,omitempty"`
+
+	// Cap is the per-device maximum write count (0 = unlimited); an
+	// alternative to the "+capN" config suffix on /v1/compile.
+	Cap uint64 `json:"cap,omitempty"`
+
+	// Kind selects the rewriting algorithm on /v1/rewrite: none, alg1, alg2.
+	Kind string `json:"kind,omitempty"`
+
+	// Shrink divides benchmark datapath widths (0 = the server's default).
+	// /v1/suite runs at the server's shrink only.
+	Shrink int `json:"shrink,omitempty"`
+
+	// Benchmarks is the /v1/suite benchmark subset (default: all 18).
+	Benchmarks []string `json:"benchmarks,omitempty"`
+
+	// Emit adds the compiled program to a /v1/compile response: "asm" for
+	// assembly text, "binary" for the base64-encoded binary encoding.
+	Emit string `json:"emit,omitempty"`
+
+	// TimeoutMS caps this request's total time (queue wait included);
+	// 0 uses the server default. Coalesced requests share the deadline of
+	// the request that started the computation.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+}
+
+// writesJSON is the paper's write-distribution summary on the wire.
+type writesJSON struct {
+	Devices int     `json:"devices"`
+	Min     uint64  `json:"min"`
+	Max     uint64  `json:"max"`
+	Mean    float64 `json:"mean"`
+	StdDev  float64 `json:"stdev"`
+	Total   uint64  `json:"total"`
+}
+
+func summarizeWrites(s plim.WriteSummary) writesJSON {
+	return writesJSON{Devices: s.N, Min: s.Min, Max: s.Max, Mean: s.Mean, StdDev: s.StdDev, Total: s.Total}
+}
+
+// rewriteStatsJSON is rewrite.Stats on the wire.
+type rewriteStatsJSON struct {
+	Cycles      int   `json:"cycles"`
+	NodesBefore int   `json:"nodes_before"`
+	NodesAfter  int   `json:"nodes_after"`
+	DepthBefore int32 `json:"depth_before"`
+	DepthAfter  int32 `json:"depth_after"`
+}
+
+func rewriteStats(st plim.RewriteStats) rewriteStatsJSON {
+	return rewriteStatsJSON{
+		Cycles: st.Cycles, NodesBefore: st.NodesBefore, NodesAfter: st.NodesAfter,
+		DepthBefore: st.DepthBefore, DepthAfter: st.DepthAfter,
+	}
+}
+
+// compileResponse is the /v1/compile response body.
+type compileResponse struct {
+	Function      string           `json:"function"`
+	Config        string           `json:"config"`
+	Shrink        int              `json:"shrink,omitempty"` // set for benchmark sources
+	Effort        int              `json:"effort"`
+	Rewrite       rewriteStatsJSON `json:"rewrite"`
+	Instructions  int              `json:"instructions"`
+	RRAMs         int              `json:"rrams"`
+	Writes        writesJSON       `json:"writes"`
+	Lifetime1e10  uint64           `json:"lifetime_1e10"`
+	ProgramAsm    string           `json:"program_asm,omitempty"`
+	ProgramBinary []byte           `json:"program_binary,omitempty"` // base64 in JSON
+}
+
+// rewriteResponse is the /v1/rewrite response body.
+type rewriteResponse struct {
+	Function string           `json:"function"`
+	Kind     string           `json:"kind"`
+	Effort   int              `json:"effort"`
+	Shrink   int              `json:"shrink,omitempty"`
+	Stats    rewriteStatsJSON `json:"stats"`
+	MIG      string           `json:"mig"` // the rewritten netlist, .mig text format
+}
+
+// suiteReportJSON is one benchmark × configuration cell of a suite result.
+type suiteReportJSON struct {
+	Instructions int              `json:"instructions"`
+	RRAMs        int              `json:"rrams"`
+	Writes       writesJSON       `json:"writes"`
+	Rewrite      rewriteStatsJSON `json:"rewrite"`
+}
+
+// benchmarkJSON is one entry of /v1/benchmarks.
+type benchmarkJSON struct {
+	Name      string `json:"name"`
+	PI        int    `json:"pi"`
+	PO        int    `json:"po"`
+	Synthetic bool   `json:"synthetic"`
+}
+
+// suiteResponse is the /v1/suite response body. Reports[b][c] pairs
+// Benchmarks[b] with Configs[c].
+type suiteResponse struct {
+	Shrink     int                 `json:"shrink"`
+	Effort     int                 `json:"effort"`
+	Benchmarks []benchmarkJSON     `json:"benchmarks"`
+	Configs    []string            `json:"configs"`
+	Reports    [][]suiteReportJSON `json:"reports"`
+}
+
+// errorResponse is every non-2xx body.
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// eventPayload maps a typed progress event onto its SSE name and JSON
+// payload.
+func eventPayload(ev plim.Event) (name string, data any) {
+	switch ev := ev.(type) {
+	case plim.EventRewriteCycle:
+		return "rewrite_cycle", struct {
+			Function string `json:"function"`
+			Config   string `json:"config,omitempty"`
+			Cycle    int    `json:"cycle"`
+			Effort   int    `json:"effort"`
+			Nodes    int    `json:"nodes"`
+		}{ev.Function, ev.Config, ev.Cycle, ev.Effort, ev.Nodes}
+	case plim.EventCompileStart:
+		return "compile_start", struct {
+			Function string `json:"function"`
+			Config   string `json:"config"`
+		}{ev.Function, ev.Config}
+	case plim.EventCompileDone:
+		return "compile_done", struct {
+			Function     string  `json:"function"`
+			Config       string  `json:"config"`
+			ElapsedMS    float64 `json:"elapsed_ms"`
+			Instructions int     `json:"instructions"`
+			RRAMs        int     `json:"rrams"`
+			Error        string  `json:"error,omitempty"`
+		}{ev.Function, ev.Config, ms(ev.Elapsed), ev.Instructions, ev.RRAMs, errString(ev.Err)}
+	case plim.EventBenchmarkStart:
+		return "benchmark_start", struct {
+			Benchmark string `json:"benchmark"`
+			Index     int    `json:"index"`
+			Total     int    `json:"total"`
+		}{ev.Benchmark, ev.Index, ev.Total}
+	case plim.EventBenchmarkDone:
+		return "benchmark_done", struct {
+			Benchmark string  `json:"benchmark"`
+			Index     int     `json:"index"`
+			Total     int     `json:"total"`
+			ElapsedMS float64 `json:"elapsed_ms"`
+			Error     string  `json:"error,omitempty"`
+		}{ev.Benchmark, ev.Index, ev.Total, ms(ev.Elapsed), errString(ev.Err)}
+	}
+	return "unknown", struct {
+		Description string `json:"description"`
+	}{fmt.Sprintf("%T", ev)}
+}
+
+func ms(d time.Duration) float64 { return float64(d.Microseconds()) / 1000 }
+
+func errString(err error) string {
+	if err == nil {
+		return ""
+	}
+	return err.Error()
+}

@@ -1,0 +1,191 @@
+package server
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"plim"
+)
+
+// response is the finished outcome of one computation flight, shared
+// verbatim by every coalesced request. Bodies contain only deterministic
+// content (no timestamps), so two flights over the same inputs produce
+// byte-identical responses — the warm-path contract the CI smoke job pins.
+type response struct {
+	status     int
+	body       []byte        // JSON, newline-terminated
+	retryAfter time.Duration // > 0 on 429: the Retry-After header value
+}
+
+// flight is one in-flight computation plus its fan-out state: the progress
+// events published so far (a replay buffer, so subscribers attaching late
+// still see the full stream) and the final response. Subscribers are
+// refcounted; when the last one leaves before completion the flight's
+// context is cancelled, so a computation nobody is waiting for anymore
+// stops at its next cancellation point.
+type flight struct {
+	key    string
+	cancel context.CancelFunc
+
+	mu     sync.Mutex
+	cond   *sync.Cond
+	events []plim.Event
+	done   bool
+	resp   response
+
+	doneCh chan struct{} // closed by finish; for select-based waiting
+	subs   int           // guarded by flightGroup.mu
+}
+
+func newFlight(key string) *flight {
+	f := &flight{key: key, doneCh: make(chan struct{})}
+	f.cond = sync.NewCond(&f.mu)
+	return f
+}
+
+// publish appends one progress event to the replay buffer and wakes
+// streaming subscribers. It is handed to the engine as the flight's
+// per-call observer, so delivery is already serialized.
+func (f *flight) publish(ev plim.Event) {
+	f.mu.Lock()
+	f.events = append(f.events, ev)
+	f.mu.Unlock()
+	f.cond.Broadcast()
+}
+
+// finish publishes the final response and wakes everyone.
+func (f *flight) finish(resp response) {
+	f.mu.Lock()
+	f.done = true
+	f.resp = resp
+	f.mu.Unlock()
+	f.cond.Broadcast()
+	close(f.doneCh)
+}
+
+// wait blocks until the flight completes or ctx expires.
+func (f *flight) wait(ctx context.Context) (response, error) {
+	select {
+	case <-f.doneCh:
+		f.mu.Lock()
+		defer f.mu.Unlock()
+		return f.resp, nil
+	case <-ctx.Done():
+		return response{}, ctx.Err()
+	}
+}
+
+// stream delivers every event of the flight — replayed from the buffer,
+// then live as they are published — to emit, and returns the final
+// response once the flight completes. A failing emit (client gone) or an
+// expired ctx ends the stream early.
+func (f *flight) stream(ctx context.Context, emit func(plim.Event) error) (response, error) {
+	// A cond.Wait cannot watch a context, so an AfterFunc nudges every
+	// waiter when ctx expires; the lock acquisition orders the broadcast
+	// after the waiter is actually waiting.
+	stop := context.AfterFunc(ctx, func() {
+		f.mu.Lock()
+		defer f.mu.Unlock()
+		f.cond.Broadcast()
+	})
+	defer stop()
+
+	next := 0
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for {
+		for next < len(f.events) {
+			ev := f.events[next]
+			next++
+			f.mu.Unlock()
+			err := emit(ev)
+			f.mu.Lock()
+			if err != nil {
+				return response{}, err
+			}
+		}
+		if f.done {
+			return f.resp, nil
+		}
+		if err := ctx.Err(); err != nil {
+			return response{}, err
+		}
+		f.cond.Wait()
+	}
+}
+
+// flightGroup coalesces identical in-flight requests: the first request
+// with a key becomes the leader and starts the computation, every further
+// request with the same key subscribes to the existing flight. Completed
+// flights are forgotten immediately — memoization across completed requests
+// is the engine caches' job, not the coalescer's.
+type flightGroup struct {
+	mu      sync.Mutex
+	flights map[string]*flight
+}
+
+func newFlightGroup() *flightGroup {
+	return &flightGroup{flights: make(map[string]*flight)}
+}
+
+// join subscribes the caller to the flight for key, creating it when no
+// computation is in flight. The caller must pair every join with exactly
+// one leave.
+func (g *flightGroup) join(key string) (f *flight, leader bool) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	f, ok := g.flights[key]
+	if !ok {
+		f = newFlight(key)
+		g.flights[key] = f
+	}
+	f.subs++
+	return f, !ok
+}
+
+// setCancel installs the computation's cancel function; the leader calls
+// it before starting the compute goroutine. Guarded by the group lock so
+// leave observes it.
+func (g *flightGroup) setCancel(f *flight, cancel context.CancelFunc) {
+	g.mu.Lock()
+	f.cancel = cancel
+	g.mu.Unlock()
+}
+
+// leave drops one subscription. When the last subscriber of an unfinished
+// flight leaves, the flight's computation context is cancelled — nobody is
+// left to read the result, so the rewrite/compile aborts at its next
+// cancellation point (and, being an error, is not cached) — and the flight
+// is unregistered immediately, so an identical request arriving while the
+// dying computation winds down starts fresh instead of inheriting the
+// cancellation error.
+func (g *flightGroup) leave(f *flight) {
+	g.mu.Lock()
+	f.subs--
+	abandoned := f.subs == 0
+	cancel := f.cancel
+	if abandoned && g.flights[f.key] == f {
+		delete(g.flights, f.key)
+	}
+	g.mu.Unlock()
+	if abandoned && cancel != nil {
+		select {
+		case <-f.doneCh: // finished normally; nothing to abort
+		default:
+			cancel()
+		}
+	}
+}
+
+// forget unregisters a flight so later identical requests start fresh.
+// The leader calls it right before finish: a request arriving in between
+// simply becomes a new leader and is served by the (now warm) engine
+// caches.
+func (g *flightGroup) forget(f *flight) {
+	g.mu.Lock()
+	if g.flights[f.key] == f {
+		delete(g.flights, f.key)
+	}
+	g.mu.Unlock()
+}

@@ -1,0 +1,148 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"sync"
+	"testing"
+	"time"
+
+	"plim"
+)
+
+func cycleEvent(n int) plim.Event {
+	return plim.EventRewriteCycle{Function: "f", Cycle: n, Effort: 5, Nodes: 10}
+}
+
+func TestFlightReplaysBufferedEventsToLateSubscribers(t *testing.T) {
+	f := newFlight("k")
+	f.publish(cycleEvent(1))
+	f.publish(cycleEvent(2))
+	done := response{status: http.StatusOK, body: []byte("{}\n")}
+
+	var gotMu sync.Mutex
+	var got []plim.Event
+	streamed := make(chan error, 1)
+	go func() {
+		resp, err := f.stream(context.Background(), func(ev plim.Event) error {
+			gotMu.Lock()
+			got = append(got, ev)
+			gotMu.Unlock()
+			return nil
+		})
+		if err == nil && resp.status != http.StatusOK {
+			err = errors.New("wrong response")
+		}
+		streamed <- err
+	}()
+	// Let the subscriber replay, then publish one live event and finish.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		gotMu.Lock()
+		n := len(got)
+		gotMu.Unlock()
+		if n == 2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("replay never happened")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	f.publish(cycleEvent(3))
+	f.finish(done)
+	if err := <-streamed; err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 {
+		t.Fatalf("want 3 events (2 replayed + 1 live), got %d", len(got))
+	}
+	for i, ev := range got {
+		if ev.(plim.EventRewriteCycle).Cycle != i+1 {
+			t.Fatalf("events out of order: %v", got)
+		}
+	}
+}
+
+func TestFlightStreamHonoursContext(t *testing.T) {
+	f := newFlight("k")
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	_, err := f.stream(ctx, func(plim.Event) error { return nil })
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("want DeadlineExceeded, got %v", err)
+	}
+}
+
+func TestFlightGroupCancelsAbandonedComputations(t *testing.T) {
+	g := newFlightGroup()
+	f, leader := g.join("k")
+	if !leader {
+		t.Fatal("first join must lead")
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	g.setCancel(f, cancel)
+	f2, leader2 := g.join("k")
+	if leader2 || f2 != f {
+		t.Fatal("second join must follow the same flight")
+	}
+	g.leave(f)
+	if ctx.Err() != nil {
+		t.Fatal("flight cancelled while a subscriber remains")
+	}
+	g.leave(f2)
+	select {
+	case <-ctx.Done():
+	case <-time.After(time.Second):
+		t.Fatal("abandoned flight was not cancelled")
+	}
+	// The abandoned flight is unregistered immediately: an identical
+	// request arriving while the dying computation winds down must lead a
+	// fresh flight, not inherit the cancellation error.
+	f3, leader3 := g.join("k")
+	if !leader3 || f3 == f {
+		t.Fatal("join after abandonment did not start a fresh flight")
+	}
+}
+
+func TestFlightGroupForgetMakesNextJoinLead(t *testing.T) {
+	g := newFlightGroup()
+	f, _ := g.join("k")
+	g.forget(f)
+	f2, leader := g.join("k")
+	if !leader || f2 == f {
+		t.Fatal("post-forget join did not start a fresh flight")
+	}
+	// forget of a stale flight must not evict the fresh one.
+	g.forget(f)
+	if f3, leader := g.join("k"); leader || f3 != f2 {
+		t.Fatal("stale forget evicted the live flight")
+	}
+}
+
+func TestFlightWaitersSeeResponseConcurrently(t *testing.T) {
+	f := newFlight("k")
+	const waiters = 8
+	var wg sync.WaitGroup
+	errs := make([]error, waiters)
+	for i := 0; i < waiters; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp, err := f.wait(context.Background())
+			if err == nil && resp.status != http.StatusOK {
+				err = errors.New("wrong status")
+			}
+			errs[i] = err
+		}(i)
+	}
+	f.publish(cycleEvent(1))
+	f.finish(response{status: http.StatusOK})
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}

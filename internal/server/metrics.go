@@ -1,0 +1,178 @@
+package server
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"plim"
+)
+
+// latencyBuckets are the upper bounds (seconds) of the request-latency
+// histogram, spanning sub-millisecond cache hits to multi-minute paper-scale
+// rewrites.
+var latencyBuckets = [...]float64{0.001, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30, 60, 120}
+
+// histogram is a fixed-bucket latency histogram (Prometheus semantics:
+// cumulative buckets plus sum and count). The last slot is the +Inf bucket.
+type histogram struct {
+	buckets [len(latencyBuckets) + 1]uint64
+	sum     float64
+	count   uint64
+}
+
+func (h *histogram) observe(seconds float64) {
+	h.sum += seconds
+	h.count++
+	for i, ub := range latencyBuckets {
+		if seconds <= ub {
+			h.buckets[i]++
+			return
+		}
+	}
+	h.buckets[len(latencyBuckets)]++ // +Inf
+}
+
+// metrics aggregates the server's operational counters. All mutation goes
+// through the mutex; gauges (queue depth, cache sizes) are read live at
+// render time.
+type metrics struct {
+	mu        sync.Mutex
+	requests  map[string]uint64     // "route|code" → count
+	latency   map[string]*histogram // route → latency histogram
+	events    map[string]uint64     // progress event type → count
+	flights   uint64                // computations started (coalescing leaders)
+	coalesced uint64                // requests attached to an in-flight computation
+	rejected  uint64                // admission rejections (429)
+}
+
+func newMetrics() *metrics {
+	return &metrics{
+		requests: make(map[string]uint64),
+		latency:  make(map[string]*histogram),
+		events:   make(map[string]uint64),
+	}
+}
+
+func (m *metrics) observeRequest(route string, code int, elapsed time.Duration) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.requests[fmt.Sprintf("%s|%d", route, code)]++
+	h := m.latency[route]
+	if h == nil {
+		h = &histogram{}
+		m.latency[route] = h
+	}
+	h.observe(elapsed.Seconds())
+}
+
+func (m *metrics) countEvent(ev plim.Event) {
+	name, _ := eventPayload(ev)
+	m.mu.Lock()
+	m.events[name]++
+	m.mu.Unlock()
+}
+
+func (m *metrics) flightStarted() {
+	m.mu.Lock()
+	m.flights++
+	m.mu.Unlock()
+}
+
+func (m *metrics) requestCoalesced() {
+	m.mu.Lock()
+	m.coalesced++
+	m.mu.Unlock()
+}
+
+func (m *metrics) admissionRejected() {
+	m.mu.Lock()
+	m.rejected++
+	m.mu.Unlock()
+}
+
+// render produces the Prometheus text exposition of every counter plus the
+// live gauges supplied by the server (admission occupancy, cache state).
+// Output is deterministically ordered so scrapes and tests are stable.
+func (m *metrics) render(s *Server) string {
+	var b strings.Builder
+
+	m.mu.Lock()
+	writeSorted := func(header string, rows map[string]string) {
+		b.WriteString(header)
+		keys := make([]string, 0, len(rows))
+		for k := range rows {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			fmt.Fprintf(&b, "%s %s\n", k, rows[k])
+		}
+	}
+
+	reqRows := make(map[string]string, len(m.requests))
+	for k, v := range m.requests {
+		route, code, _ := strings.Cut(k, "|")
+		reqRows[fmt.Sprintf("plimserve_requests_total{route=%q,code=%q}", route, code)] = fmt.Sprint(v)
+	}
+	writeSorted("# TYPE plimserve_requests_total counter\n", reqRows)
+
+	b.WriteString("# TYPE plimserve_request_seconds histogram\n")
+	routes := make([]string, 0, len(m.latency))
+	for r := range m.latency {
+		routes = append(routes, r)
+	}
+	sort.Strings(routes)
+	for _, route := range routes {
+		h := m.latency[route]
+		var cum uint64
+		for i, ub := range latencyBuckets {
+			cum += h.buckets[i]
+			fmt.Fprintf(&b, "plimserve_request_seconds_bucket{route=%q,le=%q} %d\n", route, trimFloat(ub), cum)
+		}
+		cum += h.buckets[len(latencyBuckets)]
+		fmt.Fprintf(&b, "plimserve_request_seconds_bucket{route=%q,le=\"+Inf\"} %d\n", route, cum)
+		fmt.Fprintf(&b, "plimserve_request_seconds_sum{route=%q} %g\n", route, h.sum)
+		fmt.Fprintf(&b, "plimserve_request_seconds_count{route=%q} %d\n", route, h.count)
+	}
+
+	evRows := make(map[string]string, len(m.events))
+	for k, v := range m.events {
+		evRows[fmt.Sprintf("plimserve_progress_events_total{type=%q}", k)] = fmt.Sprint(v)
+	}
+	writeSorted("# TYPE plimserve_progress_events_total counter\n", evRows)
+
+	fmt.Fprintf(&b, "# TYPE plimserve_flights_total counter\nplimserve_flights_total %d\n", m.flights)
+	fmt.Fprintf(&b, "# TYPE plimserve_coalesced_requests_total counter\nplimserve_coalesced_requests_total %d\n", m.coalesced)
+	fmt.Fprintf(&b, "# TYPE plimserve_admission_rejected_total counter\nplimserve_admission_rejected_total %d\n", m.rejected)
+	m.mu.Unlock()
+
+	// Live gauges: admission occupancy and the engine's two cache tiers.
+	fmt.Fprintf(&b, "# TYPE plimserve_inflight_computations gauge\nplimserve_inflight_computations %d\n", s.adm.running())
+	fmt.Fprintf(&b, "# TYPE plimserve_queued_computations gauge\nplimserve_queued_computations %d\n", s.adm.queuedWaiting())
+	rw, bench := s.eng.MemoryCacheLens()
+	fmt.Fprintf(&b, "# TYPE plimserve_cache_memory_entries gauge\n")
+	fmt.Fprintf(&b, "plimserve_cache_memory_entries{kind=\"benchmark\"} %d\n", bench)
+	fmt.Fprintf(&b, "plimserve_cache_memory_entries{kind=\"rewrite\"} %d\n", rw)
+	if st, ok := s.eng.PersistentCacheStats(); ok {
+		fmt.Fprintf(&b, "# TYPE plimserve_cache_disk_hits_total counter\n")
+		fmt.Fprintf(&b, "plimserve_cache_disk_hits_total{kind=\"benchmark\"} %d\n", st.BenchmarkHits)
+		fmt.Fprintf(&b, "plimserve_cache_disk_hits_total{kind=\"rewrite\"} %d\n", st.RewriteHits)
+		fmt.Fprintf(&b, "# TYPE plimserve_cache_disk_misses_total counter\n")
+		fmt.Fprintf(&b, "plimserve_cache_disk_misses_total{kind=\"benchmark\"} %d\n", st.BenchmarkMisses)
+		fmt.Fprintf(&b, "plimserve_cache_disk_misses_total{kind=\"rewrite\"} %d\n", st.RewriteMisses)
+		fmt.Fprintf(&b, "# TYPE plimserve_cache_disk_stores_total counter\n")
+		fmt.Fprintf(&b, "plimserve_cache_disk_stores_total %d\n", st.Stores)
+		fmt.Fprintf(&b, "# TYPE plimserve_cache_disk_store_errors_total counter\n")
+		fmt.Fprintf(&b, "plimserve_cache_disk_store_errors_total %d\n", st.StoreErrors)
+	}
+	return b.String()
+}
+
+// trimFloat renders a bucket bound the way Prometheus clients expect
+// (no trailing zeros: 0.25, 1, 30).
+func trimFloat(f float64) string {
+	return strings.TrimRight(strings.TrimRight(fmt.Sprintf("%.3f", f), "0"), ".")
+}

@@ -1,0 +1,665 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"plim"
+)
+
+// Options configures a Server. The zero value derives everything from the
+// engine: concurrency from WithWorkers, a 4× wait queue, a 60 s default
+// request deadline capped at 10 min, 8 MiB request bodies.
+type Options struct {
+	// Concurrency bounds how many computations run at once (default: the
+	// engine's worker count). Each computation may itself use the engine's
+	// internal worker pool, so this is the knob for "how many requests", not
+	// "how many cores".
+	Concurrency int
+	// QueueDepth bounds how many admitted computations may wait for a run
+	// slot (default 4 × Concurrency). Beyond it requests are answered 429.
+	QueueDepth int
+	// DefaultTimeout is the per-request deadline applied when a request
+	// names none (default 60 s; negative = no default deadline).
+	DefaultTimeout time.Duration
+	// MaxTimeout caps client-requested deadlines (default 10 min).
+	MaxTimeout time.Duration
+	// MaxBodyBytes bounds request bodies (default 8 MiB). Netlists beyond
+	// it are rejected with 400.
+	MaxBodyBytes int64
+}
+
+func (o Options) withDefaults(eng *plim.Engine) Options {
+	if o.Concurrency <= 0 {
+		o.Concurrency = eng.Workers()
+	}
+	if o.QueueDepth <= 0 {
+		o.QueueDepth = 4 * o.Concurrency
+	}
+	if o.DefaultTimeout == 0 {
+		o.DefaultTimeout = 60 * time.Second
+	}
+	if o.MaxTimeout == 0 {
+		o.MaxTimeout = 10 * time.Minute
+	}
+	if o.MaxBodyBytes <= 0 {
+		o.MaxBodyBytes = 8 << 20
+	}
+	return o
+}
+
+// statusClientClosed is the non-standard code (nginx convention) recorded
+// when a client disconnects before its response exists.
+const statusClientClosed = 499
+
+// Server serves one shared plim.Engine over HTTP. It implements
+// http.Handler; see the package comment for the endpoint list and the
+// serving machinery.
+type Server struct {
+	eng      *plim.Engine
+	opts     Options
+	mux      *http.ServeMux
+	adm      *admission
+	flights  *flightGroup
+	met      *metrics
+	draining atomic.Bool
+}
+
+// New builds a Server over eng. The engine must be valid (an engine
+// carrying a construction error answers every request 500).
+func New(eng *plim.Engine, opts Options) *Server {
+	opts = opts.withDefaults(eng)
+	s := &Server{
+		eng:     eng,
+		opts:    opts,
+		mux:     http.NewServeMux(),
+		adm:     newAdmission(opts.Concurrency, opts.QueueDepth),
+		flights: newFlightGroup(),
+		met:     newMetrics(),
+	}
+	s.mux.HandleFunc("GET /healthz", s.instrument("healthz", s.handleHealthz))
+	s.mux.HandleFunc("GET /metrics", s.instrument("metrics", s.handleMetrics))
+	s.mux.HandleFunc("GET /v1/benchmarks", s.instrument("benchmarks", s.handleBenchmarks))
+	s.mux.HandleFunc("POST /v1/compile", s.instrument("compile", s.handleCompile))
+	s.mux.HandleFunc("POST /v1/rewrite", s.instrument("rewrite", s.handleRewrite))
+	s.mux.HandleFunc("POST /v1/suite", s.instrument("suite", s.handleSuite))
+	return s
+}
+
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// SetDraining flips the health endpoint to 503 so load balancers stop
+// routing new traffic while in-flight requests finish (cmd/plimserve sets
+// it on SIGTERM before calling http.Server.Shutdown).
+func (s *Server) SetDraining(v bool) { s.draining.Store(v) }
+
+// statusRecorder captures the response code for metrics while forwarding
+// Flush, which the SSE path requires.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	if r.status == 0 {
+		r.status = code
+	}
+	r.ResponseWriter.WriteHeader(code)
+}
+
+func (r *statusRecorder) Write(b []byte) (int, error) {
+	if r.status == 0 {
+		r.status = http.StatusOK
+	}
+	return r.ResponseWriter.Write(b)
+}
+
+// Unwrap exposes the wrapped writer so flusherOf (and
+// http.ResponseController) can find the real Flusher. statusRecorder
+// deliberately does not implement Flush itself: claiming the interface
+// unconditionally would make the SSE path believe every writer can stream.
+func (r *statusRecorder) Unwrap() http.ResponseWriter { return r.ResponseWriter }
+
+// flusherOf finds the genuine http.Flusher behind any chain of wrappers
+// exposing Unwrap.
+func flusherOf(w http.ResponseWriter) (http.Flusher, bool) {
+	for {
+		if f, ok := w.(http.Flusher); ok {
+			return f, true
+		}
+		u, ok := w.(interface{ Unwrap() http.ResponseWriter })
+		if !ok {
+			return nil, false
+		}
+		w = u.Unwrap()
+	}
+}
+
+func (s *Server) instrument(route string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		rec := &statusRecorder{ResponseWriter: w}
+		start := time.Now()
+		h(rec, r)
+		if rec.status == 0 {
+			rec.status = http.StatusOK
+		}
+		s.met.observeRequest(route, rec.status, time.Since(start))
+	}
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	io.WriteString(w, s.met.render(s))
+}
+
+func (s *Server) handleBenchmarks(w http.ResponseWriter, r *http.Request) {
+	names := plim.Benchmarks()
+	out := make([]benchmarkJSON, 0, len(names))
+	for _, n := range names {
+		info, _ := plim.LookupBenchmark(n)
+		out = append(out, benchmarkJSON{Name: n, PI: info.PI, PO: info.PO, Synthetic: info.Synthetic})
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// badRequest is a request-validation failure answered before any
+// computation is planned.
+type badRequest struct{ msg string }
+
+func (e badRequest) Error() string { return e.msg }
+
+func (s *Server) decodeRequest(w http.ResponseWriter, r *http.Request) (computeRequest, error) {
+	var req computeRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.opts.MaxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		if errors.Is(err, io.EOF) {
+			return req, nil // empty body: all defaults
+		}
+		return req, badRequest{fmt.Sprintf("invalid request body: %s", err)}
+	}
+	if req.TimeoutMS < 0 {
+		return req, badRequest{"timeout_ms must be ≥ 0"}
+	}
+	if req.Shrink < 0 {
+		return req, badRequest{"shrink must be ≥ 1 (or 0 for the server default)"}
+	}
+	return req, nil
+}
+
+// sourceMIG resolves the request's function source. Benchmark sources
+// return a loader (so cache-served flights never build eagerly); netlist
+// sources parse immediately — the fingerprint is the coalescing key.
+func (s *Server) sourceMIG(req computeRequest) (key string, shrink int, load func() (*plim.MIG, error), err error) {
+	shrink = req.Shrink
+	if shrink == 0 {
+		shrink = s.eng.Shrink()
+	}
+	switch {
+	case req.Benchmark != "" && req.Netlist != "":
+		return "", 0, nil, badRequest{"set either benchmark or netlist, not both"}
+	case req.Benchmark != "":
+		if _, ok := plim.LookupBenchmark(req.Benchmark); !ok {
+			return "", 0, nil, badRequest{fmt.Sprintf("unknown benchmark %q", req.Benchmark)}
+		}
+		name := req.Benchmark
+		return fmt.Sprintf("bench:%s@%d", name, shrink), shrink,
+			func() (*plim.MIG, error) { return s.eng.BenchmarkScaled(name, shrink) }, nil
+	case req.Netlist != "":
+		if req.Shrink != 0 {
+			return "", 0, nil, badRequest{"shrink applies to benchmark sources only"}
+		}
+		m, err := plim.ReadMIG(strings.NewReader(req.Netlist))
+		if err != nil {
+			return "", 0, nil, badRequest{fmt.Sprintf("invalid netlist: %s", err)}
+		}
+		return fmt.Sprintf("mig:%016x", m.Fingerprint()), 0,
+			func() (*plim.MIG, error) { return m, nil }, nil
+	}
+	return "", 0, nil, badRequest{"need benchmark or netlist"}
+}
+
+// parseConfig resolves a configuration name with optional "+capN" suffix
+// plus an explicit cap override.
+func parseConfig(name string, cap uint64) (plim.Config, error) {
+	if name == "" {
+		name = "full"
+	}
+	base, capSuffix, hasSuffix := strings.Cut(name, "+cap")
+	if hasSuffix {
+		w, err := strconv.ParseUint(capSuffix, 10, 64)
+		if err != nil || w == 0 {
+			return plim.Config{}, badRequest{fmt.Sprintf("bad cap suffix in config %q", name)}
+		}
+		if cap != 0 && cap != w {
+			return plim.Config{}, badRequest{fmt.Sprintf("config %q and cap %d disagree", name, cap)}
+		}
+		cap = w
+	}
+	var cfg plim.Config
+	switch base {
+	case "naive":
+		cfg = plim.Naive
+	case "compiler21":
+		cfg = plim.Compiler21
+	case "minwrite":
+		cfg = plim.MinWrite
+	case "rewriting":
+		cfg = plim.Rewriting
+	case "full":
+		cfg = plim.Full
+	default:
+		return plim.Config{}, badRequest{fmt.Sprintf("unknown config %q", name)}
+	}
+	if cap > 0 {
+		cfg.MaxWrites = cap
+		cfg.Name += fmt.Sprintf("+cap%d", cap)
+	}
+	return cfg, nil
+}
+
+func parseKind(kind string) (plim.RewriteKind, error) {
+	switch kind {
+	case "none":
+		return plim.RewriteNone, nil
+	case "alg1", "algorithm1":
+		return plim.RewriteAlgorithm1, nil
+	case "alg2", "algorithm2", "":
+		return plim.RewriteAlgorithm2, nil
+	}
+	return 0, badRequest{fmt.Sprintf("unknown rewrite kind %q (want none, alg1 or alg2)", kind)}
+}
+
+func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
+	req, err := s.decodeRequest(w, r)
+	if err == nil && req.Emit != "" && req.Emit != "asm" && req.Emit != "binary" {
+		err = badRequest{fmt.Sprintf("unknown emit %q (want asm or binary)", req.Emit)}
+	}
+	var cfg plim.Config
+	if err == nil {
+		cfg, err = parseConfig(req.Config, req.Cap)
+	}
+	var srcKey string
+	var shrink int
+	var load func() (*plim.MIG, error)
+	if err == nil {
+		srcKey, shrink, load, err = s.sourceMIG(req)
+	}
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+		return
+	}
+	key := fmt.Sprintf("compile|%s|%s|%s", srcKey, cfg.Name, req.Emit)
+	s.dispatch(w, r, req.TimeoutMS, key, func(ctx context.Context, publish func(plim.Event)) response {
+		m, err := load()
+		if err != nil {
+			return errorResult(err)
+		}
+		rep, err := s.eng.Run(plim.ContextWithProgress(ctx, publish), m, cfg)
+		if err != nil {
+			return errorResult(err)
+		}
+		out := compileResponse{
+			Function:     m.Name,
+			Config:       cfg.Name,
+			Shrink:       shrink,
+			Effort:       s.eng.Effort(),
+			Rewrite:      rewriteStats(rep.Rewrite),
+			Instructions: rep.NumInstructions(),
+			RRAMs:        rep.NumRRAMs(),
+			Writes:       summarizeWrites(rep.Writes),
+			Lifetime1e10: rep.Lifetime(1e10),
+		}
+		switch req.Emit {
+		case "asm":
+			var b bytes.Buffer
+			if err := rep.Result.Program.WriteAsm(&b); err != nil {
+				return errorResult(err)
+			}
+			out.ProgramAsm = b.String()
+		case "binary":
+			var b bytes.Buffer
+			if err := rep.Result.Program.WriteBinary(&b); err != nil {
+				return errorResult(err)
+			}
+			out.ProgramBinary = b.Bytes()
+		}
+		return jsonResult(http.StatusOK, out)
+	})
+}
+
+func (s *Server) handleRewrite(w http.ResponseWriter, r *http.Request) {
+	req, err := s.decodeRequest(w, r)
+	var kind plim.RewriteKind
+	if err == nil {
+		kind, err = parseKind(req.Kind)
+	}
+	var srcKey string
+	var shrink int
+	var load func() (*plim.MIG, error)
+	if err == nil {
+		srcKey, shrink, load, err = s.sourceMIG(req)
+	}
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+		return
+	}
+	key := fmt.Sprintf("rewrite|%s|%s", srcKey, kind)
+	s.dispatch(w, r, req.TimeoutMS, key, func(ctx context.Context, publish func(plim.Event)) response {
+		m, err := load()
+		if err != nil {
+			return errorResult(err)
+		}
+		out, st, err := s.eng.Rewrite(plim.ContextWithProgress(ctx, publish), m, kind)
+		if err != nil {
+			return errorResult(err)
+		}
+		var mig bytes.Buffer
+		if err := out.Write(&mig); err != nil {
+			return errorResult(err)
+		}
+		return jsonResult(http.StatusOK, rewriteResponse{
+			Function: m.Name,
+			Kind:     kind.String(),
+			Effort:   s.eng.Effort(),
+			Shrink:   shrink,
+			Stats:    rewriteStats(st),
+			MIG:      mig.String(),
+		})
+	})
+}
+
+func (s *Server) handleSuite(w http.ResponseWriter, r *http.Request) {
+	req, err := s.decodeRequest(w, r)
+	if err == nil {
+		switch {
+		case req.Benchmark != "" || req.Netlist != "":
+			err = badRequest{"suite requests take a benchmarks list, not benchmark/netlist"}
+		case req.Shrink != 0 && req.Shrink != s.eng.Shrink():
+			err = badRequest{fmt.Sprintf("suite runs at the server's shrink (%d)", s.eng.Shrink())}
+		}
+	}
+	if err == nil {
+		for _, b := range req.Benchmarks {
+			if _, ok := plim.LookupBenchmark(b); !ok {
+				err = badRequest{fmt.Sprintf("unknown benchmark %q", b)}
+				break
+			}
+		}
+	}
+	var cfgs []plim.Config
+	if err == nil {
+		if len(req.Configs) == 0 {
+			cfgs = plim.TableIConfigs()
+		} else {
+			cfgs = make([]plim.Config, len(req.Configs))
+			for i, name := range req.Configs {
+				if cfgs[i], err = parseConfig(name, 0); err != nil {
+					break
+				}
+			}
+		}
+	}
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+		return
+	}
+	cfgNames := make([]string, len(cfgs))
+	for i, c := range cfgs {
+		cfgNames[i] = c.Name
+	}
+	key := fmt.Sprintf("suite|%s|%s", strings.Join(req.Benchmarks, ","), strings.Join(cfgNames, ","))
+	benchmarks := req.Benchmarks
+	s.dispatch(w, r, req.TimeoutMS, key, func(ctx context.Context, publish func(plim.Event)) response {
+		sr, err := s.eng.RunSuite(plim.ContextWithProgress(ctx, publish), cfgs, benchmarks...)
+		if err != nil {
+			return errorResult(err)
+		}
+		out := suiteResponse{
+			Shrink:  s.eng.Shrink(),
+			Effort:  s.eng.Effort(),
+			Configs: cfgNames,
+		}
+		for _, info := range sr.Benchmarks {
+			out.Benchmarks = append(out.Benchmarks, benchmarkJSON{
+				Name: info.Name, PI: info.PI, PO: info.PO, Synthetic: info.Synthetic,
+			})
+		}
+		out.Reports = make([][]suiteReportJSON, len(sr.Reports))
+		for b, row := range sr.Reports {
+			out.Reports[b] = make([]suiteReportJSON, len(row))
+			for c, rep := range row {
+				out.Reports[b][c] = suiteReportJSON{
+					Instructions: rep.NumInstructions(),
+					RRAMs:        rep.NumRRAMs(),
+					Writes:       summarizeWrites(rep.Writes),
+					Rewrite:      rewriteStats(rep.Rewrite),
+				}
+			}
+		}
+		return jsonResult(http.StatusOK, out)
+	})
+}
+
+// effectiveTimeout maps a request's timeout_ms onto the server's policy.
+func (s *Server) effectiveTimeout(ms int64) time.Duration {
+	d := time.Duration(ms) * time.Millisecond
+	if ms == 0 {
+		if s.opts.DefaultTimeout < 0 {
+			return 0
+		}
+		d = s.opts.DefaultTimeout
+	}
+	if s.opts.MaxTimeout > 0 && d > s.opts.MaxTimeout {
+		d = s.opts.MaxTimeout
+	}
+	return d
+}
+
+// dispatch is the shared serving path of the three compute endpoints:
+// apply the request deadline, coalesce onto (or start) the flight for key,
+// then either stream progress (SSE) or wait for the shared response.
+func (s *Server) dispatch(w http.ResponseWriter, r *http.Request, timeoutMS int64, key string, fn func(context.Context, func(plim.Event)) response) {
+	reqCtx := r.Context()
+	if d := s.effectiveTimeout(timeoutMS); d > 0 {
+		var cancel context.CancelFunc
+		reqCtx, cancel = context.WithTimeout(reqCtx, d)
+		defer cancel()
+	}
+	f, leader := s.flights.join(key)
+	defer s.flights.leave(f)
+	if leader {
+		s.met.flightStarted()
+		// The computation context deliberately does NOT descend from this
+		// request: coalesced followers must survive the leader's disconnect.
+		// It carries the leader's deadline and is cancelled when the last
+		// subscriber leaves (flightGroup.leave).
+		cctx := context.Background()
+		var cancel context.CancelFunc
+		if d := s.effectiveTimeout(timeoutMS); d > 0 {
+			cctx, cancel = context.WithTimeout(cctx, d)
+		} else {
+			cctx, cancel = context.WithCancel(cctx)
+		}
+		s.flights.setCancel(f, cancel)
+		go s.runFlight(cctx, cancel, f, fn)
+	} else {
+		s.met.requestCoalesced()
+		w.Header().Set("X-Plim-Coalesced", "1")
+	}
+	if wantsSSE(r) {
+		s.streamSSE(w, reqCtx, f)
+		return
+	}
+	resp, err := f.wait(reqCtx)
+	if err != nil {
+		if errors.Is(err, context.DeadlineExceeded) {
+			writeJSON(w, http.StatusGatewayTimeout, errorResponse{Error: "request deadline exceeded"})
+		} else {
+			// The client is gone; nobody reads the body, but the status
+			// must still reach the metrics (499, nginx's client-closed
+			// convention) so disconnects don't count as successes.
+			w.WriteHeader(statusClientClosed)
+		}
+		return
+	}
+	writeResponse(w, resp)
+}
+
+// runFlight executes one coalesced computation: admission first (the whole
+// flight holds exactly one queue token and one run slot no matter how many
+// requests share it), then the engine call.
+func (s *Server) runFlight(ctx context.Context, cancel context.CancelFunc, f *flight, fn func(context.Context, func(plim.Event)) response) {
+	defer cancel()
+	var resp response
+	release, err := s.adm.acquire(ctx)
+	switch {
+	case errors.Is(err, errQueueFull):
+		s.met.admissionRejected()
+		resp = response{
+			status:     http.StatusTooManyRequests,
+			retryAfter: s.adm.retryAfter(),
+			body:       mustJSON(errorResponse{Error: "server at capacity, retry later"}),
+		}
+	case err != nil:
+		resp = errorResult(err)
+	default:
+		resp = s.safeCompute(ctx, f, fn)
+		release()
+	}
+	s.flights.forget(f)
+	f.finish(resp)
+}
+
+// safeCompute runs the computation with a panic barrier: runFlight executes
+// on a bare goroutine, outside net/http's per-request recovery, so without
+// this one adversarial netlist tripping a compiler invariant would take
+// down the whole daemon instead of failing one flight.
+func (s *Server) safeCompute(ctx context.Context, f *flight, fn func(context.Context, func(plim.Event)) response) (resp response) {
+	defer func() {
+		if r := recover(); r != nil {
+			resp = response{
+				status: http.StatusInternalServerError,
+				body:   mustJSON(errorResponse{Error: fmt.Sprintf("computation panicked: %v", r)}),
+			}
+		}
+	}()
+	return fn(ctx, func(ev plim.Event) {
+		s.met.countEvent(ev)
+		f.publish(ev)
+	})
+}
+
+func wantsSSE(r *http.Request) bool {
+	return strings.Contains(r.Header.Get("Accept"), "text/event-stream")
+}
+
+// streamSSE renders the flight as a server-sent-event stream: every
+// progress event as it happens (replayed from the start for coalesced
+// followers), then one final "result" (or "error") event carrying the
+// response body.
+func (s *Server) streamSSE(w http.ResponseWriter, ctx context.Context, f *flight) {
+	fl, ok := flusherOf(w)
+	if !ok {
+		// No streaming support (unusual): degrade to the plain JSON path.
+		resp, err := f.wait(ctx)
+		if err == nil {
+			writeResponse(w, resp)
+		}
+		return
+	}
+	h := w.Header()
+	h.Set("Content-Type", "text/event-stream")
+	h.Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+	fl.Flush()
+	resp, err := f.stream(ctx, func(ev plim.Event) error {
+		name, data := eventPayload(ev)
+		b, err := json.Marshal(data)
+		if err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "event: %s\ndata: %s\n\n", name, b); err != nil {
+			return err
+		}
+		fl.Flush()
+		return nil
+	})
+	if err != nil {
+		if errors.Is(err, context.DeadlineExceeded) {
+			fmt.Fprintf(w, "event: error\ndata: %s\n", mustJSON(errorResponse{Error: "request deadline exceeded"}))
+			fl.Flush()
+		}
+		return
+	}
+	final := "result"
+	if resp.status >= 400 {
+		final = "error"
+	}
+	// resp.body is newline-terminated already; one more newline ends the
+	// SSE frame.
+	fmt.Fprintf(w, "event: %s\ndata: %s\n", final, resp.body)
+	fl.Flush()
+}
+
+// errorResult maps a computation error onto a response: deadline → 504,
+// cancellation → 503 (drain/abandonment), anything else → 500.
+func errorResult(err error) response {
+	status := http.StatusInternalServerError
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		status = http.StatusGatewayTimeout
+	case errors.Is(err, context.Canceled):
+		status = http.StatusServiceUnavailable
+	}
+	return response{status: status, body: mustJSON(errorResponse{Error: err.Error()})}
+}
+
+func jsonResult(status int, v any) response {
+	b, err := json.Marshal(v)
+	if err != nil {
+		return errorResult(fmt.Errorf("encode response: %w", err))
+	}
+	return response{status: status, body: append(b, '\n')}
+}
+
+// mustJSON marshals a value that cannot fail (plain structs of strings).
+func mustJSON(v any) []byte {
+	b, err := json.Marshal(v)
+	if err != nil {
+		b = []byte(`{"error":"internal encoding failure"}`)
+	}
+	return append(b, '\n')
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	w.Write(mustJSON(v))
+}
+
+func writeResponse(w http.ResponseWriter, resp response) {
+	w.Header().Set("Content-Type", "application/json")
+	if resp.retryAfter > 0 {
+		w.Header().Set("Retry-After", strconv.Itoa(int(resp.retryAfter/time.Second)))
+	}
+	w.WriteHeader(resp.status)
+	w.Write(resp.body)
+}
