@@ -23,7 +23,8 @@
 // downgrades the failure to a warning); CI sets it from the
 // allow-bench-regression pull-request label.
 //
-// Alongside the micro-benchmarks (rewriting pipelines, compilation) it
+// Alongside the micro-benchmarks (rewriting pipelines, compilation, the
+// scalar-vs-64-wide execution engines) it
 // times the Table I benchmark × configuration sweep three ways: the
 // legacy per-configuration path (every configuration rewrites from
 // scratch, no caches), the staged engine (shared rewrite stages,
@@ -72,6 +73,7 @@ type Report struct {
 	Shrink       int     `json:"shrink"`
 	Benchmarks   []Entry `json:"benchmarks"`
 	SuiteSpeedup float64 `json:"suite_speedup"`
+	ExecSpeedup  float64 `json:"exec_speedup"`
 	TableParity  bool    `json:"table_parity"`
 }
 
@@ -152,6 +154,41 @@ func main() {
 			}
 		}
 	})
+
+	// Batched execution: one scalar interpreter pass per vector vs one
+	// 64-wide bit-sliced pass over the whole batch, on the Full-compiled
+	// Table I multiplier. Fixed vector count so ns/vector is comparable
+	// run over run.
+	const execVectors = 256
+	compiled, err := plim.Compile(rewritten, plim.CompileOptions{
+		Selection: plim.Full.Selection, Alloc: plim.Full.Alloc,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	execProg := compiled.Program
+	execBatch := plim.RandomBatch(len(execProg.PICells), execVectors, 1)
+	execVecs := execBatch.Unpack()
+	scalar := add("exec/scalar-256v", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for _, in := range execVecs {
+				if _, _, err := plim.Execute(execProg, in); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+	wide := add("exec/batch64-256v", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := plim.ExecuteBatch(execProg, execBatch, plim.ExecOptions{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	rep.ExecSpeedup = round2(float64(scalar.NsPerOp()) / float64(wide.NsPerOp()))
+	fmt.Fprintf(os.Stderr, "exec speedup: %.2fx (%d vectors: %.0f ns/vector scalar, %.0f ns/vector batched)\n",
+		rep.ExecSpeedup, execVectors,
+		float64(scalar.NsPerOp())/execVectors, float64(wide.NsPerOp())/execVectors)
 
 	// The suite sweep, before and after. The per-configuration reference
 	// reproduces the pre-staged RunSuite: benchmarks in parallel, but every

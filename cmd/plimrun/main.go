@@ -1,12 +1,17 @@
 // plimrun executes a compiled PLiM program on the RRAM crossbar simulator.
-// It can load binary or assembly programs, drive them with given or random
-// inputs, verify outputs against a reference .mig netlist, and render the
-// wear map of the array. Everything runs through the public plim facade.
+// It can load binary or assembly programs, drive them with given input
+// vectors (inline, from a batch file or randomly generated), verify outputs
+// against a reference .mig netlist, and render the wear map of the array.
+// Everything runs through the public plim facade; all input vectors of one
+// invocation execute as a single bit-sliced batch (64 vectors per machine
+// word), so large pattern sets cost a fraction of one-at-a-time runs.
 //
 // Examples:
 //
 //	plimc -bench adder -config full -o adder.bin
 //	plimrun -in adder.bin -random 4 -wearmap
+//	plimrun -in adder.bin -batch vectors.txt
+//	printf '0101\n1100\n' | plimrun -in adder.bin -batch -
 //	plimrun -in adder.bin -verify adder.mig -patterns 16
 //	plimrun -in adder.bin -verify adder -shrink 1 -cache-dir ~/.cache/plim
 //
@@ -14,12 +19,15 @@
 // paper's benchmarks; a benchmark reference is rebuilt at -shrink through
 // the persistent cache when -cache-dir (default $PLIM_CACHE_DIR) is set,
 // so verification reuses the build an earlier plimc/plimtab run stored.
+// When no explicit patterns are given, -verify checks the whole truth
+// table for programs of up to 16 inputs and falls back to -patterns random
+// vectors beyond that.
 package main
 
 import (
 	"flag"
 	"fmt"
-	"math/rand"
+	"io"
 	"os"
 	"strings"
 
@@ -30,9 +38,10 @@ func main() {
 	var (
 		inFile    = flag.String("in", "", "compiled program (.bin or .plim assembly)")
 		inputsHex = flag.String("inputs", "", "input bits, LSB-first string of 0/1 (length = #PI)")
+		batchFile = flag.String("batch", "", `file of input vectors, one 0/1 string per line ("-" = stdin)`)
 		random    = flag.Int("random", 0, "run N random input vectors instead")
 		verify    = flag.String("verify", "", "reference to check outputs against: a .mig netlist file or a benchmark name")
-		patterns  = flag.Int("patterns", 8, "number of random patterns for -verify")
+		patterns  = flag.Int("patterns", 8, "number of random patterns for -verify (beyond 16 inputs)")
 		seed      = flag.Int64("seed", 1, "random seed")
 		wearmap   = flag.Bool("wearmap", false, "print the crossbar wear map after the run")
 		endurance = flag.Uint64("endurance", 0, "per-device write budget (0 = unlimited)")
@@ -49,10 +58,9 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	npi := len(prog.PICells)
 	fmt.Printf("program     %s: %d instructions, %d devices, %d inputs, %d outputs\n",
-		prog.Name, prog.NumInstructions(), prog.NumCells, len(prog.PICells), len(prog.POs))
-
-	rng := rand.New(rand.NewSource(*seed))
+		prog.Name, prog.NumInstructions(), prog.NumCells, npi, len(prog.POs))
 
 	var ref *plim.MIG
 	if *verify != "" {
@@ -60,51 +68,108 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		if ref.NumPIs() != len(prog.PICells) || ref.NumPOs() != len(prog.POs) {
+		if ref.NumPIs() != npi || ref.NumPOs() != len(prog.POs) {
 			fatal(fmt.Errorf("plimrun: reference shape %d/%d does not match program %d/%d",
-				ref.NumPIs(), ref.NumPOs(), len(prog.PICells), len(prog.POs)))
+				ref.NumPIs(), ref.NumPOs(), npi, len(prog.POs)))
 		}
 	}
 
-	runs := buildRuns(*inputsHex, *random, *patterns, ref != nil, len(prog.PICells), rng)
-	if len(runs) == 0 {
-		fatal(fmt.Errorf("plimrun: provide -inputs, -random or -verify"))
+	batch, exhaustive, err := buildBatch(*inputsHex, *batchFile, *random, *patterns, *seed, ref != nil, npi)
+	if err != nil {
+		fatal(err)
+	}
+	if batch == nil || batch.Len() == 0 {
+		fatal(fmt.Errorf("plimrun: provide -inputs, -batch, -random or -verify"))
+	}
+	if batch.Lines() != npi {
+		fatal(fmt.Errorf("plimrun: input vectors have %d bits, program needs %d", batch.Lines(), npi))
 	}
 
-	execute := func(in []bool) ([]bool, *plim.Crossbar, error) {
-		if *endurance > 0 {
-			return plim.ExecuteWithEndurance(prog, in, *endurance)
-		}
-		return plim.Execute(prog, in)
+	res, err := plim.ExecuteBatch(prog, batch, plim.ExecOptions{Endurance: *endurance})
+	if err != nil {
+		fatal(fmt.Errorf("plimrun: %w", err))
 	}
 
-	var lastXbar *plim.Crossbar
-	for i, in := range runs {
-		out, xbar, err := execute(in)
-		lastXbar = xbar
-		if err != nil {
-			fatal(fmt.Errorf("plimrun: run %d: %w", i, err))
-		}
-		if ref != nil {
-			if err := check(ref, in, out); err != nil {
-				fatal(fmt.Errorf("plimrun: run %d: %w", i, err))
-			}
-		} else {
-			fmt.Printf("run %d: in=%s out=%s\n", i, bitString(in), bitString(out))
-		}
-	}
 	if ref != nil {
-		fmt.Printf("verify      OK (%d patterns match the reference netlist)\n", len(runs))
-	}
-	if lastXbar != nil {
-		counts := lastXbar.WriteCounts(int(prog.NumCells))
-		s := plim.SummarizeWrites(counts)
-		fmt.Printf("writes      min=%d max=%d stdev=%.2f (per execution)\n", s.Min, s.Max, s.StdDev)
-		if *wearmap {
-			fmt.Println("wear map (0-9 relative, '.' = untouched):")
-			fmt.Println(lastXbar.WearMap(int(prog.NumCells)))
+		if err := checkBatch(ref, batch, res.Outputs); err != nil {
+			fatal(fmt.Errorf("plimrun: %w", err))
+		}
+		if exhaustive {
+			fmt.Printf("verify      OK (exhaustive: all %d input patterns match the reference netlist)\n", batch.Len())
+		} else {
+			fmt.Printf("verify      OK (%d patterns match the reference netlist)\n", batch.Len())
+		}
+	} else {
+		ins, outs := batch.Strings(), res.Outputs.Strings()
+		for i := range ins {
+			fmt.Printf("run %d: in=%s out=%s\n", i, ins[i], outs[i])
 		}
 	}
+
+	// Write counts are data-independent, so the aggregate divides exactly
+	// back into the per-execution wear the paper's statistics are about.
+	per := make([]uint64, len(res.Writes))
+	for z, w := range res.Writes {
+		per[z] = w / uint64(res.Vectors)
+	}
+	s := plim.SummarizeWrites(per)
+	fmt.Printf("writes      min=%d max=%d stdev=%.2f (per execution)\n", s.Min, s.Max, s.StdDev)
+	if *wearmap {
+		fmt.Println("wear map (0-9 relative, '.' = untouched):")
+		fmt.Println(plim.WearMap(per))
+	}
+}
+
+// buildBatch assembles the input vectors of this invocation into one
+// bit-sliced batch: the -inputs vector, then the -batch file's vectors, then
+// -random random ones. A bare -verify with no other source checks the whole
+// truth table up to 16 inputs and falls back to random patterns beyond.
+func buildBatch(inputs, batchFile string, random, patterns int, seed int64, verifying bool, npi int) (*plim.Batch, bool, error) {
+	var vecs []string
+	if inputs != "" {
+		vecs = append(vecs, inputs)
+	}
+	if batchFile != "" {
+		fromFile, err := readVectors(batchFile)
+		if err != nil {
+			return nil, false, err
+		}
+		vecs = append(vecs, fromFile...)
+	}
+	n := random
+	if verifying && n == 0 && len(vecs) == 0 {
+		if npi <= 16 {
+			b, err := plim.ExhaustiveBatch(npi)
+			return b, true, err
+		}
+		n = patterns
+	}
+	if n > 0 {
+		vecs = append(vecs, plim.RandomBatch(npi, n, seed).Strings()...)
+	}
+	if len(vecs) == 0 {
+		return nil, false, nil
+	}
+	b, err := plim.PackBatchStrings(vecs)
+	if err != nil {
+		return nil, false, fmt.Errorf("plimrun: %w", err)
+	}
+	return b, false, nil
+}
+
+// readVectors loads one 0/1 vector string per line ("-" = stdin).
+func readVectors(path string) ([]string, error) {
+	var data []byte
+	var err error
+	if path == "-" {
+		data, err = io.ReadAll(os.Stdin)
+	} else {
+		data, err = os.ReadFile(path)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("plimrun: read vectors: %w", err)
+	}
+	return strings.Fields(string(data)), nil
 }
 
 // loadReference resolves -verify: an existing file is parsed as a .mig
@@ -138,63 +203,36 @@ func loadProgram(path string) (*plim.Program, error) {
 	return plim.ReadProgram(f)
 }
 
-func buildRuns(inputs string, random, patterns int, verifying bool, npi int, rng *rand.Rand) [][]bool {
-	var runs [][]bool
-	if inputs != "" {
-		in := make([]bool, 0, len(inputs))
-		for _, ch := range inputs {
-			switch ch {
-			case '0':
-				in = append(in, false)
-			case '1':
-				in = append(in, true)
+// checkBatch compares the executor's packed outputs against word-parallel
+// reference simulation, one 64-vector chunk at a time.
+func checkBatch(ref *plim.MIG, in, out *plim.Batch) error {
+	words := make([]uint64, in.Lines())
+	for c := 0; c < in.Chunks(); c++ {
+		for i := range words {
+			words[i] = in.Word(i, c)
+		}
+		want := ref.Eval(words)
+		mask := in.ActiveMask(c)
+		for o, w := range want {
+			if got := out.Word(o, c); got != w&mask {
+				v := firstDiff(got, w&mask, c)
+				return fmt.Errorf("run %d: output %d mismatch: crossbar %v, reference %v",
+					v, o, out.Get(v, o), w>>(uint(v)%64)&1 == 1)
 			}
-		}
-		if len(in) != npi {
-			fatal(fmt.Errorf("plimrun: -inputs has %d bits, program needs %d", len(in), npi))
-		}
-		runs = append(runs, in)
-	}
-	n := random
-	if verifying && n == 0 {
-		n = patterns
-	}
-	for i := 0; i < n; i++ {
-		in := make([]bool, npi)
-		for j := range in {
-			in[j] = rng.Intn(2) == 1
-		}
-		runs = append(runs, in)
-	}
-	return runs
-}
-
-func check(ref *plim.MIG, in, out []bool) error {
-	words := make([]uint64, len(in))
-	for i, b := range in {
-		if b {
-			words[i] = 1
-		}
-	}
-	want := ref.Eval(words)
-	for i := range out {
-		if out[i] != (want[i]&1 == 1) {
-			return fmt.Errorf("output %d mismatch: crossbar %v, reference %v", i, out[i], want[i]&1 == 1)
 		}
 	}
 	return nil
 }
 
-func bitString(bits []bool) string {
-	var b strings.Builder
-	for _, v := range bits {
-		if v {
-			b.WriteByte('1')
-		} else {
-			b.WriteByte('0')
-		}
+// firstDiff locates the lowest differing lane of a chunk as a vector index.
+func firstDiff(a, b uint64, chunk int) int {
+	d := a ^ b
+	i := 0
+	for d&1 == 0 {
+		d >>= 1
+		i++
 	}
-	return b.String()
+	return chunk*64 + i
 }
 
 func fatal(err error) {

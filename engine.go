@@ -9,6 +9,8 @@ import (
 	"plim/internal/compile"
 	"plim/internal/core"
 	"plim/internal/diskcache"
+	"plim/internal/exec"
+	"plim/internal/lru"
 	"plim/internal/progress"
 	"plim/internal/suite"
 	"plim/internal/tables"
@@ -44,11 +46,17 @@ type Engine struct {
 
 	// Populated at construction when cache is true: benchCache memoizes
 	// benchmark generator output, rwCache memoizes rewrite stages by
-	// (function fingerprint, pipeline, effort). Both hold at most
-	// cacheBudget entries (least-recently-used entries are evicted), so a
-	// long-lived engine fed a stream of distinct functions stays bounded.
+	// (function fingerprint, pipeline, effort). Both are byte-budgeted at
+	// cacheBudget estimated bytes each (least-recently-used entries are
+	// evicted), so a long-lived engine fed a stream of distinct functions
+	// stays bounded.
 	benchCache *suite.Cache
 	rwCache    *core.RewriteCache
+
+	// execPlans memoizes bit-sliced execution plans by program fingerprint
+	// (see Engine.ExecuteBatch); planMu guards it.
+	planMu    sync.Mutex
+	execPlans *lru.Map[uint64, *exec.Plan]
 
 	// disk is the persistent second tier below both caches, opened at
 	// construction when WithPersistentCache names a directory.
@@ -59,11 +67,13 @@ type Engine struct {
 	scratch *compile.ScratchPool
 }
 
-// DefaultCacheBudget is the default LRU entry budget of the engine's
-// benchmark and rewrite caches. Each cached entry holds a whole MIG, so the
-// budget bounds memory on long-lived engines; a full paper sweep (18
-// benchmarks × 3 distinct pipelines) fits with ample headroom.
-const DefaultCacheBudget = 128
+// DefaultCacheBudget is the default byte budget of each of the engine's
+// in-memory caches (benchmark builds, rewrite results, execution plans):
+// 256 MiB of estimated resident size per tier. Entries hold whole MIGs
+// whose sizes vary by orders of magnitude, so the budget is accounted in
+// bytes (mig.MemSize estimates) rather than entry counts; a full paper
+// sweep (18 benchmarks × 3 distinct pipelines) fits with ample headroom.
+const DefaultCacheBudget = 256 << 20
 
 // Option configures an Engine at construction time.
 type Option func(*Engine)
@@ -92,6 +102,7 @@ func NewEngine(opts ...Option) *Engine {
 	if e.cache {
 		e.benchCache = suite.NewCacheWithBudget(e.cacheBudget)
 		e.rwCache = core.NewRewriteCacheWithBudget(e.cacheBudget)
+		e.execPlans = lru.New[uint64, *exec.Plan](e.cacheBudget)
 	}
 	if e.persistDir != "" && e.err == nil {
 		d, err := diskcache.Open(e.persistDir)
@@ -160,12 +171,14 @@ func WithCache(enabled bool) Option {
 	return func(e *Engine) { e.cache = enabled }
 }
 
-// WithCacheBudget bounds the engine's benchmark and rewrite caches to n
-// entries each; beyond the budget the least-recently-used entry is evicted.
-// Every cached entry holds a whole MIG, so the budget is the engine's memory
-// knob for server-style workloads over unbounded streams of distinct
-// functions. n must be ≥ 1; the default is DefaultCacheBudget. To disable
-// memoization entirely use WithCache(false).
+// WithCacheBudget bounds each of the engine's in-memory caches (benchmark
+// builds, rewrite results, execution plans) to n estimated bytes; beyond
+// the budget least-recently-used entries are evicted. Cached entries hold
+// whole MIGs of wildly varying size, so the budget is accounted in bytes
+// (mig.MemSize), making it the engine's memory knob for server-style
+// workloads over unbounded streams of distinct functions. n must be ≥ 1;
+// the default is DefaultCacheBudget (256 MiB). To disable memoization
+// entirely use WithCache(false).
 func WithCacheBudget(n int) Option {
 	return func(e *Engine) {
 		if n < 1 {
@@ -274,7 +287,8 @@ func (e *Engine) Shrink() int { return e.shrink }
 // stages.
 func (e *Engine) Cached() bool { return e.cache }
 
-// CacheBudget reports the LRU entry budget of the engine's caches.
+// CacheBudget reports the byte budget of each of the engine's in-memory
+// caches.
 func (e *Engine) CacheBudget() int { return e.cacheBudget }
 
 // Run rewrites and compiles m under the given configuration. The input MIG
@@ -405,4 +419,88 @@ func (e *Engine) MemoryCacheLens() (rewrites, benchmarks int) {
 		benchmarks = e.benchCache.Len()
 	}
 	return rewrites, benchmarks
+}
+
+// plan returns the bit-sliced execution plan for p, memoized by program
+// fingerprint when caching is on. Plans are immutable and shared; callers
+// must not mutate a Program after executing it through the engine, or a
+// later fingerprint-identical call may be served the stale plan.
+func (e *Engine) plan(p *Program) (*exec.Plan, error) {
+	if e.execPlans == nil {
+		return exec.Compile(p)
+	}
+	fp := p.Fingerprint()
+	e.planMu.Lock()
+	if ent, ok := e.execPlans.Get(fp); ok {
+		pl := ent.Value
+		e.planMu.Unlock()
+		return pl, nil
+	}
+	e.planMu.Unlock()
+	pl, err := exec.Compile(p)
+	if err != nil {
+		return nil, err
+	}
+	e.planMu.Lock()
+	if ent, ok := e.execPlans.Get(fp); ok {
+		// A concurrent call compiled the same program first; share its plan.
+		pl = ent.Value
+	} else {
+		ent := e.execPlans.Add(fp, pl)
+		ent.Evictable = true
+		e.execPlans.SetCost(ent, pl.MemSize())
+		e.execPlans.EvictExcess(nil)
+	}
+	e.planMu.Unlock()
+	return pl, nil
+}
+
+// ExecuteBatch evaluates a compiled program over a bit-sliced batch of
+// input vectors, 64 lanes per machine word — the high-throughput
+// counterpart of the scalar plim.Execute. The result carries one output
+// vector per input vector plus per-cell write and switch counts summed over
+// all lanes; each lane models a fresh crossbar, so the aggregate wear is
+// exactly what len(batch) scalar Execute calls would accumulate, and an
+// endurance budget (ExecOptions.Endurance) faults at exactly the scalar
+// interpreter's failing instruction, with the error wrapping
+// rram.ErrWornOut.
+//
+// Cancellation is honoured between 64-lane chunks, and every completed
+// chunk emits an EventExecuteChunk to the engine's observers. Compiled
+// execution plans are memoized by Program.Fingerprint in a byte-budgeted
+// cache, so servers replaying hot programs skip the lowering step.
+func (e *Engine) ExecuteBatch(ctx context.Context, p *Program, b *Batch, opts ExecOptions) (*ExecResult, error) {
+	if e.err != nil {
+		return nil, e.err
+	}
+	pl, err := e.plan(p)
+	if err != nil {
+		return nil, err
+	}
+	if obs := e.observer(ctx); obs != nil {
+		name, vectors := p.Name, b.Len()
+		prev := opts.OnChunk
+		opts.OnChunk = func(done, total int) {
+			obs.Emit(progress.ExecuteChunk{Program: name, Done: done, Total: total, Vectors: vectors})
+			if prev != nil {
+				prev(done, total)
+			}
+		}
+	}
+	return pl.RunContext(ctx, b, opts)
+}
+
+// Execute runs one input vector through the batched execution engine and
+// returns the primary outputs. It is a single-lane ExecuteBatch; use
+// plim.Execute for the scalar interpreter with crossbar inspection.
+func (e *Engine) Execute(ctx context.Context, p *Program, inputs []bool) ([]bool, error) {
+	b, err := exec.Pack([][]bool{inputs})
+	if err != nil {
+		return nil, err
+	}
+	res, err := e.ExecuteBatch(ctx, p, b, ExecOptions{})
+	if err != nil {
+		return nil, err
+	}
+	return res.Outputs.Vector(0), nil
 }

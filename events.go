@@ -9,7 +9,8 @@ import (
 
 // Event is a typed progress notification delivered to WithProgress
 // callbacks. The concrete types are EventRewriteCycle, EventCompileStart,
-// EventCompileDone, EventBenchmarkStart and EventBenchmarkDone; switch on
+// EventCompileDone, EventBenchmarkStart, EventBenchmarkDone and
+// EventExecuteChunk; switch on
 // them for structured consumption or use FormatEvent for a ready-made
 // one-line rendering.
 type Event = progress.Event
@@ -33,6 +34,10 @@ type EventBenchmarkStart = progress.BenchmarkStart
 
 // EventBenchmarkDone reports that a RunSuite job finished.
 type EventBenchmarkDone = progress.BenchmarkDone
+
+// EventExecuteChunk reports that an Execute/ExecuteBatch call finished one
+// 64-lane chunk of a batched execution.
+type EventExecuteChunk = progress.ExecuteChunk
 
 // ContextWithProgress returns a context that carries fn as a per-call
 // progress observer: an Engine method invoked with the returned context
@@ -77,6 +82,8 @@ func FormatEvent(ev Event) string {
 			status = "FAILED: " + ev.Err.Error()
 		}
 		return fmt.Sprintf("bench %s (%d/%d): %s in %v", ev.Benchmark, ev.Index+1, ev.Total, status, ev.Elapsed.Round(1e6))
+	case EventExecuteChunk:
+		return fmt.Sprintf("execute %s: chunk %d/%d (%d vectors)", ev.Program, ev.Done, ev.Total, ev.Vectors)
 	}
 	return fmt.Sprintf("unknown event %T", ev)
 }

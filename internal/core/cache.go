@@ -28,10 +28,11 @@ var errComputePanicked = errors.New("core: rewrite computation panicked")
 // the rest wait on the result. Failed computations (typically context
 // cancellation) are never cached; the next caller retries.
 //
-// The cache holds at most its budget of entries; completing a computation
-// evicts the least-recently-used completed entries beyond it, so long-lived
-// engines do not accumulate one rewritten MIG per distinct function they
-// ever saw. In-flight computations are never evicted. Waiters that already
+// The cache is byte-budgeted: each completed entry is charged its graph's
+// estimated size (mig.MemSize), and completing a computation evicts the
+// least-recently-used completed entries until the total fits the budget —
+// so long-lived engines do not accumulate one rewritten MIG per distinct
+// function they ever saw. In-flight computations are never evicted. Waiters that already
 // hold an entry observe its result even if it is evicted concurrently —
 // eviction only unindexes.
 //
@@ -71,7 +72,8 @@ func NewRewriteCache() *RewriteCache {
 }
 
 // NewRewriteCacheWithBudget returns a cache evicting least-recently-used
-// entries beyond budget; budget ≤ 0 means unbounded.
+// entries once their summed estimated bytes exceed budget; budget ≤ 0
+// means unbounded.
 func NewRewriteCacheWithBudget(budget int) *RewriteCache {
 	return &RewriteCache{entries: lru.New[rewriteKey, *rewriteEntry](budget)}
 }
@@ -87,7 +89,7 @@ func (c *RewriteCache) Len() int {
 	return c.entries.Len()
 }
 
-// Budget reports the cache's entry budget (≤ 0 = unbounded).
+// Budget reports the cache's byte budget (≤ 0 = unbounded).
 func (c *RewriteCache) Budget() int { return c.entries.Budget() }
 
 // Rewrite is core.Rewrite memoized through the cache. A nil *RewriteCache
@@ -128,6 +130,7 @@ func (c *RewriteCache) Rewrite(ctx context.Context, m *mig.MIG, kind RewriteKind
 						c.entries.Delete(key)
 					} else {
 						handle.Evictable = true
+						c.entries.SetCost(handle, e.m.MemSize())
 						c.entries.EvictExcess(nil)
 					}
 					c.mu.Unlock()

@@ -399,15 +399,26 @@ func TestRewriteCacheNeverRetainsCallerMIG(t *testing.T) {
 
 // TestRewriteCacheBudgetEvictsLRU checks the rewrite cache's size bound:
 // over-budget completions evict the least-recently-used entry, an evicted
-// key recomputes (new instance), and a recently-touched key survives.
+// key recomputes (new instance), and a recently-touched key survives. The
+// byte budget is derived from the actual result sizes so it holds m1 plus
+// either other result, but not all three.
 func TestRewriteCacheBudgetEvictsLRU(t *testing.T) {
-	cache := NewRewriteCacheWithBudget(2)
-	if cache.Budget() != 2 {
-		t.Fatalf("Budget = %d, want 2", cache.Budget())
-	}
 	m1 := randomMIG("f1", 6, 60, 4, 1)
 	m2 := randomMIG("f2", 6, 60, 4, 2)
 	m3 := randomMIG("f3", 6, 60, 4, 3)
+	resultSize := func(m *mig.MIG) int {
+		out, _, err := Rewrite(context.Background(), m, RewriteAlgorithm2, 2, nil, "x")
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out.MemSize()
+	}
+	s1, s2, s3 := resultSize(m1), resultSize(m2), resultSize(m3)
+	budget := s1 + max(s2, s3)
+	cache := NewRewriteCacheWithBudget(budget)
+	if cache.Budget() != budget {
+		t.Fatalf("Budget = %d, want %d", cache.Budget(), budget)
+	}
 	r1, _, err := cache.Rewrite(context.Background(), m1, RewriteAlgorithm2, 2, nil, "x")
 	if err != nil {
 		t.Fatal(err)
@@ -424,7 +435,7 @@ func TestRewriteCacheBudgetEvictsLRU(t *testing.T) {
 		t.Fatal(err)
 	}
 	if cache.Len() != 2 {
-		t.Fatalf("cache holds %d entries over a budget of 2", cache.Len())
+		t.Fatalf("cache holds %d entries, want 2 (budget %d bytes)", cache.Len(), budget)
 	}
 	// m1 was refreshed after m2, so m2 is the victim: recompute (fresh
 	// instance) while m1 still hits.

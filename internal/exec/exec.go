@@ -1,0 +1,225 @@
+package exec
+
+import (
+	"context"
+	"fmt"
+	"math/bits"
+
+	"plim/internal/isa"
+	"plim/internal/rram"
+)
+
+// op is one flattened RM3 instruction: state-slice indices for both source
+// operands and the destination. Constant operands point at the two pseudo
+// cells appended after the program's address space, so the execution loop
+// has no operand-kind branches.
+type op struct {
+	a, b, z uint32
+}
+
+// Plan is a compiled program lowered to the bit-sliced execution form. A
+// Plan is immutable after Compile and safe for concurrent Run calls; engines
+// cache Plans keyed by Program.Fingerprint.
+type Plan struct {
+	src      *isa.Program
+	ops      []op
+	numCells int
+	// staticWrites is the full-program per-cell write count. Straight-line
+	// programs make it exact and data-independent, which is what lets a
+	// batch run account wear without per-lane device state.
+	staticWrites []uint64
+}
+
+// Compile validates and lowers a program for bit-sliced execution.
+func Compile(p *isa.Program) (*Plan, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	n := int(p.NumCells)
+	pl := &Plan{
+		src:          p,
+		ops:          make([]op, len(p.Insts)),
+		numCells:     n,
+		staticWrites: p.StaticWriteCounts(),
+	}
+	const0, const1 := uint32(n), uint32(n+1)
+	operand := func(o isa.Operand) uint32 {
+		switch o.Kind {
+		case isa.OpConst0:
+			return const0
+		case isa.OpConst1:
+			return const1
+		default:
+			return o.Addr
+		}
+	}
+	for i, ins := range p.Insts {
+		pl.ops[i] = op{a: operand(ins.A), b: operand(ins.B), z: ins.Z}
+	}
+	return pl, nil
+}
+
+// Program returns the source program.
+func (pl *Plan) Program() *isa.Program { return pl.src }
+
+// NumInputs reports the program's primary-input count.
+func (pl *Plan) NumInputs() int { return len(pl.src.PICells) }
+
+// NumOutputs reports the program's primary-output count.
+func (pl *Plan) NumOutputs() int { return len(pl.src.POs) }
+
+// MemSize estimates the plan's memory footprint in bytes (the cost charged
+// against engine cache budgets).
+func (pl *Plan) MemSize() int {
+	return 128 + len(pl.ops)*12 + len(pl.staticWrites)*8
+}
+
+// faultIndex returns the index of the first instruction a per-device write
+// budget of endurance would refuse (the scalar interpreter's failure point),
+// or -1 when the whole program fits. The scan mirrors rram.Device.write:
+// the write that would exceed the budget fails before being counted.
+// Endurance failure is data-independent, so every lane of a batch faults at
+// the same instruction.
+func (pl *Plan) faultIndex(endurance uint64) int {
+	if endurance == 0 {
+		return -1
+	}
+	writes := make([]uint64, pl.numCells)
+	for i, o := range pl.ops {
+		if writes[o.z] >= endurance {
+			return i
+		}
+		writes[o.z]++
+	}
+	return -1
+}
+
+// Options configures a batch run.
+type Options struct {
+	// Endurance is the per-device write budget (0 = unlimited); the batch
+	// faults at exactly the instruction where the scalar interpreter's
+	// crossbar would return rram.ErrWornOut.
+	Endurance uint64
+	// OnChunk, when non-nil, is invoked after each 64-lane chunk completes
+	// (done in 1..total). It runs on the calling goroutine.
+	OnChunk func(done, total int)
+}
+
+// Result is the outcome of executing a batch.
+type Result struct {
+	// Outputs holds one primary-output vector per input vector. It is nil
+	// when the run faulted on a worn-out device.
+	Outputs *Batch
+	// Writes and Switches are per-cell wear counts summed over all lanes;
+	// each lane models a fresh crossbar, exactly like calling isa.Execute
+	// once per vector.
+	Writes   []uint64
+	Switches []uint64
+	// Vectors is the batch size the wear counts aggregate over.
+	Vectors int
+}
+
+// FaultError reports an endurance fault: the instruction whose destination
+// device was worn out. It wraps rram.ErrWornOut and mirrors the scalar
+// interpreter's failure point exactly.
+type FaultError struct {
+	Inst int
+	Ins  isa.Instruction
+}
+
+func (e *FaultError) Error() string {
+	return fmt.Sprintf("exec: inst %d (%s): %s", e.Inst, e.Ins, rram.ErrWornOut)
+}
+
+func (e *FaultError) Unwrap() error { return rram.ErrWornOut }
+
+// Run executes the batch with default options.
+func (pl *Plan) Run(b *Batch) (*Result, error) {
+	return pl.RunContext(context.Background(), b, Options{})
+}
+
+// RunContext executes every vector of b through the program, 64 lanes per
+// word column, and returns outputs plus aggregate wear. Cancellation is
+// honoured between chunks. On an endurance fault the prefix before the
+// failing instruction still ages every device (Result carries the partial
+// wear) and the error is a *FaultError wrapping rram.ErrWornOut.
+func (pl *Plan) RunContext(ctx context.Context, b *Batch, opts Options) (*Result, error) {
+	if b.Lines() != pl.NumInputs() {
+		return nil, fmt.Errorf("exec: got %d input lines, want %d", b.Lines(), pl.NumInputs())
+	}
+	run := pl.ops
+	faultAt := pl.faultIndex(opts.Endurance)
+	if faultAt >= 0 {
+		run = pl.ops[:faultAt]
+	}
+
+	res := &Result{
+		Writes:   make([]uint64, pl.numCells),
+		Switches: make([]uint64, pl.numCells),
+		Vectors:  b.Len(),
+	}
+	outputs := NewBatch(pl.NumOutputs(), b.Len())
+
+	state := make([]uint64, pl.numCells+2)
+	chunks := b.Chunks()
+	for c := 0; c < chunks; c++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		for i := range state[:pl.numCells] {
+			state[i] = 0
+		}
+		state[pl.numCells] = 0
+		state[pl.numCells+1] = ^uint64(0)
+		for i, cell := range pl.src.PICells {
+			state[cell] = b.Word(i, c)
+		}
+		mask := b.ActiveMask(c)
+		for _, o := range run {
+			a, nb, z := state[o.a], ^state[o.b], state[o.z]
+			r := a&z | nb&z | a&nb
+			res.Switches[o.z] += uint64(bits.OnesCount64((z ^ r) & mask))
+			state[o.z] = r
+		}
+		if faultAt < 0 {
+			for i, po := range pl.src.POs {
+				w := state[po.Addr]
+				if po.Neg {
+					w = ^w
+				}
+				outputs.SetWord(i, c, w)
+			}
+		}
+		if opts.OnChunk != nil {
+			opts.OnChunk(c+1, chunks)
+		}
+	}
+
+	// Write pulses are data-independent: each executed instruction pulses
+	// its destination once in every lane, so aggregate counts are the static
+	// per-cell counts of the executed prefix times the batch size.
+	n := uint64(b.Len())
+	if faultAt < 0 || n == 0 {
+		// An empty batch executes nothing, so even a program that would
+		// fault has no lane to fault in.
+		for z, cnt := range pl.staticWrites {
+			res.Writes[z] = cnt * n
+		}
+		res.Outputs = outputs
+		return res, nil
+	}
+	for _, o := range run {
+		res.Writes[o.z] += n
+	}
+	return res, &FaultError{Inst: faultAt, Ins: pl.src.Insts[faultAt]}
+}
+
+// Execute compiles and runs in one call — the convenience entry point for
+// one-shot callers; engines should Compile once and reuse the Plan.
+func Execute(ctx context.Context, p *isa.Program, b *Batch, opts Options) (*Result, error) {
+	pl, err := Compile(p)
+	if err != nil {
+		return nil, err
+	}
+	return pl.RunContext(ctx, b, opts)
+}

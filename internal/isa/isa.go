@@ -142,6 +142,44 @@ func (p *Program) Validate() error {
 	return nil
 }
 
+// Fingerprint returns a 64-bit FNV-1a content hash of the program: the
+// address space, every instruction and the PI/PO cell maps. The name is
+// deliberately excluded so identical compilations of the same function
+// share a fingerprint. It keys executor plan caches and serving-layer
+// coalescing (see internal/exec and internal/server).
+func (p *Program) Fingerprint() uint64 {
+	const prime64 = 1099511628211
+	h := uint64(14695981039346656037)
+	mix := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			h ^= v & 0xff
+			h *= prime64
+			v >>= 8
+		}
+	}
+	operand := func(o Operand) uint64 { return uint64(o.Kind)<<32 | uint64(o.Addr) }
+	mix(uint64(p.NumCells))
+	mix(uint64(len(p.Insts)))
+	for _, ins := range p.Insts {
+		mix(operand(ins.A))
+		mix(operand(ins.B))
+		mix(uint64(ins.Z))
+	}
+	mix(uint64(len(p.PICells)))
+	for _, c := range p.PICells {
+		mix(uint64(c))
+	}
+	mix(uint64(len(p.POs)))
+	for _, po := range p.POs {
+		v := uint64(po.Addr)
+		if po.Neg {
+			v |= 1 << 32
+		}
+		mix(v)
+	}
+	return h
+}
+
 // StaticWriteCounts computes per-cell write counts by scanning the
 // instruction stream. PLiM programs are straight-line, so static counts are
 // exact and must agree with the interpreter's measured counts — a property

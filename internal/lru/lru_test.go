@@ -10,15 +10,27 @@ func keys[K comparable, V any](m *Map[K, V]) []K {
 	return out
 }
 
+// add inserts a completed entry: cost charged, evictable — the state the
+// memoization caches reach once a computation finishes.
+func add[K comparable, V any](m *Map[K, V], k K, v V, cost int) *Entry[K, V] {
+	e := m.Add(k, v)
+	m.SetCost(e, cost)
+	e.Evictable = true
+	return e
+}
+
 func TestEvictsLeastRecentlyUsed(t *testing.T) {
-	m := New[int, string](2)
-	m.Add(1, "a").Evictable = true
-	m.Add(2, "b").Evictable = true
-	m.Add(3, "c").Evictable = true
+	m := New[int, string](20)
+	add(m, 1, "a", 10)
+	add(m, 2, "b", 10)
+	add(m, 3, "c", 10)
 	var evicted []int
 	m.EvictExcess(func(e *Entry[int, string]) { evicted = append(evicted, e.Key) })
 	if m.Len() != 2 {
 		t.Fatalf("Len = %d, want 2", m.Len())
+	}
+	if m.Total() != 20 {
+		t.Fatalf("Total = %d, want 20", m.Total())
 	}
 	if len(evicted) != 1 || evicted[0] != 1 {
 		t.Fatalf("evicted %v, want [1]", evicted)
@@ -29,13 +41,13 @@ func TestEvictsLeastRecentlyUsed(t *testing.T) {
 }
 
 func TestGetRefreshesRecency(t *testing.T) {
-	m := New[int, string](2)
-	m.Add(1, "a").Evictable = true
-	m.Add(2, "b").Evictable = true
+	m := New[int, string](20)
+	add(m, 1, "a", 10)
+	add(m, 2, "b", 10)
 	if _, ok := m.Get(1); !ok {
 		t.Fatal("key 1 missing")
 	}
-	m.Add(3, "c").Evictable = true
+	add(m, 3, "c", 10)
 	m.EvictExcess(nil)
 	if _, ok := m.Get(2); ok {
 		t.Fatal("key 2 should have been the LRU victim")
@@ -45,11 +57,35 @@ func TestGetRefreshesRecency(t *testing.T) {
 	}
 }
 
+func TestUnevenCostsEvictUntilWithinBudget(t *testing.T) {
+	m := New[int, string](100)
+	add(m, 1, "a", 30)
+	add(m, 2, "b", 30)
+	// One big entry forces out both older small ones.
+	add(m, 3, "c", 90)
+	m.EvictExcess(nil)
+	if got := keys(m); len(got) != 1 || got[0] != 3 {
+		t.Fatalf("surviving keys = %v, want [3]", got)
+	}
+	if m.Total() != 90 {
+		t.Fatalf("Total = %d, want 90", m.Total())
+	}
+}
+
+func TestEntryOverBudgetEvictsItself(t *testing.T) {
+	m := New[int, string](10)
+	add(m, 1, "a", 50)
+	m.EvictExcess(nil)
+	if m.Len() != 0 || m.Total() != 0 {
+		t.Fatalf("oversized entry retained: len %d total %d", m.Len(), m.Total())
+	}
+}
+
 func TestEvictionSkipsNonEvictable(t *testing.T) {
-	m := New[int, string](1)
+	m := New[int, string](5)
 	m.Add(1, "a") // Evictable defaults to false: pinned while in flight
-	m.Add(2, "b").Evictable = true
-	m.Add(3, "c").Evictable = true
+	add(m, 2, "b", 10)
+	add(m, 3, "c", 10)
 	m.EvictExcess(nil)
 	// The pinned entry is skipped; both evictable entries go to reach the
 	// budget, leaving only the pinned one.
@@ -62,19 +98,41 @@ func TestEvictionSkipsNonEvictable(t *testing.T) {
 
 	// A map full of pinned entries may overshoot its budget; eviction
 	// must leave them all alone.
-	p := New[int, string](1)
-	p.Add(1, "a")
-	p.Add(2, "b")
+	p := New[int, string](10)
+	e1 := p.Add(1, "a")
+	p.SetCost(e1, 20)
+	e2 := p.Add(2, "b")
+	p.SetCost(e2, 20)
 	p.EvictExcess(nil)
 	if p.Len() != 2 {
 		t.Fatalf("Len = %d, want 2 (pinned entries cannot be evicted)", p.Len())
 	}
 }
 
+func TestSetCostAndDeleteTrackTotal(t *testing.T) {
+	m := New[int, int](0)
+	e := m.Add(1, 1)
+	if m.Total() != 0 {
+		t.Fatalf("in-flight entry charged %d", m.Total())
+	}
+	m.SetCost(e, 40)
+	if m.Total() != 40 {
+		t.Fatalf("Total = %d, want 40", m.Total())
+	}
+	m.SetCost(e, 15)
+	if m.Total() != 15 {
+		t.Fatalf("re-cost Total = %d, want 15", m.Total())
+	}
+	m.Delete(1)
+	if m.Total() != 0 {
+		t.Fatalf("Total after delete = %d, want 0", m.Total())
+	}
+}
+
 func TestUnboundedNeverEvicts(t *testing.T) {
 	m := New[int, int](0)
 	for i := 0; i < 100; i++ {
-		m.Add(i, i).Evictable = true
+		add(m, i, i, 1000)
 	}
 	m.EvictExcess(nil)
 	if m.Len() != 100 {

@@ -715,6 +715,34 @@ func ExhaustivePattern(v, w int) uint64 {
 // tables (avoids importing math/bits everywhere).
 func OnesCount64(x uint64) int { return bits.OnesCount64(x) }
 
+// MemSize estimates the graph's resident size in bytes: node storage, the
+// PI/PO tables with their name strings, and the structural-hash index when
+// present. It is an estimate (Go's allocator rounds size classes up), meant
+// for byte-budgeted caches — see internal/lru and plim.WithCacheBudget —
+// the way diskcache.GC budgets the disk tier.
+func (m *MIG) MemSize() int {
+	const (
+		nodeBytes       = 20 // kind + 3 children + piIndex, aligned
+		sliceHdr        = 24
+		stringHdr       = 16
+		strashEntry     = 64 // [3]Signal key + NodeID value + bucket overhead
+		structANDlookup = 96 // MIG struct itself plus map header
+	)
+	sz := structANDlookup + len(m.Name)
+	sz += sliceHdr + len(m.nodes)*nodeBytes
+	sz += sliceHdr + len(m.piNodes)*4
+	sz += sliceHdr + len(m.pos)*4
+	sz += 2 * sliceHdr
+	for _, s := range m.piNames {
+		sz += stringHdr + len(s)
+	}
+	for _, s := range m.poNames {
+		sz += stringHdr + len(s)
+	}
+	sz += len(m.strash) * strashEntry
+	return sz
+}
+
 // Fingerprint returns a 64-bit structural hash of the MIG: its name, the
 // placement and names of PIs, every majority node's (sorted) children and
 // every primary output with its name. Two MIGs built by the same

@@ -11,7 +11,8 @@ import (
 )
 
 // Event is a progress notification. The concrete types are RewriteCycle,
-// CompileStart, CompileDone, BenchmarkStart and BenchmarkDone.
+// CompileStart, CompileDone, BenchmarkStart, BenchmarkDone and
+// ExecuteChunk.
 type Event interface{ event() }
 
 // Func receives progress events. A nil Func discards them. Unless the
@@ -93,8 +94,19 @@ type BenchmarkDone struct {
 	Err       error
 }
 
+// ExecuteChunk reports that a batched execution finished one 64-lane chunk
+// (done in 1..Total). Vectors is the whole batch size; a chunk evaluates up
+// to 64 of them.
+type ExecuteChunk struct {
+	Program string // name of the program being executed
+	Done    int    // chunks completed
+	Total   int    // chunks in the batch
+	Vectors int    // vectors in the batch
+}
+
 func (RewriteCycle) event()   {}
 func (CompileStart) event()   {}
 func (CompileDone) event()    {}
 func (BenchmarkStart) event() {}
 func (BenchmarkDone) event()  {}
+func (ExecuteChunk) event()   {}

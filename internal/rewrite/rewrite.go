@@ -114,10 +114,11 @@ func Run(m *mig.MIG, pipeline []Pass, effort int) (*mig.MIG, Stats) {
 // After every completed cycle onCycle (if non-nil) receives the 1-based
 // cycle index and the current majority-node count.
 //
-// Internally the per-cycle pass loop runs over a pair of reusable arena
+// Internally the per-cycle pass loop runs over a pair of per-call arena
 // MIGs (see scratch), so a whole rewriting run performs O(1) graph
-// allocations regardless of effort; the returned MIG is always detached
-// from the arenas.
+// allocations regardless of effort; ownership of the final arena passes to
+// the caller. When no cycle changes anything the input m itself is
+// returned — callers needing a private copy must clone on that path.
 func RunContext(ctx context.Context, m *mig.MIG, pipeline []Pass, effort int, onCycle func(cycle, nodes int)) (*mig.MIG, Stats, error) {
 	st := Stats{
 		NodesBefore:    m.Statistics().MajNodes,
@@ -143,9 +144,12 @@ func RunContext(ctx context.Context, m *mig.MIG, pipeline []Pass, effort int, on
 			break
 		}
 	}
-	if cur != m {
-		cur = cur.Clone() // detach the result from the reusable arenas
-	}
+	// cur is either the caller's input (zero productive cycles) or one of
+	// sc's two arenas. The scratch is private to this call and dies with it,
+	// so the arena transfers ownership to the caller directly — cloning it
+	// here would only duplicate the result to throw one copy away. Callers
+	// that must not alias the input (core.RewriteCache) already clone on the
+	// cur == m path themselves.
 	st.NodesAfter = cur.Statistics().MajNodes
 	st.CompHistAfter = cur.ComplementHistogram()
 	_, st.DepthAfter = cur.Levels()

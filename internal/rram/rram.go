@@ -220,21 +220,26 @@ func (c *Crossbar) Totals() (reads, writes, cycles uint64) {
 // each device's writes into 0-9 relative to the maximum. It is a debugging
 // and demo aid for the examples.
 func (c *Crossbar) WearMap(n int) string {
-	if n > len(c.devices) {
-		n = len(c.devices)
-	}
+	return RenderWearMap(c.WriteCounts(n))
+}
+
+// RenderWearMap renders any per-device write-count vector the way
+// Crossbar.WearMap does — rows of 64 relative-wear digits, '.' for
+// untouched devices. It lets wear gathered outside a Crossbar (the batched
+// executor's aggregate counters, say) reuse the same visualization.
+func RenderWearMap(writes []uint64) string {
 	var max uint64
-	for i := 0; i < n; i++ {
-		if w := c.devices[i].writes; w > max {
+	for _, w := range writes {
+		if w > max {
 			max = w
 		}
 	}
+	n := len(writes)
 	buf := make([]byte, 0, n+n/64+1)
-	for i := 0; i < n; i++ {
+	for i, w := range writes {
 		if i > 0 && i%64 == 0 {
 			buf = append(buf, '\n')
 		}
-		w := c.devices[i].writes
 		switch {
 		case max == 0 || w == 0:
 			buf = append(buf, '.')

@@ -1,7 +1,9 @@
 // Package server exposes a plim.Engine over HTTP/JSON as a long-lived
 // shared service: POST /v1/compile, /v1/rewrite and /v1/suite run the
-// engine, GET /v1/benchmarks lists the paper's benchmarks, and /healthz and
-// /metrics make the daemon operable. Beyond handler glue the package
+// engine, POST /v1/execute compiles and then evaluates a program over a
+// batch of input vectors with the 64-wide bit-sliced executor, GET
+// /v1/benchmarks lists the paper's benchmarks, and /healthz and /metrics
+// make the daemon operable. Beyond handler glue the package
 // provides the serving machinery a shared compiler needs:
 //
 //   - admission control: a bounded work queue sized from the engine's
@@ -65,10 +67,38 @@ type computeRequest struct {
 	// assembly text, "binary" for the base64-encoded binary encoding.
 	Emit string `json:"emit,omitempty"`
 
+	// Vectors lists /v1/execute input vectors as "0101" strings (character
+	// i is primary input i); VectorsPacked is the compact bit-sliced
+	// alternative. Random asks the server to generate that many uniformly
+	// random vectors from Seed; Exhaustive executes the whole truth table
+	// (input count ≤ 20). Exactly one vector source must be set.
+	Vectors       []string       `json:"vectors,omitempty"`
+	VectorsPacked *packedVectors `json:"vectors_packed,omitempty"`
+	Random        int            `json:"random,omitempty"`
+	Seed          int64          `json:"seed,omitempty"`
+	Exhaustive    bool           `json:"exhaustive,omitempty"`
+
+	// Endurance is the /v1/execute per-device write budget (0 = unlimited);
+	// a worn-out device faults the whole batch, reported in the response.
+	Endurance uint64 `json:"endurance,omitempty"`
+
+	// Output selects the /v1/execute outputs encoding: "strings" (default)
+	// or "packed".
+	Output string `json:"output,omitempty"`
+
 	// TimeoutMS caps this request's total time (queue wait included);
 	// 0 uses the server default. Coalesced requests share the deadline of
 	// the request that started the computation.
 	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+}
+
+// packedVectors is the bit-sliced wire form of a plim.Batch: line-major
+// little-endian uint64 words, base64-encoded ([]byte JSON), with explicit
+// dimensions. Lanes beyond N in the last word of each line must be zero.
+type packedVectors struct {
+	N     int    `json:"n"`
+	Lines int    `json:"lines"`
+	Words []byte `json:"words"`
 }
 
 // writesJSON is the paper's write-distribution summary on the wire.
@@ -152,6 +182,31 @@ type suiteResponse struct {
 	Reports    [][]suiteReportJSON `json:"reports"`
 }
 
+// executeFaultJSON reports an endurance fault of a batched execution.
+type executeFaultJSON struct {
+	Inst  int    `json:"inst"`
+	Error string `json:"error"`
+}
+
+// executeResponse is the /v1/execute response body. It carries no timing,
+// so warm repeats of the same request are byte-identical (a property the CI
+// smoke test pins).
+type executeResponse struct {
+	Function     string            `json:"function"`
+	Config       string            `json:"config"`
+	Shrink       int               `json:"shrink,omitempty"`
+	Fingerprint  string            `json:"program_fingerprint"`
+	Instructions int               `json:"instructions"`
+	RRAMs        int               `json:"rrams"`
+	Vectors      int               `json:"vectors"`
+	Chunks       int               `json:"chunks"`
+	Outputs      []string          `json:"outputs,omitempty"`
+	OutputsPack  *packedVectors    `json:"outputs_packed,omitempty"`
+	Writes       writesJSON        `json:"writes"`
+	Switches     uint64            `json:"switches_total"`
+	Fault        *executeFaultJSON `json:"fault,omitempty"`
+}
+
 // errorResponse is every non-2xx body.
 type errorResponse struct {
 	Error string `json:"error"`
@@ -189,6 +244,13 @@ func eventPayload(ev plim.Event) (name string, data any) {
 			Index     int    `json:"index"`
 			Total     int    `json:"total"`
 		}{ev.Benchmark, ev.Index, ev.Total}
+	case plim.EventExecuteChunk:
+		return "execute_chunk", struct {
+			Program string `json:"program"`
+			Done    int    `json:"done"`
+			Total   int    `json:"total"`
+			Vectors int    `json:"vectors"`
+		}{ev.Program, ev.Done, ev.Total, ev.Vectors}
 	case plim.EventBenchmarkDone:
 		return "benchmark_done", struct {
 			Benchmark string  `json:"benchmark"`

@@ -46,6 +46,13 @@ type metrics struct {
 	flights   uint64                // computations started (coalescing leaders)
 	coalesced uint64                // requests attached to an in-flight computation
 	rejected  uint64                // admission rejections (429)
+
+	// Batched-execution throughput: vectors evaluated, 64-lane chunks
+	// processed and lane slots offered (chunks × 64). vectors/lane_slots is
+	// the batch occupancy; rate(vectors) is the serving vectors/sec.
+	execVectors   uint64
+	execChunks    uint64
+	execLaneSlots uint64
 }
 
 func newMetrics() *metrics {
@@ -90,6 +97,14 @@ func (m *metrics) requestCoalesced() {
 func (m *metrics) admissionRejected() {
 	m.mu.Lock()
 	m.rejected++
+	m.mu.Unlock()
+}
+
+func (m *metrics) observeExecute(vectors, chunks int) {
+	m.mu.Lock()
+	m.execVectors += uint64(vectors)
+	m.execChunks += uint64(chunks)
+	m.execLaneSlots += 64 * uint64(chunks)
 	m.mu.Unlock()
 }
 
@@ -147,6 +162,9 @@ func (m *metrics) render(s *Server) string {
 	fmt.Fprintf(&b, "# TYPE plimserve_flights_total counter\nplimserve_flights_total %d\n", m.flights)
 	fmt.Fprintf(&b, "# TYPE plimserve_coalesced_requests_total counter\nplimserve_coalesced_requests_total %d\n", m.coalesced)
 	fmt.Fprintf(&b, "# TYPE plimserve_admission_rejected_total counter\nplimserve_admission_rejected_total %d\n", m.rejected)
+	fmt.Fprintf(&b, "# TYPE plimserve_execute_vectors_total counter\nplimserve_execute_vectors_total %d\n", m.execVectors)
+	fmt.Fprintf(&b, "# TYPE plimserve_execute_chunks_total counter\nplimserve_execute_chunks_total %d\n", m.execChunks)
+	fmt.Fprintf(&b, "# TYPE plimserve_execute_lane_slots_total counter\nplimserve_execute_lane_slots_total %d\n", m.execLaneSlots)
 	m.mu.Unlock()
 
 	// Live gauges: admission occupancy and the engine's two cache tiers.

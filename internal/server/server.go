@@ -3,6 +3,7 @@ package server
 import (
 	"bytes"
 	"context"
+	"encoding/binary"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -90,6 +91,7 @@ func New(eng *plim.Engine, opts Options) *Server {
 	s.mux.HandleFunc("GET /metrics", s.instrument("metrics", s.handleMetrics))
 	s.mux.HandleFunc("GET /v1/benchmarks", s.instrument("benchmarks", s.handleBenchmarks))
 	s.mux.HandleFunc("POST /v1/compile", s.instrument("compile", s.handleCompile))
+	s.mux.HandleFunc("POST /v1/execute", s.instrument("execute", s.handleExecute))
 	s.mux.HandleFunc("POST /v1/rewrite", s.instrument("rewrite", s.handleRewrite))
 	s.mux.HandleFunc("POST /v1/suite", s.instrument("suite", s.handleSuite))
 	return s
@@ -343,6 +345,180 @@ func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 		}
 		return jsonResult(http.StatusOK, out)
 	})
+}
+
+// maxExecuteVectors bounds one /v1/execute batch (explicit, random or
+// exhaustive): 2^20 vectors keep the packed state of even wide programs in
+// the tens of megabytes.
+const maxExecuteVectors = 1 << 20
+
+// unpackVectors decodes the bit-sliced wire form into a batch. Inactive
+// lanes are masked off (SetWord), so equal vector sets coalesce regardless
+// of junk beyond N.
+func unpackVectors(pv *packedVectors) (*plim.Batch, error) {
+	if pv.Lines <= 0 || pv.N < 0 || pv.N > maxExecuteVectors {
+		return nil, badRequest{fmt.Sprintf("vectors_packed: need 1 ≤ lines and 0 ≤ n ≤ %d", maxExecuteVectors)}
+	}
+	chunks := (pv.N + 63) / 64
+	if want := pv.Lines * chunks * 8; len(pv.Words) != want {
+		return nil, badRequest{fmt.Sprintf("vectors_packed.words: got %d bytes, want %d (lines × ⌈n/64⌉ × 8)", len(pv.Words), want)}
+	}
+	b := plim.NewBatch(pv.Lines, pv.N)
+	k := 0
+	for i := 0; i < pv.Lines; i++ {
+		for c := 0; c < chunks; c++ {
+			b.SetWord(i, c, binary.LittleEndian.Uint64(pv.Words[k:]))
+			k += 8
+		}
+	}
+	return b, nil
+}
+
+// packVectors is the inverse wire encoding, used for "output": "packed".
+func packVectors(b *plim.Batch) *packedVectors {
+	words := make([]byte, b.Lines()*b.Chunks()*8)
+	k := 0
+	for i := 0; i < b.Lines(); i++ {
+		for c := 0; c < b.Chunks(); c++ {
+			binary.LittleEndian.PutUint64(words[k:], b.Word(i, c))
+			k += 8
+		}
+	}
+	return &packedVectors{N: b.Len(), Lines: b.Lines(), Words: words}
+}
+
+// vectorSource resolves the request's input vectors into a coalescing key
+// component and a constructor. Explicit vectors pack (and content-hash)
+// immediately; random and exhaustive batches are generated inside the
+// flight, once the program's input count is known.
+func vectorSource(req computeRequest) (key string, mk func(pis int) (*plim.Batch, error), err error) {
+	sources := 0
+	for _, set := range []bool{len(req.Vectors) > 0, req.VectorsPacked != nil, req.Random != 0, req.Exhaustive} {
+		if set {
+			sources++
+		}
+	}
+	if sources != 1 {
+		return "", nil, badRequest{"set exactly one of vectors, vectors_packed, random, exhaustive"}
+	}
+	if req.Seed != 0 && req.Random == 0 {
+		return "", nil, badRequest{"seed applies to random vectors only"}
+	}
+	switch {
+	case len(req.Vectors) > 0:
+		if len(req.Vectors) > maxExecuteVectors {
+			return "", nil, badRequest{fmt.Sprintf("at most %d vectors per request", maxExecuteVectors)}
+		}
+		b, err := plim.PackBatchStrings(req.Vectors)
+		if err != nil {
+			return "", nil, badRequest{fmt.Sprintf("invalid vectors: %s", err)}
+		}
+		return fmt.Sprintf("v:%016x", b.Hash()), func(int) (*plim.Batch, error) { return b, nil }, nil
+	case req.VectorsPacked != nil:
+		b, err := unpackVectors(req.VectorsPacked)
+		if err != nil {
+			return "", nil, err
+		}
+		return fmt.Sprintf("v:%016x", b.Hash()), func(int) (*plim.Batch, error) { return b, nil }, nil
+	case req.Random != 0:
+		if req.Random < 0 || req.Random > maxExecuteVectors {
+			return "", nil, badRequest{fmt.Sprintf("random must be between 1 and %d", maxExecuteVectors)}
+		}
+		n, seed := req.Random, req.Seed
+		return fmt.Sprintf("rand:%d:%d", n, seed),
+			func(pis int) (*plim.Batch, error) { return plim.RandomBatch(pis, n, seed), nil }, nil
+	default: // exhaustive
+		return "exh", func(pis int) (*plim.Batch, error) {
+			if pis > 20 { // 2^20 = maxExecuteVectors
+				return nil, badRequest{fmt.Sprintf("exhaustive execution needs ≤ 20 inputs, program has %d", pis)}
+			}
+			return plim.ExhaustiveBatch(pis)
+		}, nil
+	}
+}
+
+func (s *Server) handleExecute(w http.ResponseWriter, r *http.Request) {
+	req, err := s.decodeRequest(w, r)
+	if err == nil && req.Output != "" && req.Output != "strings" && req.Output != "packed" {
+		err = badRequest{fmt.Sprintf("unknown output %q (want strings or packed)", req.Output)}
+	}
+	var cfg plim.Config
+	if err == nil {
+		cfg, err = parseConfig(req.Config, req.Cap)
+	}
+	var vecKey string
+	var mkBatch func(pis int) (*plim.Batch, error)
+	if err == nil {
+		vecKey, mkBatch, err = vectorSource(req)
+	}
+	var srcKey string
+	var shrink int
+	var load func() (*plim.MIG, error)
+	if err == nil {
+		srcKey, shrink, load, err = s.sourceMIG(req)
+	}
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+		return
+	}
+	key := fmt.Sprintf("execute|%s|%s|e%d|%s|%s", srcKey, cfg.Name, req.Endurance, vecKey, req.Output)
+	endurance, packedOut := req.Endurance, req.Output == "packed"
+	s.dispatch(w, r, req.TimeoutMS, key, func(ctx context.Context, publish func(plim.Event)) response {
+		m, err := load()
+		if err != nil {
+			return errorResult(err)
+		}
+		pctx := plim.ContextWithProgress(ctx, publish)
+		rep, err := s.eng.Run(pctx, m, cfg)
+		if err != nil {
+			return errorResult(err)
+		}
+		p := rep.Result.Program
+		b, err := mkBatch(len(p.PICells))
+		if err != nil {
+			var br badRequest
+			if errors.As(err, &br) {
+				return response{status: http.StatusBadRequest, body: mustJSON(errorResponse{Error: br.msg})}
+			}
+			return errorResult(err)
+		}
+		res, err := s.eng.ExecuteBatch(pctx, p, b, plim.ExecOptions{Endurance: endurance})
+		var fault *plim.ExecFaultError
+		if err != nil && !errors.As(err, &fault) {
+			return errorResult(err)
+		}
+		s.met.observeExecute(b.Len(), b.Chunks())
+		out := executeResponse{
+			Function:     m.Name,
+			Config:       cfg.Name,
+			Shrink:       shrink,
+			Fingerprint:  fmt.Sprintf("%016x", p.Fingerprint()),
+			Instructions: len(p.Insts),
+			RRAMs:        int(p.NumCells),
+			Vectors:      b.Len(),
+			Chunks:       b.Chunks(),
+			Writes:       summarizeWrites(plim.SummarizeWrites(res.Writes)),
+			Switches:     total(res.Switches),
+		}
+		switch {
+		case fault != nil:
+			out.Fault = &executeFaultJSON{Inst: fault.Inst, Error: fault.Error()}
+		case packedOut:
+			out.OutputsPack = packVectors(res.Outputs)
+		default:
+			out.Outputs = res.Outputs.Strings()
+		}
+		return jsonResult(http.StatusOK, out)
+	})
+}
+
+// total sums a per-cell counter vector.
+func total(counts []uint64) uint64 {
+	var t uint64
+	for _, c := range counts {
+		t += c
+	}
+	return t
 }
 
 func (s *Server) handleRewrite(w http.ResponseWriter, r *http.Request) {

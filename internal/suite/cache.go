@@ -25,8 +25,9 @@ var errBuildPanicked = errors.New("suite: benchmark build panicked")
 //
 // Concurrent callers of the same key share one build (singleflight).
 // Errors (unknown benchmark, validation failure) are not cached. The cache
-// keeps at most its budget of builds, evicting least-recently-used
-// completed entries beyond it (in-flight builds are never evicted), so
+// is byte-budgeted: completed builds are charged their estimated size
+// (mig.MemSize) and least-recently-used completed entries are evicted once
+// the total exceeds the budget (in-flight builds are never evicted), so
 // engines sweeping many (name, shrink) combinations stay bounded.
 type Cache struct {
 	mu      sync.Mutex
@@ -58,7 +59,8 @@ func NewCache() *Cache {
 }
 
 // NewCacheWithBudget returns a cache evicting least-recently-used builds
-// beyond budget; budget ≤ 0 means unbounded.
+// once their summed estimated bytes exceed budget; budget ≤ 0 means
+// unbounded.
 func NewCacheWithBudget(budget int) *Cache {
 	return &Cache{entries: lru.New[buildKey, *buildEntry](budget)}
 }
@@ -75,7 +77,7 @@ func (c *Cache) Len() int {
 	return c.entries.Len()
 }
 
-// Budget reports the cache's entry budget (≤ 0 = unbounded).
+// Budget reports the cache's byte budget (≤ 0 = unbounded).
 func (c *Cache) Budget() int { return c.entries.Budget() }
 
 // BuildScaled is suite.BuildScaled memoized through the cache. The
@@ -107,6 +109,7 @@ func (c *Cache) BuildScaled(name string, shrink int) (*mig.MIG, error) {
 						c.entries.Delete(key)
 					} else {
 						handle.Evictable = true
+						c.entries.SetCost(handle, e.m.MemSize())
 						c.entries.EvictExcess(nil)
 					}
 					c.mu.Unlock()

@@ -476,14 +476,30 @@ func TestCacheConcurrentSingleflight(t *testing.T) {
 	}
 }
 
-// TestCacheBudgetEvictsLRU checks the size bound: a budget-1 cache drops
-// its least-recently-used build when a second key lands, and the evicted
-// key rebuilds (a fresh instance) on the next request while the surviving
-// key keeps its shared instance.
+// buildSize measures a benchmark's estimated byte size with an uncached
+// build, so the byte-budget tests can derive budgets that hold exactly the
+// entries they intend (generators are deterministic, so a cached build has
+// the same size).
+func buildSize(t *testing.T, name string, shrink int) int {
+	t.Helper()
+	m, err := BuildScaled(name, shrink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m.MemSize()
+}
+
+// TestCacheBudgetEvictsLRU checks the size bound: with a byte budget that
+// fits either build alone but not both, the least-recently-used build is
+// dropped when a second key lands, and the evicted key rebuilds (a fresh
+// instance) on the next request while the surviving key keeps its shared
+// instance.
 func TestCacheBudgetEvictsLRU(t *testing.T) {
-	c := NewCacheWithBudget(1)
-	if c.Budget() != 1 {
-		t.Fatalf("Budget = %d, want 1", c.Budget())
+	sA, sB := buildSize(t, "ctrl", 8), buildSize(t, "i2c", 8)
+	budget := max(sA, sB)
+	c := NewCacheWithBudget(budget)
+	if c.Budget() != budget {
+		t.Fatalf("Budget = %d, want %d", c.Budget(), budget)
 	}
 	a1, err := c.BuildScaled("ctrl", 8)
 	if err != nil {
@@ -494,7 +510,7 @@ func TestCacheBudgetEvictsLRU(t *testing.T) {
 		t.Fatal(err)
 	}
 	if c.Len() != 1 {
-		t.Fatalf("cache holds %d entries over a budget of 1", c.Len())
+		t.Fatalf("cache holds %d entries, want 1 (budget %d bytes)", c.Len(), budget)
 	}
 	// "i2c" is the survivor: it must still hit...
 	b2, err := c.BuildScaled("i2c", 8)
@@ -518,9 +534,11 @@ func TestCacheBudgetEvictsLRU(t *testing.T) {
 }
 
 // TestCacheBudgetRespectsRecency: touching an entry protects it from the
-// next eviction.
+// next eviction. The byte budget holds "ctrl" plus either of the other two
+// builds, but not all three.
 func TestCacheBudgetRespectsRecency(t *testing.T) {
-	c := NewCacheWithBudget(2)
+	sCtrl, sI2c, sRouter := buildSize(t, "ctrl", 8), buildSize(t, "i2c", 8), buildSize(t, "router", 8)
+	c := NewCacheWithBudget(sCtrl + max(sI2c, sRouter))
 	a1, err := c.BuildScaled("ctrl", 8)
 	if err != nil {
 		t.Fatal(err)
