@@ -35,16 +35,24 @@
 // directory (-cache-dir, default $PLIM_CACHE_DIR, else a throwaway temp
 // dir), i.e. the plimtab-then-plimc cost after this repository's
 // persistent tier.
+//
+// The sched/ family pins the engine's work-stealing DAG scheduler against
+// a replica of the two-level scheme it replaced (benchmark fan-out plus
+// spare-slot compile goroutines), forced to GOMAXPROCS=4 so the numbers
+// are comparable across hosts; on a single-core runner both paths
+// time-slice on one CPU and the honest speedup is ~1x.
 package main
 
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
 	"runtime"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -74,6 +82,7 @@ type Report struct {
 	Benchmarks   []Entry `json:"benchmarks"`
 	SuiteSpeedup float64 `json:"suite_speedup"`
 	ExecSpeedup  float64 `json:"exec_speedup"`
+	SchedSpeedup float64 `json:"sched_speedup"`
 	TableParity  bool    `json:"table_parity"`
 }
 
@@ -251,6 +260,67 @@ func main() {
 		os.RemoveAll(diskDir) // throwaway dir: not needed by the parity runs below
 	}
 
+	// The scheduler family: the DAG scheduler against a replica of the old
+	// two-level scheme, at a forced GOMAXPROCS of 4 so the comparison means
+	// the same thing on every host. Both sides do identical work (one
+	// rewrite per stage, one compile per configuration, cold caches); only
+	// the scheduling differs, so the ratio is the scheduler's contribution.
+	const schedProcs = 4
+	prevProcs := runtime.GOMAXPROCS(schedProcs)
+	twolevel := add("sched/suite-twolevel-4p", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if err := runTwoLevel(names, cfgs, *shrink, schedProcs); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	dag := add("sched/suite-cold-4p", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			cold := plim.NewEngine(plim.WithShrink(*shrink), plim.WithWorkers(schedProcs))
+			if _, err := cold.RunSuite(context.Background(), cfgs, names...); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	rep.SchedSpeedup = round2(float64(twolevel.NsPerOp()) / float64(dag.NsPerOp()))
+	schedEng := plim.NewEngine(plim.WithShrink(*shrink), plim.WithWorkers(schedProcs))
+	if _, err := schedEng.RunSuite(context.Background(), cfgs, names...); err != nil {
+		fatal(err)
+	}
+	add("sched/suite-warm-4p", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := schedEng.RunSuite(context.Background(), cfgs, names...); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	// A mixed workload on one shared pool: a suite sweep's rewrite/compile
+	// tasks interleaving with a batched execution's chunk tasks — the
+	// server's steady state, where flights of different kinds share workers.
+	mixedBatch := plim.RandomBatch(len(execProg.PICells), 4096, 7)
+	add("sched/mixed-4p", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			var wg sync.WaitGroup
+			errs := make([]error, 2)
+			wg.Add(2)
+			go func() {
+				defer wg.Done()
+				_, errs[0] = schedEng.RunSuite(context.Background(), cfgs, names[0])
+			}()
+			go func() {
+				defer wg.Done()
+				_, errs[1] = schedEng.ExecuteBatch(context.Background(), execProg, mixedBatch, plim.ExecOptions{})
+			}()
+			wg.Wait()
+			if err := errors.Join(errs...); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	runtime.GOMAXPROCS(prevProcs)
+	fmt.Fprintf(os.Stderr, "sched speedup: %.2fx at GOMAXPROCS=%d (two-level %d ns/op, DAG %d ns/op; ~1x expected on a single-core host)\n",
+		rep.SchedSpeedup, schedProcs, twolevel.NsPerOp(), dag.NsPerOp())
+
 	// Parity: both paths must render byte-identical Table I output.
 	srSeq, err := runPerConfig(names, cfgs, *shrink)
 	if err != nil {
@@ -409,6 +479,68 @@ func runPerConfig(names []string, cfgs []core.Config, shrink int) (*tables.Suite
 		}
 	}
 	return sr, nil
+}
+
+// runTwoLevel replicates the two-level scheduler the engine used before
+// internal/sched: a fan-out of benchmark goroutines bounded by a worker
+// semaphore, each rewriting its stages sequentially and compiling stage
+// members on spare (non-blockingly acquired) slots, inline when none is
+// free. It is the "before" reference of the sched/ speedup — it performs
+// exactly the work of a cold staged suite run, scheduled the old way.
+func runTwoLevel(names []string, cfgs []core.Config, shrink, workers int) error {
+	sem := make(chan struct{}, workers)
+	errc := make(chan error, len(names))
+	for _, name := range names {
+		go func(name string) {
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			errc <- twoLevelBenchmark(name, cfgs, shrink, sem)
+		}(name)
+	}
+	var errs []error
+	for range names {
+		if err := <-errc; err != nil {
+			errs = append(errs, err)
+		}
+	}
+	return errors.Join(errs...)
+}
+
+// twoLevelBenchmark runs one benchmark's staged plan under the old scheme:
+// stages in order, one rewrite each, compiles stolen onto spare slots.
+func twoLevelBenchmark(name string, cfgs []core.Config, shrink int, sem chan struct{}) error {
+	ctx := context.Background()
+	m, err := suite.BuildScaled(name, shrink)
+	if err != nil {
+		return err
+	}
+	for _, st := range core.Plan(cfgs) {
+		rm, rst, err := core.Rewrite(ctx, m, st.Kind, core.DefaultEffort, nil, "")
+		if err != nil {
+			return err
+		}
+		cerrs := make([]error, len(st.Configs))
+		var wg sync.WaitGroup
+		for i, ci := range st.Configs {
+			cfg := cfgs[ci]
+			select {
+			case sem <- struct{}{}: // a spare worker slot: compile in parallel
+				wg.Add(1)
+				go func(i int) {
+					defer wg.Done()
+					defer func() { <-sem }()
+					_, cerrs[i] = core.CompileConfig(ctx, rm, cfg, rst, nil, nil)
+				}(i)
+			default: // every worker busy: compile inline
+				_, cerrs[i] = core.CompileConfig(ctx, rm, cfg, rst, nil, nil)
+			}
+		}
+		wg.Wait()
+		if err := errors.Join(cerrs...); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 func tableCSV(sr *tables.SuiteResult) (string, error) {

@@ -11,9 +11,10 @@
 //	     localhost:8080/v1/compile -d '{"benchmark":"div","config":"full"}'
 //	curl -s localhost:8080/metrics
 //
-// The server admits at most -concurrency computations at a time with a
-// bounded wait queue (-queue; beyond it: 429 + Retry-After), coalesces
-// identical in-flight requests into one computation, streams per-request
+// The server admits at most -concurrency + -queue in-flight computations
+// (beyond that: 429 + Retry-After), coalesces identical in-flight requests
+// into one computation, runs every flight's work on the engine's shared
+// work-stealing scheduler ordered by request deadline, streams per-request
 // progress as server-sent events, and exposes Prometheus metrics. SIGTERM
 // (or Ctrl-C) drains gracefully: /healthz flips to 503, in-flight requests
 // finish (up to -drain-timeout), then the process exits.
@@ -51,8 +52,8 @@ func main() {
 		cacheDir    = flag.String("cache-dir", os.Getenv("PLIM_CACHE_DIR"),
 			"persistent cache directory shared with plimc/plimtab/... (default $PLIM_CACHE_DIR; empty = off)")
 
-		concurrency = flag.Int("concurrency", 0, "max computations running at once (0 = -workers)")
-		queue       = flag.Int("queue", 0, "max computations waiting for a slot (0 = 4×concurrency); beyond it: 429")
+		concurrency = flag.Int("concurrency", 0, "in-flight computations counted as running (0 = -workers)")
+		queue       = flag.Int("queue", 0, "in-flight computations beyond -concurrency (0 = 4×concurrency); beyond both: 429")
 		reqTimeout  = flag.Duration("timeout", time.Minute, "default per-request deadline (<0 = none)")
 		maxTimeout  = flag.Duration("max-timeout", 10*time.Minute, "cap on client-requested deadlines")
 

@@ -65,6 +65,8 @@ func main() {
 				return // per-cycle spam is only useful for single runs; see plimc -v
 			case plim.EventCompileStart:
 				return // the matching EventCompileDone carries the payload
+			case plim.EventTaskStart:
+				return // the matching EventTaskDone carries the timing
 			}
 			fmt.Fprintln(os.Stderr, plim.FormatEvent(ev))
 		}))

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"time"
 
 	"plim/internal/compile"
 	"plim/internal/core"
@@ -12,6 +13,7 @@ import (
 	"plim/internal/exec"
 	"plim/internal/lru"
 	"plim/internal/progress"
+	"plim/internal/sched"
 	"plim/internal/suite"
 	"plim/internal/tables"
 )
@@ -65,6 +67,15 @@ type Engine struct {
 	// scratch recycles compile-stage state (per-node tables, candidate
 	// heap, device allocator) across every compilation the engine runs.
 	scratch *compile.ScratchPool
+
+	// sched is the engine's process-wide work-stealing task scheduler,
+	// sized by WithWorkers and created lazily on first use. Every Run /
+	// RunAll / RunSuite / ExecuteBatch call of this engine — including
+	// concurrent server flights — submits its work as one dependency graph
+	// to this pool, so execution interleaves at task granularity and
+	// near-deadline requests are picked up first.
+	sched     *sched.Pool
+	schedOnce sync.Once
 }
 
 // DefaultCacheBudget is the default byte budget of each of the engine's
@@ -274,6 +285,27 @@ func (e *Engine) observer(ctx context.Context) progress.Func {
 	}
 }
 
+// scheduler returns the engine's work-stealing pool, creating it on first
+// use. Engines have no Close method, so the pool's workers are stopped by
+// a GC cleanup once the engine becomes unreachable (parked workers hold
+// only the pool, not the engine, so they never keep the engine alive).
+func (e *Engine) scheduler() *sched.Pool {
+	e.schedOnce.Do(func() {
+		pool := sched.New(e.workers)
+		runtime.AddCleanup(e, func(p *sched.Pool) { p.Stop() }, pool)
+		e.sched = pool
+	})
+	return e.sched
+}
+
+// SchedStats is a snapshot of the engine scheduler's state: queued-task
+// depth, per-worker steal counts and task-latency histograms by kind.
+type SchedStats = sched.Stats
+
+// SchedulerStats snapshots the engine's task scheduler (servers export it
+// under /metrics). An engine that has not run anything yet reports zeros.
+func (e *Engine) SchedulerStats() SchedStats { return e.scheduler().Stats() }
+
 // Effort reports the engine's rewriting cycle budget.
 func (e *Engine) Effort() int { return e.effort }
 
@@ -302,6 +334,7 @@ func (e *Engine) Run(ctx context.Context, m *MIG, cfg Config) (*Report, error) {
 	}
 	reps, err := core.RunStaged(ctx, m, []Config{cfg}, core.StagedOptions{
 		Effort:   e.effort,
+		Sched:    e.scheduler(),
 		Cache:    e.rwCache,
 		Scratch:  e.scratch,
 		Progress: e.observer(ctx),
@@ -322,7 +355,7 @@ func (e *Engine) RunAll(ctx context.Context, m *MIG, cfgs []Config) ([]*Report, 
 	}
 	return core.RunStaged(ctx, m, cfgs, core.StagedOptions{
 		Effort:   e.effort,
-		Workers:  e.workers,
+		Sched:    e.scheduler(),
 		Cache:    e.rwCache,
 		Scratch:  e.scratch,
 		Progress: e.observer(ctx),
@@ -347,6 +380,7 @@ func (e *Engine) RunSuite(ctx context.Context, cfgs []Config, benchmarks ...stri
 		Effort:       e.effort,
 		Shrink:       e.shrink,
 		Workers:      e.workers,
+		Sched:        e.scheduler(),
 		Progress:     e.observer(ctx),
 		BenchCache:   e.benchCache,
 		RewriteCache: e.rwCache,
@@ -469,6 +503,15 @@ func (e *Engine) plan(p *Program) (*exec.Plan, error) {
 // chunk emits an EventExecuteChunk to the engine's observers. Compiled
 // execution plans are memoized by Program.Fingerprint in a byte-budgeted
 // cache, so servers replaying hot programs skip the lowering step.
+//
+// On multi-worker engines, batches spanning several chunks are split into
+// contiguous chunk ranges that run as parallel leaves of one task graph on
+// the engine's scheduler; the joined result — outputs, write counts,
+// switch counts — is byte-identical to the sequential run (chunk ranges
+// touch disjoint output words, and summing per-range switch partials in
+// range order reproduces the sequential integer sums exactly). Chunk
+// progress events then arrive with monotone done counts but in no
+// particular order.
 func (e *Engine) ExecuteBatch(ctx context.Context, p *Program, b *Batch, opts ExecOptions) (*ExecResult, error) {
 	if e.err != nil {
 		return nil, e.err
@@ -477,7 +520,8 @@ func (e *Engine) ExecuteBatch(ctx context.Context, p *Program, b *Batch, opts Ex
 	if err != nil {
 		return nil, err
 	}
-	if obs := e.observer(ctx); obs != nil {
+	obs := e.observer(ctx)
+	if obs != nil {
 		name, vectors := p.Name, b.Len()
 		prev := opts.OnChunk
 		opts.OnChunk = func(done, total int) {
@@ -486,6 +530,13 @@ func (e *Engine) ExecuteBatch(ctx context.Context, p *Program, b *Batch, opts Ex
 				prev(done, total)
 			}
 		}
+	}
+	if e.workers > 1 && b.Chunks() > 1 {
+		var deadline time.Time
+		if d, ok := ctx.Deadline(); ok {
+			deadline = d
+		}
+		return pl.RunSharded(ctx, b, opts, e.scheduler(), deadline, obs)
 	}
 	return pl.RunContext(ctx, b, opts)
 }

@@ -9,8 +9,8 @@ import (
 
 // Event is a typed progress notification delivered to WithProgress
 // callbacks. The concrete types are EventRewriteCycle, EventCompileStart,
-// EventCompileDone, EventBenchmarkStart, EventBenchmarkDone and
-// EventExecuteChunk; switch on
+// EventCompileDone, EventBenchmarkStart, EventBenchmarkDone,
+// EventExecuteChunk, EventTaskStart and EventTaskDone; switch on
 // them for structured consumption or use FormatEvent for a ready-made
 // one-line rendering.
 type Event = progress.Event
@@ -38,6 +38,14 @@ type EventBenchmarkDone = progress.BenchmarkDone
 // EventExecuteChunk reports that an Execute/ExecuteBatch call finished one
 // 64-lane chunk of a batched execution.
 type EventExecuteChunk = progress.ExecuteChunk
+
+// EventTaskStart reports that a scheduler worker picked up one task of the
+// engine's dependency graph (kinds: generate, rewrite, compile,
+// exec_chunk, join).
+type EventTaskStart = progress.TaskStart
+
+// EventTaskDone reports that a scheduler task finished executing.
+type EventTaskDone = progress.TaskDone
 
 // ContextWithProgress returns a context that carries fn as a per-call
 // progress observer: an Engine method invoked with the returned context
@@ -84,6 +92,10 @@ func FormatEvent(ev Event) string {
 		return fmt.Sprintf("bench %s (%d/%d): %s in %v", ev.Benchmark, ev.Index+1, ev.Total, status, ev.Elapsed.Round(1e6))
 	case EventExecuteChunk:
 		return fmt.Sprintf("execute %s: chunk %d/%d (%d vectors)", ev.Program, ev.Done, ev.Total, ev.Vectors)
+	case EventTaskStart:
+		return fmt.Sprintf("task %s %s: start", ev.Kind, ev.Label)
+	case EventTaskDone:
+		return fmt.Sprintf("task %s %s: done in %v", ev.Kind, ev.Label, ev.Elapsed.Round(1e6))
 	}
 	return fmt.Sprintf("unknown event %T", ev)
 }

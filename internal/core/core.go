@@ -19,8 +19,6 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	"sync"
-	"sync/atomic"
 	"time"
 
 	"plim/internal/alloc"
@@ -28,6 +26,7 @@ import (
 	"plim/internal/mig"
 	"plim/internal/progress"
 	"plim/internal/rewrite"
+	"plim/internal/sched"
 	"plim/internal/stats"
 )
 
@@ -266,113 +265,120 @@ func stageLabel(st Stage, cfgs []Config) string {
 type StagedOptions struct {
 	// Effort is the rewriting cycle budget (0 = no cycles).
 	Effort int
-	// Workers bounds compile-stage parallelism when Spare is nil: the
-	// calling goroutine plus Workers-1 helpers. Values ≤ 1 compile inline.
+	// Workers sizes a transient scheduler when Sched is nil: values ≤ 1
+	// run the plan on one worker, in deterministic depth-first order.
 	Workers int
-	// Spare, when non-nil, is a shared pool of spare-worker tokens
-	// (internal/tables threads one pool through every benchmark job so the
-	// whole suite respects a single worker bound). Overrides Workers.
-	Spare chan struct{}
+	// Sched, when non-nil, executes the plan's tasks on a shared
+	// process-wide scheduler instead of a transient one (plim.Engine
+	// threads its pool through here, so every call of one engine — and
+	// every server request — interleaves at task granularity).
+	Sched *sched.Pool
 	// Cache memoizes rewrite stages across calls; nil rewrites afresh.
 	Cache *RewriteCache
 	// Scratch, when non-nil, supplies reusable compile scratch state to the
 	// per-configuration compile jobs (plim.Engine threads its pool through
 	// here); nil uses the compile package's shared default pool.
 	Scratch *compile.ScratchPool
-	// Progress receives rewrite-cycle and compile start/done events. It may
-	// be invoked concurrently when compiles fan out.
+	// Progress receives rewrite-cycle, compile start/done and scheduler
+	// task start/done events. It may be invoked concurrently when the
+	// schedule runs on several workers.
 	Progress progress.Func
+}
+
+// StagedGraph adds the staged plan of cfgs to graph g: one rewrite task
+// per distinct rewriting pipeline, one compile task per configuration
+// (depending on its stage's rewrite), all depending on dep when non-nil.
+// mFn supplies the input MIG; it is called from task bodies after dep has
+// completed and may return nil to signal that upstream work failed, in
+// which case no stage runs and no events are emitted. Successful compiles
+// write their reports into out (indexed like cfgs).
+//
+// The returned leaves are the plan's compile tasks (join/aggregation tasks
+// should depend on them) and finish composes the plan's error in stage
+// order; it must only be called after every leaf completed (e.g. from a
+// task depending on all of them, or after Graph.Wait).
+func StagedGraph(g *sched.Graph, dep *sched.Task, mFn func() *mig.MIG, cfgs []Config, opts StagedOptions, out []*Report) (leaves []*sched.Task, finish func() error) {
+	stages := Plan(cfgs)
+	rms := make([]*mig.MIG, len(stages))
+	rsts := make([]rewrite.Stats, len(stages))
+	rwErrs := make([]error, len(stages))
+	cmpErrs := make([]error, len(cfgs))
+	leaves = make([]*sched.Task, 0, len(cfgs))
+	for si, st := range stages {
+		label := stageLabel(st, cfgs)
+		rw := g.Task(sched.KindRewrite, label, func(ctx context.Context) {
+			m := mFn()
+			if m == nil {
+				return // upstream failure; its error is reported there
+			}
+			rms[si], rsts[si], rwErrs[si] = opts.Cache.Rewrite(ctx, m, st.Kind, opts.Effort, opts.Progress, label)
+		}, dep)
+		for _, ci := range st.Configs {
+			ct := g.Task(sched.KindCompile, cfgs[ci].Name, func(ctx context.Context) {
+				if rms[si] == nil {
+					return // stage rewrite failed or was skipped
+				}
+				out[ci], cmpErrs[ci] = CompileConfig(ctx, rms[si], cfgs[ci], rsts[si], opts.Progress, opts.Scratch)
+			}, rw)
+			leaves = append(leaves, ct)
+		}
+	}
+	finish = func() error {
+		var errs []error
+		for si, st := range stages {
+			if rwErrs[si] != nil {
+				errs = append(errs, rwErrs[si])
+				continue
+			}
+			for _, ci := range st.Configs {
+				if cmpErrs[ci] != nil {
+					errs = append(errs, cmpErrs[ci])
+				}
+			}
+		}
+		return errors.Join(errs...)
+	}
+	return leaves, finish
 }
 
 // RunStaged runs several configurations on the same function as a staged
 // plan: each distinct rewriting pipeline runs once (memoized through
-// opts.Cache when set) and the compile/alloc stages fan out over the shared
-// rewritten MIG on up to opts.Workers workers (or the opts.Spare pool).
-// Reports are returned in configuration order and are identical to those of
-// sequential per-configuration Run calls.
+// opts.Cache when set) and the compile/alloc stages fan out over the
+// shared rewritten MIG as independent scheduler tasks — on opts.Sched when
+// set, otherwise on a transient opts.Workers-sized pool. Reports are
+// returned in configuration order and are identical to those of sequential
+// per-configuration Run calls. On cancellation the error is ctx.Err()
+// itself; unstarted tasks of the plan never run.
 func RunStaged(ctx context.Context, m *mig.MIG, cfgs []Config, opts StagedOptions) ([]*Report, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	spare := opts.Spare
-	if spare == nil && opts.Workers > 1 {
-		spare = make(chan struct{}, opts.Workers-1)
-		for i := 0; i < opts.Workers-1; i++ {
-			spare <- struct{}{}
-		}
+	pool := opts.Sched
+	if pool == nil {
+		pool = sched.New(opts.Workers)
+		defer pool.Stop()
 	}
+	var deadline time.Time
+	if d, ok := ctx.Deadline(); ok {
+		deadline = d
+	}
+	g := pool.NewGraph(ctx, sched.GraphOptions{Deadline: deadline, Progress: opts.Progress})
 	out := make([]*Report, len(cfgs))
-	for _, st := range Plan(cfgs) {
-		rm, rst, err := opts.Cache.Rewrite(ctx, m, st.Kind, opts.Effort, opts.Progress, stageLabel(st, cfgs))
-		if err != nil {
-			return nil, err
-		}
-		errs := make([]error, len(st.Configs))
-		fanOut(len(st.Configs), spare, func(i int) {
-			ci := st.Configs[i]
-			out[ci], errs[i] = CompileConfig(ctx, rm, cfgs[ci], rst, opts.Progress, opts.Scratch)
-		})
-		if err := ctx.Err(); err != nil {
-			// Cancellation mid-fan-out surfaces as ctx.Err() itself (the
-			// documented contract), not wrapped inside errors.Join.
-			return nil, err
-		}
-		if err := errors.Join(errs...); err != nil {
-			return nil, err
-		}
+	_, finish := StagedGraph(g, nil, func() *mig.MIG { return m }, cfgs, opts, out)
+	if err := g.Wait(); err != nil {
+		// Cancellation surfaces as ctx.Err() itself (the documented
+		// contract), not wrapped inside errors.Join.
+		return nil, err
+	}
+	if err := finish(); err != nil {
+		return nil, err
 	}
 	return out, nil
 }
 
 // RunAll runs several configurations on the same function as a staged plan
-// with inline (sequential) compiles, checking cancellation between stages
-// and configurations. Reports match sequential Run calls exactly.
+// on a single transient worker, checking cancellation between stages and
+// configurations. Reports match sequential Run calls exactly.
 func RunAll(ctx context.Context, m *mig.MIG, cfgs []Config, effort int, obs progress.Func) ([]*Report, error) {
 	return RunStaged(ctx, m, cfgs, StagedOptions{Effort: effort, Progress: obs})
-}
-
-// fanOut runs fn(0..n-1) on the calling goroutine plus as many helper
-// goroutines as tokens are available (non-blocking) in spare, returning the
-// borrowed tokens afterwards. A nil pool runs everything inline. fn must
-// handle every index — cancellation is the callee's concern — so callers
-// always get a fully populated result slice.
-func fanOut(n int, spare chan struct{}, fn func(int)) {
-	if n <= 1 {
-		if n == 1 {
-			fn(0)
-		}
-		return
-	}
-	var next atomic.Int64
-	next.Store(-1)
-	work := func() {
-		for {
-			i := next.Add(1)
-			if i >= int64(n) {
-				return
-			}
-			fn(int(i))
-		}
-	}
-	var wg sync.WaitGroup
-	borrowed := 0
-	for borrowed < n-1 {
-		select {
-		case <-spare:
-			borrowed++
-			wg.Add(1)
-			go func() {
-				defer wg.Done()
-				work()
-				// Return the token as soon as this helper runs dry so other
-				// fan-outs can borrow it while our slowest job finishes.
-				spare <- struct{}{}
-			}()
-			continue
-		default:
-		}
-		break
-	}
-	work()
-	wg.Wait()
 }

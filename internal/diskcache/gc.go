@@ -8,6 +8,10 @@ import (
 	"time"
 )
 
+// gcTestHookBeforeRemove, when non-nil, runs before each eviction attempt —
+// tests use it to interleave a load's recency refresh with the sweep.
+var gcTestHookBeforeRemove func(path string)
+
 // GCStats reports what one garbage-collection sweep did.
 type GCStats struct {
 	Scanned      int   // cache entries examined
@@ -28,9 +32,11 @@ type GCStats struct {
 // refresh (see load), so eviction order approximates least-recently-used.
 // GC is safe to run concurrently with readers and writers sharing the
 // directory: a deleted entry reads as a miss and is simply recomputed and
-// stored again, and a concurrent store of a scanned entry at worst makes
-// this sweep's accounting slightly stale. Individual deletions are
-// best-effort; only an unreadable directory is an error.
+// stored again, an entry whose modification time moved forward after the
+// scan (a load's recency refresh, or a fresh store) is spared rather than
+// evicted on its stale age, and a concurrent store of a scanned entry at
+// worst makes this sweep's accounting slightly stale. Individual deletions
+// are best-effort; only an unreadable directory is an error.
 func (c *Cache) GC(maxAge time.Duration, maxBytes int64) (GCStats, error) {
 	var st GCStats
 	des, err := os.ReadDir(c.dir)
@@ -74,8 +80,20 @@ func (c *Cache) GC(maxAge time.Duration, maxBytes int64) (GCStats, error) {
 	}
 	ageCutoff := now.Add(-maxAge)
 	remove := func(e entry) {
-		// A concurrent deleter (another GC) racing us is fine; only count
-		// and discount entries we actually removed.
+		if gcTestHookBeforeRemove != nil {
+			gcTestHookBeforeRemove(e.path)
+		}
+		// Re-check right before deleting: between the scan and this point a
+		// load may have Chtimes-refreshed the entry (or a writer renamed a
+		// fresh file over it), and a just-used entry must not be evicted on
+		// its stale scan-time age. An entry already gone (another GC, a
+		// concurrent janitor) is simply not counted — never an error.
+		fi, err := os.Stat(e.path)
+		if err != nil || fi.ModTime().After(e.modTime) {
+			return
+		}
+		// A concurrent deleter racing us between the stat and here is fine;
+		// only count and discount entries we actually removed.
 		if os.Remove(e.path) == nil {
 			st.Removed++
 			st.RemovedBytes += e.size

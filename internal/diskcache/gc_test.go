@@ -3,6 +3,7 @@ package diskcache
 import (
 	"os"
 	"path/filepath"
+	"sync"
 	"testing"
 	"time"
 )
@@ -141,6 +142,83 @@ func TestGCLoadRefreshesRecency(t *testing.T) {
 	if _, err := os.Stat(paths[1]); !os.IsNotExist(err) {
 		t.Fatal("stale entry survived the size sweep")
 	}
+}
+
+// TestGCSparesConcurrentlyRefreshedEntry pins the load/GC race: an entry
+// whose recency a load refreshes after GC's directory scan but before its
+// deletion must survive the sweep — the stale scan-time age no longer
+// describes it.
+func TestGCSparesConcurrentlyRefreshedEntry(t *testing.T) {
+	c := open(t)
+	paths := storeN(t, c, 1)
+	backdate(t, paths[0], 48*time.Hour)
+	gcTestHookBeforeRemove = func(path string) {
+		// A concurrent load hits the entry right now.
+		if _, ok := c.LoadBenchmark("gc", 1); !ok {
+			t.Error("load miss on stored entry")
+		}
+	}
+	defer func() { gcTestHookBeforeRemove = nil }()
+	st, err := c.GC(24*time.Hour, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Removed != 0 {
+		t.Fatalf("refreshed entry evicted: %+v", st)
+	}
+	if _, err := os.Stat(paths[0]); err != nil {
+		t.Fatalf("refreshed entry vanished: %v", err)
+	}
+}
+
+// TestGCToleratesConcurrentlyDeletedEntry: an entry deleted between the
+// scan and the eviction (another janitor) is not an error and not counted.
+func TestGCToleratesConcurrentlyDeletedEntry(t *testing.T) {
+	c := open(t)
+	paths := storeN(t, c, 1)
+	backdate(t, paths[0], 48*time.Hour)
+	gcTestHookBeforeRemove = func(path string) { os.Remove(path) }
+	defer func() { gcTestHookBeforeRemove = nil }()
+	st, err := c.GC(24*time.Hour, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Removed != 0 || st.RemovedBytes != 0 {
+		t.Fatalf("disappeared entry counted as removed: %+v", st)
+	}
+}
+
+// TestGCConcurrentWithLoads hammers one cache directory with loads (each
+// refreshing recency via Chtimes) racing aggressive GC sweeps; run under
+// -race this pins the sweep's tolerance of concurrent refreshes and
+// deletions. Loads may miss (GC evicts), but nothing may error.
+func TestGCConcurrentWithLoads(t *testing.T) {
+	c := open(t)
+	const entries = 8
+	storeN(t, c, entries)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				c.LoadBenchmark("gc", i%entries+1)
+			}
+		}(g)
+	}
+	for i := 0; i < 50; i++ {
+		if _, err := c.GC(time.Nanosecond, 1); err != nil {
+			t.Errorf("sweep %d: %v", i, err)
+		}
+	}
+	close(stop)
+	wg.Wait()
 }
 
 func TestGCReapsStaleTemps(t *testing.T) {

@@ -1,0 +1,71 @@
+package exec
+
+import "fmt"
+
+// Builder packs vectors into a Batch one at a time, without knowing the
+// final count up front — the streaming input path of the serving layer
+// feeds it one NDJSON line per vector. The first vector fixes the width;
+// word columns grow by one per 64 vectors (amortized append), so memory
+// tracks the packed size of what has arrived, never the raw text.
+//
+// A Builder is single-goroutine. After an AddString error the builder may
+// hold a partially packed vector and must be discarded.
+type Builder struct {
+	lines int
+	n     int
+	words [][]uint64 // [line][chunk]
+}
+
+// NewBuilder returns an empty builder.
+func NewBuilder() *Builder { return &Builder{lines: -1} }
+
+// Len reports how many vectors have been added.
+func (bu *Builder) Len() int { return bu.n }
+
+// Lines reports the vector width fixed by the first vector (-1 before it).
+func (bu *Builder) Lines() int { return bu.lines }
+
+// AddString appends one "0101"-style vector (character i is line i).
+func (bu *Builder) AddString(vec string) error {
+	if bu.lines < 0 {
+		bu.lines = len(vec)
+		bu.words = make([][]uint64, bu.lines)
+	}
+	if len(vec) != bu.lines {
+		return fmt.Errorf("exec: vector %d has %d lines, want %d", bu.n, len(vec), bu.lines)
+	}
+	chunk, bit := bu.n/wordBits, uint(bu.n%wordBits)
+	if bit == 0 {
+		for i := range bu.words {
+			bu.words[i] = append(bu.words[i], 0)
+		}
+	}
+	for i := 0; i < len(vec); i++ {
+		switch vec[i] {
+		case '0':
+		case '1':
+			bu.words[i][chunk] |= 1 << bit
+		default:
+			return fmt.Errorf("exec: vector %d: bad character %q (want 0 or 1)", bu.n, vec[i])
+		}
+	}
+	bu.n++
+	return nil
+}
+
+// Batch freezes the builder into a Batch aliasing its storage; the builder
+// must not be used afterwards. Lanes beyond Len() were never set, so the
+// batch is canonical (equal content ⇒ equal Hash) like every other
+// constructor's.
+func (bu *Builder) Batch() *Batch {
+	lines := bu.lines
+	if lines < 0 {
+		lines = 0
+	}
+	chunks := (bu.n + wordBits - 1) / wordBits
+	words := make([][]uint64, lines)
+	for i := range words {
+		words[i] = bu.words[i][:chunks:chunks]
+	}
+	return &Batch{lines: lines, n: bu.n, words: words}
+}

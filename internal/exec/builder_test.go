@@ -1,0 +1,60 @@
+package exec
+
+import (
+	"slices"
+	"testing"
+)
+
+// TestBuilderMatchesPackStrings: incremental packing is equivalent to the
+// one-shot constructor across chunk-boundary sizes, including Hash (the
+// coalescing key), so streamed and buffered requests coalesce.
+func TestBuilderMatchesPackStrings(t *testing.T) {
+	for _, n := range []int{1, 63, 64, 65, 128, 200} {
+		vecs := make([]string, n)
+		for v := range vecs {
+			buf := make([]byte, 7)
+			for i := range buf {
+				buf[i] = '0' + byte((v>>uint(i%3)+i*v)&1)
+			}
+			vecs[v] = string(buf)
+		}
+		want, err := PackStrings(vecs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bu := NewBuilder()
+		for _, vec := range vecs {
+			if err := bu.AddString(vec); err != nil {
+				t.Fatal(err)
+			}
+		}
+		got := bu.Batch()
+		if got.Len() != n || got.Lines() != 7 || got.Chunks() != want.Chunks() {
+			t.Fatalf("n=%d: dimensions %d×%d/%d", n, got.Lines(), got.Len(), got.Chunks())
+		}
+		if got.Hash() != want.Hash() || !slices.Equal(got.Strings(), want.Strings()) {
+			t.Fatalf("n=%d: builder batch diverges from PackStrings", n)
+		}
+	}
+}
+
+func TestBuilderRejectsBadInput(t *testing.T) {
+	bu := NewBuilder()
+	if err := bu.AddString("010"); err != nil {
+		t.Fatal(err)
+	}
+	if err := bu.AddString("0101"); err == nil {
+		t.Fatal("ragged vector accepted")
+	}
+	bu = NewBuilder()
+	if err := bu.AddString("01x"); err == nil {
+		t.Fatal("bad character accepted")
+	}
+}
+
+func TestBuilderEmpty(t *testing.T) {
+	b := NewBuilder().Batch()
+	if b.Len() != 0 || b.Lines() != 0 || b.Chunks() != 0 {
+		t.Fatalf("empty builder batch: %d×%d", b.Lines(), b.Len())
+	}
+}

@@ -138,33 +138,35 @@ func (pl *Plan) Run(b *Batch) (*Result, error) {
 	return pl.RunContext(context.Background(), b, Options{})
 }
 
-// RunContext executes every vector of b through the program, 64 lanes per
-// word column, and returns outputs plus aggregate wear. Cancellation is
-// honoured between chunks. On an endurance fault the prefix before the
-// failing instruction still ages every device (Result carries the partial
-// wear) and the error is a *FaultError wrapping rram.ErrWornOut.
-func (pl *Plan) RunContext(ctx context.Context, b *Batch, opts Options) (*Result, error) {
+// prepare validates b against the plan and resolves the endurance prefix:
+// the instructions to execute and the faulting instruction index (-1 when
+// the whole program fits the budget).
+func (pl *Plan) prepare(b *Batch, endurance uint64) (run []op, faultAt int, err error) {
 	if b.Lines() != pl.NumInputs() {
-		return nil, fmt.Errorf("exec: got %d input lines, want %d", b.Lines(), pl.NumInputs())
+		return nil, 0, fmt.Errorf("exec: got %d input lines, want %d", b.Lines(), pl.NumInputs())
 	}
-	run := pl.ops
-	faultAt := pl.faultIndex(opts.Endurance)
+	run = pl.ops
+	faultAt = pl.faultIndex(endurance)
 	if faultAt >= 0 {
 		run = pl.ops[:faultAt]
 	}
+	return run, faultAt, nil
+}
 
-	res := &Result{
-		Writes:   make([]uint64, pl.numCells),
-		Switches: make([]uint64, pl.numCells),
-		Vectors:  b.Len(),
-	}
-	outputs := NewBatch(pl.NumOutputs(), b.Len())
-
+// runRange executes the chunk range [lo, hi) of b: per-chunk crossbar
+// state is rebuilt from scratch, switch counts accumulate into switches
+// (len numCells) and, when writeOutputs is set, primary-output words land
+// in outputs at the chunk's column. Disjoint ranges touch disjoint output
+// words and private switch slices, which is what makes ranges safe to run
+// as parallel scheduler tasks; summing the per-range switch partials in
+// range order is bit-identical to one sequential pass (integer sums are
+// associative). onChunk, when non-nil, observes each completed chunk
+// index. Cancellation is honoured between chunks.
+func (pl *Plan) runRange(ctx context.Context, b *Batch, run []op, writeOutputs bool, switches []uint64, outputs *Batch, lo, hi int, onChunk func(chunk int)) error {
 	state := make([]uint64, pl.numCells+2)
-	chunks := b.Chunks()
-	for c := 0; c < chunks; c++ {
+	for c := lo; c < hi; c++ {
 		if err := ctx.Err(); err != nil {
-			return nil, err
+			return err
 		}
 		for i := range state[:pl.numCells] {
 			state[i] = 0
@@ -178,10 +180,10 @@ func (pl *Plan) RunContext(ctx context.Context, b *Batch, opts Options) (*Result
 		for _, o := range run {
 			a, nb, z := state[o.a], ^state[o.b], state[o.z]
 			r := a&z | nb&z | a&nb
-			res.Switches[o.z] += uint64(bits.OnesCount64((z ^ r) & mask))
+			switches[o.z] += uint64(bits.OnesCount64((z ^ r) & mask))
 			state[o.z] = r
 		}
-		if faultAt < 0 {
+		if writeOutputs {
 			for i, po := range pl.src.POs {
 				w := state[po.Addr]
 				if po.Neg {
@@ -190,14 +192,23 @@ func (pl *Plan) RunContext(ctx context.Context, b *Batch, opts Options) (*Result
 				outputs.SetWord(i, c, w)
 			}
 		}
-		if opts.OnChunk != nil {
-			opts.OnChunk(c+1, chunks)
+		if onChunk != nil {
+			onChunk(c)
 		}
 	}
+	return nil
+}
 
-	// Write pulses are data-independent: each executed instruction pulses
-	// its destination once in every lane, so aggregate counts are the static
-	// per-cell counts of the executed prefix times the batch size.
+// finalize assembles a Result from the aggregate switch counts of a full
+// run. Write pulses are data-independent: each executed instruction pulses
+// its destination once in every lane, so aggregate counts are the static
+// per-cell counts of the executed prefix times the batch size.
+func (pl *Plan) finalize(b *Batch, run []op, faultAt int, switches []uint64, outputs *Batch) (*Result, error) {
+	res := &Result{
+		Writes:   make([]uint64, pl.numCells),
+		Switches: switches,
+		Vectors:  b.Len(),
+	}
 	n := uint64(b.Len())
 	if faultAt < 0 || n == 0 {
 		// An empty batch executes nothing, so even a program that would
@@ -212,6 +223,29 @@ func (pl *Plan) RunContext(ctx context.Context, b *Batch, opts Options) (*Result
 		res.Writes[o.z] += n
 	}
 	return res, &FaultError{Inst: faultAt, Ins: pl.src.Insts[faultAt]}
+}
+
+// RunContext executes every vector of b through the program, 64 lanes per
+// word column, and returns outputs plus aggregate wear. Cancellation is
+// honoured between chunks. On an endurance fault the prefix before the
+// failing instruction still ages every device (Result carries the partial
+// wear) and the error is a *FaultError wrapping rram.ErrWornOut.
+func (pl *Plan) RunContext(ctx context.Context, b *Batch, opts Options) (*Result, error) {
+	run, faultAt, err := pl.prepare(b, opts.Endurance)
+	if err != nil {
+		return nil, err
+	}
+	switches := make([]uint64, pl.numCells)
+	outputs := NewBatch(pl.NumOutputs(), b.Len())
+	chunks := b.Chunks()
+	var onChunk func(int)
+	if opts.OnChunk != nil {
+		onChunk = func(c int) { opts.OnChunk(c+1, chunks) }
+	}
+	if err := pl.runRange(ctx, b, run, faultAt < 0, switches, outputs, 0, chunks, onChunk); err != nil {
+		return nil, err
+	}
+	return pl.finalize(b, run, faultAt, switches, outputs)
 }
 
 // Execute compiles and runs in one call — the convenience entry point for

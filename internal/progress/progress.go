@@ -104,9 +104,26 @@ type ExecuteChunk struct {
 	Vectors int    // vectors in the batch
 }
 
+// TaskStart reports that a scheduler worker picked up one DAG task.
+// Kind is the task kind (generate, rewrite, compile, exec_chunk, join)
+// and Label names the work unit (benchmark, stage or configuration).
+type TaskStart struct {
+	Kind  string
+	Label string
+}
+
+// TaskDone reports that a scheduler task finished executing.
+type TaskDone struct {
+	Kind    string
+	Label   string
+	Elapsed time.Duration
+}
+
 func (RewriteCycle) event()   {}
 func (CompileStart) event()   {}
 func (CompileDone) event()    {}
 func (BenchmarkStart) event() {}
 func (BenchmarkDone) event()  {}
 func (ExecuteChunk) event()   {}
+func (TaskStart) event()      {}
+func (TaskDone) event()       {}

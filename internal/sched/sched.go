@@ -1,0 +1,509 @@
+// Package sched is the engine-wide work-stealing DAG scheduler. Callers
+// build dependency graphs of typed tasks (benchmark generation, rewriting,
+// compilation, execution chunks, aggregation joins) and a fixed pool of
+// workers executes them: every worker owns a LIFO deque of runnable tasks,
+// external submissions land in a global injector queue ordered by deadline,
+// and a worker that runs dry steals half of a random victim's deque. The
+// result is one process-wide schedule: a suite's compile fan-out overlaps
+// the next benchmark's rewrite, and server requests interleave at task
+// granularity instead of queueing whole.
+//
+// Determinism contract: with a single worker, tasks run in depth-first
+// creation order — a completed task's newly-ready dependents are pushed
+// onto the worker's deque in reverse creation order, so the LIFO pop walks
+// them oldest-first before returning to the injector. This reproduces the
+// sequential execution order of the pre-scheduler staged runner exactly,
+// which is what keeps single-worker progress-event streams stable across
+// runs (and is pinned by engine tests).
+//
+// Priority: every graph carries an optional deadline (servers map a
+// request's timeout to it). The injector is a min-heap on (deadline,
+// submission order), and a worker prefers the injector's head over its own
+// deque when the head's deadline is strictly earlier than that of its local
+// work — so near-deadline flights are picked up first and a long suite
+// cannot starve a small compile request.
+//
+// Cancellation: a graph's context cancels the whole graph. Workers never
+// start a task whose graph is cancelled — the task is skipped, still counts
+// toward graph completion (so Wait drains), and its dependents cascade the
+// same way. Tasks that already started run to completion; task bodies see
+// the graph context and honour it at their own cancellation points.
+package sched
+
+import (
+	"context"
+	"math"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"plim/internal/progress"
+)
+
+// Kind classifies a task for latency accounting and progress events.
+type Kind uint8
+
+// Task kinds.
+const (
+	KindGenerate  Kind = iota // benchmark MIG generation
+	KindRewrite               // a shared rewrite stage
+	KindCompile               // one configuration's compile/alloc stage
+	KindExecChunk             // a range of 64-lane execution chunks
+	KindJoin                  // aggregation / bookkeeping barrier
+	numKinds
+)
+
+// String names the kind (used in metrics labels and progress events).
+func (k Kind) String() string {
+	switch k {
+	case KindGenerate:
+		return "generate"
+	case KindRewrite:
+		return "rewrite"
+	case KindCompile:
+		return "compile"
+	case KindExecChunk:
+		return "exec_chunk"
+	case KindJoin:
+		return "join"
+	}
+	return "?"
+}
+
+// Kinds lists every task kind in label order (for metrics rendering).
+func Kinds() []Kind {
+	return []Kind{KindGenerate, KindRewrite, KindCompile, KindExecChunk, KindJoin}
+}
+
+// noDeadline orders deadline-free graphs after every real deadline.
+const noDeadline = int64(math.MaxInt64)
+
+// Task is one node of a dependency graph. Tasks are created with
+// Graph.Task and scheduled automatically once every dependency completed.
+type Task struct {
+	g     *Graph
+	kind  Kind
+	label string
+	fn    func(context.Context)
+
+	// Scheduling state, guarded by the pool mutex.
+	waits    int     // unfinished dependencies
+	children []*Task // tasks waiting on this one
+	done     bool
+	seq      uint64 // global submission order, tie-breaks equal deadlines
+}
+
+// Graph is a set of tasks with dependency edges, executed by a Pool.
+type Graph struct {
+	p        *Pool
+	ctx      context.Context
+	deadline int64 // unix nanos; noDeadline when absent
+	obs      progress.Func
+
+	pending int // unfinished tasks + 1 builder hold, guarded by pool mutex
+	doneCh  chan struct{}
+}
+
+// GraphOptions configures a graph.
+type GraphOptions struct {
+	// Deadline orders this graph's tasks in the injector: earlier deadlines
+	// are picked up first. The zero time means "no deadline" (lowest
+	// priority, FIFO among themselves). The deadline does NOT cancel the
+	// graph — pass a deadline context for that.
+	Deadline time.Time
+	// Progress, when non-nil, receives a TaskStart/TaskDone event pair
+	// around every executed task (skipped tasks emit nothing). It may be
+	// invoked concurrently from workers.
+	Progress progress.Func
+}
+
+// worker is one scheduler worker's state.
+type worker struct {
+	deque  []*Task // LIFO: push/pop at the tail
+	steals atomic.Uint64
+	rng    uint64 // xorshift state for victim selection
+}
+
+// Pool is a fixed-size work-stealing worker pool. The zero value is not
+// usable; construct with New. Workers start lazily on the first graph and
+// run until Stop.
+type Pool struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	workers []*worker
+	inj     injector // min-heap on (deadline, seq)
+	idle    int      // workers parked on cond
+	stopped bool
+	seq     uint64 // task submission counter
+
+	startOnce sync.Once
+	runnable  atomic.Int64 // queued tasks across injector + deques
+
+	// lat[kind] accumulates task-latency histograms.
+	lat [numKinds]latHist
+}
+
+// New returns a pool of n workers (n < 1 is treated as 1). Worker
+// goroutines are not started until the first graph is created.
+func New(n int) *Pool {
+	if n < 1 {
+		n = 1
+	}
+	p := &Pool{workers: make([]*worker, n)}
+	p.cond = sync.NewCond(&p.mu)
+	for i := range p.workers {
+		p.workers[i] = &worker{rng: uint64(i)*0x9e3779b97f4a7c15 + 1}
+	}
+	return p
+}
+
+// Workers reports the pool size.
+func (p *Pool) Workers() int { return len(p.workers) }
+
+// start launches the worker goroutines (idempotent).
+func (p *Pool) start() {
+	p.startOnce.Do(func() {
+		for i := range p.workers {
+			go p.run(p.workers[i])
+		}
+	})
+}
+
+// Stop shuts the pool down: workers finish the tasks already queued, then
+// exit. Graphs must not be created on a stopped pool.
+func (p *Pool) Stop() {
+	p.mu.Lock()
+	p.stopped = true
+	p.cond.Broadcast()
+	p.mu.Unlock()
+}
+
+// NewGraph starts an empty task graph on the pool. The context governs
+// cancellation of every task in the graph; Wait returns its error once the
+// graph has drained.
+func (p *Pool) NewGraph(ctx context.Context, opts GraphOptions) *Graph {
+	p.start()
+	g := &Graph{
+		p:        p,
+		ctx:      ctx,
+		deadline: noDeadline,
+		obs:      opts.Progress,
+		pending:  1, // builder hold, released by Wait
+		doneCh:   make(chan struct{}),
+	}
+	if !opts.Deadline.IsZero() {
+		g.deadline = opts.Deadline.UnixNano()
+	}
+	return g
+}
+
+// Task adds a task to the graph. fn runs once every dep has completed; it
+// receives the graph context. fn must handle its own errors (write them to
+// captured slots) — the scheduler only tracks completion. Task may be
+// called concurrently with the graph executing, but not after Wait. Nil
+// dependencies are ignored.
+func (g *Graph) Task(kind Kind, label string, fn func(context.Context), deps ...*Task) *Task {
+	t := &Task{g: g, kind: kind, label: label, fn: fn}
+	p := g.p
+	p.mu.Lock()
+	g.pending++
+	p.seq++
+	t.seq = p.seq
+	for _, d := range deps {
+		if d == nil || d.done {
+			continue
+		}
+		d.children = append(d.children, t)
+		t.waits++
+	}
+	if t.waits == 0 {
+		// External submission: no worker context, go through the injector.
+		p.injectLocked(t)
+	}
+	p.mu.Unlock()
+	return t
+}
+
+// Wait releases the builder hold and blocks until every task of the graph
+// has run or been skipped, then returns the graph context's error (nil when
+// the graph completed uncancelled). Wait must not be called from a task
+// body — a worker waiting on its own pool deadlocks the schedule.
+func (g *Graph) Wait() error {
+	p := g.p
+	p.mu.Lock()
+	g.pending--
+	done := g.pending == 0
+	p.mu.Unlock()
+	if done {
+		close(g.doneCh)
+	}
+	<-g.doneCh
+	return g.ctx.Err()
+}
+
+// injectLocked queues t on the global injector. Pool mutex held.
+func (p *Pool) injectLocked(t *Task) {
+	p.inj.push(t)
+	p.runnable.Add(1)
+	if p.idle > 0 {
+		p.cond.Signal()
+	}
+}
+
+// pushLocalLocked appends newly-ready tasks to w's deque (callers pass
+// them in reverse creation order so the LIFO pop yields creation order)
+// and wakes one parked worker per task beyond the one w will pop itself.
+// Pool mutex held.
+func (p *Pool) pushLocalLocked(w *worker, ts []*Task) {
+	w.deque = append(w.deque, ts...)
+	p.runnable.Add(int64(len(ts)))
+	for i := 1; i < len(ts) && p.idle > 0; i++ {
+		p.cond.Signal()
+	}
+}
+
+// next returns the next task for w, parking when the pool is empty. A nil
+// return means the pool is stopped and drained.
+func (p *Pool) next(w *worker) *Task {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for {
+		// Prefer local LIFO work unless the injector's head belongs to a
+		// graph with a strictly earlier deadline — deadline pressure wins
+		// over locality.
+		if n := len(w.deque); n > 0 {
+			if h := p.inj.peek(); h != nil && h.g.deadline < w.deque[n-1].g.deadline {
+				p.runnable.Add(-1)
+				return p.inj.pop()
+			}
+			t := w.deque[n-1]
+			w.deque[n-1] = nil
+			w.deque = w.deque[:n-1]
+			p.runnable.Add(-1)
+			return t
+		}
+		if p.inj.peek() != nil {
+			p.runnable.Add(-1)
+			return p.inj.pop()
+		}
+		// Steal half of a random victim's deque (the oldest half — the
+		// victim keeps the hot tail it is about to pop).
+		if t := p.stealLocked(w); t != nil {
+			p.runnable.Add(-1)
+			return t
+		}
+		if p.stopped {
+			return nil
+		}
+		p.idle++
+		p.cond.Wait()
+		p.idle--
+	}
+}
+
+// stealLocked scans victims from a random start, moves the older half of
+// the first non-empty deque onto w's, and returns the first stolen task.
+// Pool mutex held.
+func (p *Pool) stealLocked(w *worker) *Task {
+	n := len(p.workers)
+	if n < 2 {
+		return nil
+	}
+	// xorshift64 — cheap, per-worker, no global rand contention.
+	w.rng ^= w.rng << 13
+	w.rng ^= w.rng >> 7
+	w.rng ^= w.rng << 17
+	start := int(w.rng % uint64(n))
+	for i := 0; i < n; i++ {
+		v := p.workers[(start+i)%n]
+		if v == w || len(v.deque) == 0 {
+			continue
+		}
+		half := (len(v.deque) + 1) / 2
+		stolen := v.deque[:half]
+		v.deque = append([]*Task(nil), v.deque[half:]...)
+		w.steals.Add(1)
+		t := stolen[0]
+		// stolen is oldest-first; keep that age order on our LIFO deque by
+		// pushing the rest newest-first (t, the oldest, runs right now).
+		for j := len(stolen) - 1; j >= 1; j-- {
+			w.deque = append(w.deque, stolen[j])
+		}
+		return t
+	}
+	return nil
+}
+
+// run is a worker's main loop.
+func (p *Pool) run(w *worker) {
+	for {
+		t := p.next(w)
+		if t == nil {
+			return
+		}
+		p.exec(w, t)
+	}
+}
+
+// exec runs (or skips) one task and completes it: dependents whose last
+// dependency this was become runnable on w's deque, and the graph's
+// pending count drops (releasing Wait at zero). Tasks of a cancelled graph
+// skip the body but still complete, so cancelled graphs drain without
+// running unstarted work.
+func (p *Pool) exec(w *worker, t *Task) {
+	g := t.g
+	if g.ctx.Err() == nil {
+		g.obs.Emit(progress.TaskStart{Kind: t.kind.String(), Label: t.label})
+		start := time.Now()
+		t.fn(g.ctx)
+		elapsed := time.Since(start)
+		p.lat[t.kind].observe(elapsed)
+		g.obs.Emit(progress.TaskDone{Kind: t.kind.String(), Label: t.label, Elapsed: elapsed})
+	}
+	p.mu.Lock()
+	t.done = true
+	var ready []*Task
+	for _, c := range t.children {
+		c.waits--
+		if c.waits == 0 {
+			ready = append(ready, c)
+		}
+	}
+	t.children = nil
+	// Reverse creation order: the LIFO pop then walks dependents
+	// oldest-first (the determinism contract).
+	for i, j := 0, len(ready)-1; i < j; i, j = i+1, j-1 {
+		ready[i], ready[j] = ready[j], ready[i]
+	}
+	p.pushLocalLocked(w, ready)
+	g.pending--
+	done := g.pending == 0
+	p.mu.Unlock()
+	if done {
+		close(g.doneCh)
+	}
+}
+
+// injector is a min-heap of tasks on (graph deadline, submission seq).
+type injector struct{ h []*Task }
+
+func (q *injector) less(a, b *Task) bool {
+	if a.g.deadline != b.g.deadline {
+		return a.g.deadline < b.g.deadline
+	}
+	return a.seq < b.seq
+}
+
+func (q *injector) peek() *Task {
+	if len(q.h) == 0 {
+		return nil
+	}
+	return q.h[0]
+}
+
+func (q *injector) push(t *Task) {
+	q.h = append(q.h, t)
+	i := len(q.h) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !q.less(q.h[i], q.h[parent]) {
+			break
+		}
+		q.h[i], q.h[parent] = q.h[parent], q.h[i]
+		i = parent
+	}
+}
+
+func (q *injector) pop() *Task {
+	t := q.h[0]
+	last := len(q.h) - 1
+	q.h[0] = q.h[last]
+	q.h[last] = nil
+	q.h = q.h[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < len(q.h) && q.less(q.h[l], q.h[small]) {
+			small = l
+		}
+		if r < len(q.h) && q.less(q.h[r], q.h[small]) {
+			small = r
+		}
+		if small == i {
+			break
+		}
+		q.h[i], q.h[small] = q.h[small], q.h[i]
+		i = small
+	}
+	return t
+}
+
+// latBuckets are the task-latency histogram upper bounds, in seconds.
+var latBuckets = [...]float64{0.0001, 0.0005, 0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1, 5, 30}
+
+// latHist is a lock-free latency histogram.
+type latHist struct {
+	buckets [len(latBuckets) + 1]atomic.Uint64 // +Inf overflow bucket
+	count   atomic.Uint64
+	sumNs   atomic.Uint64
+}
+
+func (h *latHist) observe(d time.Duration) {
+	s := d.Seconds()
+	i := 0
+	for i < len(latBuckets) && s > latBuckets[i] {
+		i++
+	}
+	h.buckets[i].Add(1)
+	h.count.Add(1)
+	h.sumNs.Add(uint64(d.Nanoseconds()))
+}
+
+// Histogram is a snapshot of one kind's task-latency distribution.
+// Buckets[i] counts tasks with latency ≤ LatencyBuckets()[i]
+// (non-cumulative); the final extra bucket is the overflow.
+type Histogram struct {
+	Buckets    []uint64
+	Count      uint64
+	SumSeconds float64
+}
+
+// LatencyBuckets returns the histogram bucket upper bounds in seconds.
+func LatencyBuckets() []float64 { return append([]float64(nil), latBuckets[:]...) }
+
+// Stats is a point-in-time snapshot of scheduler state.
+type Stats struct {
+	Workers  int
+	Runnable int      // tasks queued (injector + all deques), excluding running
+	Steals   []uint64 // per-worker successful steal counts
+	Latency  map[Kind]Histogram
+}
+
+// Stats snapshots the pool's counters.
+func (p *Pool) Stats() Stats {
+	st := Stats{
+		Workers:  len(p.workers),
+		Runnable: int(max(0, p.runnable.Load())),
+		Steals:   make([]uint64, len(p.workers)),
+		Latency:  make(map[Kind]Histogram, int(numKinds)),
+	}
+	for i, w := range p.workers {
+		st.Steals[i] = w.steals.Load()
+	}
+	for k := Kind(0); k < numKinds; k++ {
+		h := &p.lat[k]
+		if c := h.count.Load(); c > 0 {
+			snap := Histogram{
+				Buckets:    make([]uint64, len(h.buckets)),
+				Count:      c,
+				SumSeconds: float64(h.sumNs.Load()) / 1e9,
+			}
+			for i := range h.buckets {
+				snap.Buckets[i] = h.buckets[i].Load()
+			}
+			st.Latency[k] = snap
+		}
+	}
+	return st
+}

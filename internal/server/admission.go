@@ -1,105 +1,100 @@
 package server
 
 import (
-	"context"
 	"errors"
 	"math"
 	"sync"
 	"time"
 )
 
-// errQueueFull is returned by acquire when the bounded wait queue already
-// holds its configured number of waiters; the handler answers 429 with a
-// Retry-After estimate instead of queueing unboundedly.
+// errQueueFull is returned by admit when the server already carries its
+// configured number of in-flight computations; the handler answers 429
+// with a Retry-After estimate instead of accepting unboundedly.
 var errQueueFull = errors.New("server: admission queue full")
 
-// admission is the server's bounded work queue: at most concurrency
-// computations run at once, at most queueDepth more wait for a slot, and
-// everything beyond that is rejected immediately. Waiting respects the
-// caller's context, so a request deadline spent in the queue is a deadline
-// honoured.
+// admission bounds how many coalesced computations may be in flight at
+// once. Since flights submit task graphs to the engine's shared
+// work-stealing scheduler (which multiplexes every flight over one worker
+// pool, ordered by request deadline), a flight no longer occupies a "run
+// slot" for its wall-clock: admission is a pure back-pressure gate. The
+// first concurrency admitted flights count as running, the excess — work
+// the scheduler holds as backlog — as queued; beyond concurrency+queueDepth
+// admit rejects immediately, without blocking.
 type admission struct {
 	concurrency int
-	queueDepth  int
-	slots       chan struct{} // occupied while a computation runs
-	queue       chan struct{} // occupied while waiting *or* running
+	capacity    int // concurrency + queueDepth
 
-	mu   sync.Mutex
-	ewma float64 // exponentially-weighted average service seconds
+	mu       sync.Mutex
+	inflight int
+	ewma     float64 // exponentially-weighted average service seconds
 }
 
 func newAdmission(concurrency, queueDepth int) *admission {
-	return &admission{
-		concurrency: concurrency,
-		queueDepth:  queueDepth,
-		slots:       make(chan struct{}, concurrency),
-		queue:       make(chan struct{}, concurrency+queueDepth),
-	}
+	return &admission{concurrency: concurrency, capacity: concurrency + queueDepth}
 }
 
-// acquire claims a run slot, waiting in the bounded queue if necessary.
-// It returns a release function on success, errQueueFull when the queue is
-// at capacity, or ctx.Err() when the caller's context expires while
-// waiting. release must be called exactly once.
-func (a *admission) acquire(ctx context.Context) (release func(), err error) {
-	select {
-	case a.queue <- struct{}{}:
-	default:
+// admit claims an in-flight seat without blocking. It returns a release
+// function on success or errQueueFull when capacity flights are already in
+// flight. release must be called exactly once (extra calls are no-ops).
+func (a *admission) admit() (release func(), err error) {
+	a.mu.Lock()
+	if a.inflight >= a.capacity {
+		a.mu.Unlock()
 		return nil, errQueueFull
 	}
-	select {
-	case a.slots <- struct{}{}:
-	case <-ctx.Done():
-		<-a.queue
-		return nil, ctx.Err()
-	}
+	a.inflight++
+	a.mu.Unlock()
 	start := time.Now()
 	var once sync.Once
 	return func() {
 		once.Do(func() {
-			a.observe(time.Since(start))
-			<-a.slots
-			<-a.queue
+			d := time.Since(start)
+			a.mu.Lock()
+			a.inflight--
+			a.observeLocked(d)
+			a.mu.Unlock()
 		})
 	}, nil
 }
 
-// observe folds one service time into the EWMA that retryAfter scales.
-func (a *admission) observe(d time.Duration) {
+// observeLocked folds one flight's service time into the EWMA that
+// retryAfter scales. Callers hold mu.
+func (a *admission) observeLocked(d time.Duration) {
 	const alpha = 0.3
-	a.mu.Lock()
 	if a.ewma == 0 {
 		a.ewma = d.Seconds()
 	} else {
 		a.ewma = alpha*d.Seconds() + (1-alpha)*a.ewma
 	}
-	a.mu.Unlock()
 }
 
-// running reports how many computations hold a slot right now.
-func (a *admission) running() int { return len(a.slots) }
+// running reports how many in-flight computations count against the
+// configured concurrency.
+func (a *admission) running() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return min(a.inflight, a.concurrency)
+}
 
-// queuedWaiting reports how many admitted computations are waiting for a
-// slot (queue occupancy minus the running ones).
+// queuedWaiting reports the in-flight computations beyond the configured
+// concurrency — the scheduler backlog admission still accepts.
 func (a *admission) queuedWaiting() int {
-	q := len(a.queue) - len(a.slots)
-	if q < 0 {
-		q = 0 // the two reads race benignly
-	}
-	return q
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return max(0, a.inflight-a.concurrency)
 }
 
-// retryAfter estimates when a rejected client should try again: the queue's
-// current backlog divided by the service rate, using the observed average
-// service time (1s before any observation), clamped to [1s, 60s].
+// retryAfter estimates when a rejected client should try again: the current
+// in-flight backlog divided by the service rate, using the observed average
+// flight time (1s before any observation), clamped to [1s, 60s].
 func (a *admission) retryAfter() time.Duration {
 	a.mu.Lock()
-	ewma := a.ewma
+	ewma, inflight := a.ewma, a.inflight
 	a.mu.Unlock()
 	if ewma <= 0 {
 		ewma = 1
 	}
-	backlog := float64(len(a.queue)) / float64(a.concurrency)
+	backlog := float64(inflight) / float64(a.concurrency)
 	secs := math.Ceil(ewma * backlog)
 	if secs < 1 {
 		secs = 1

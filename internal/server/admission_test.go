@@ -1,82 +1,57 @@
 package server
 
 import (
-	"context"
 	"errors"
 	"testing"
 	"time"
 )
 
-func TestAdmissionRejectsBeyondQueue(t *testing.T) {
+func TestAdmissionCapsInflight(t *testing.T) {
 	a := newAdmission(1, 1)
-	rel1, err := a.acquire(context.Background())
+	rel1, err := a.admit() // counts as running
 	if err != nil {
 		t.Fatal(err)
 	}
-	// Second acquisition queues; run it in a goroutine since it blocks.
-	got2 := make(chan error, 1)
-	var rel2 func()
-	go func() {
-		var err error
-		rel2, err = a.acquire(context.Background())
-		got2 <- err
-	}()
-	deadline := time.Now().Add(5 * time.Second)
-	for a.queuedWaiting() != 1 {
-		if time.Now().After(deadline) {
-			t.Fatal("second acquire never queued")
-		}
-		time.Sleep(time.Millisecond)
+	rel2, err := a.admit() // beyond concurrency: counts as queued
+	if err != nil {
+		t.Fatal(err)
 	}
-	// Third: queue full.
-	if _, err := a.acquire(context.Background()); !errors.Is(err, errQueueFull) {
+	if a.running() != 1 || a.queuedWaiting() != 1 {
+		t.Fatalf("gauges: running=%d queued=%d, want 1/1", a.running(), a.queuedWaiting())
+	}
+	// Capacity (concurrency + queue) reached: the next admit must reject
+	// immediately, never block.
+	if _, err := a.admit(); !errors.Is(err, errQueueFull) {
 		t.Fatalf("want errQueueFull, got %v", err)
 	}
 	if ra := a.retryAfter(); ra < time.Second || ra > 60*time.Second {
 		t.Fatalf("retryAfter out of range: %v", ra)
 	}
 	rel1()
-	if err := <-got2; err != nil {
-		t.Fatal(err)
+	if a.running() != 1 || a.queuedWaiting() != 0 {
+		t.Fatalf("after one release: running=%d queued=%d, want 1/0", a.running(), a.queuedWaiting())
 	}
 	rel2()
 	if a.running() != 0 || a.queuedWaiting() != 0 {
-		t.Fatalf("tokens leaked: running=%d queued=%d", a.running(), a.queuedWaiting())
+		t.Fatalf("seats leaked: running=%d queued=%d", a.running(), a.queuedWaiting())
 	}
-	// Everything released: a fresh acquisition must be immediate.
-	rel3, err := a.acquire(context.Background())
+	// Everything released: a fresh admission must succeed again.
+	rel3, err := a.admit()
 	if err != nil {
 		t.Fatal(err)
 	}
 	rel3()
 }
 
-func TestAdmissionHonoursContextWhileQueued(t *testing.T) {
-	a := newAdmission(1, 2)
-	rel, err := a.acquire(context.Background())
-	if err != nil {
-		t.Fatal(err)
-	}
-	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
-	defer cancel()
-	if _, err := a.acquire(ctx); !errors.Is(err, context.DeadlineExceeded) {
-		t.Fatalf("want DeadlineExceeded, got %v", err)
-	}
-	if a.queuedWaiting() != 0 {
-		t.Fatal("cancelled waiter leaked its queue token")
-	}
-	rel()
-}
-
 func TestAdmissionReleaseIdempotent(t *testing.T) {
 	a := newAdmission(2, 2)
-	rel, err := a.acquire(context.Background())
+	rel, err := a.admit()
 	if err != nil {
 		t.Fatal(err)
 	}
 	rel()
-	rel() // second call must be a no-op, not a token underflow
+	rel() // second call must be a no-op, not a seat underflow
 	if a.running() != 0 {
-		t.Fatal("double release corrupted slot accounting")
+		t.Fatal("double release corrupted seat accounting")
 	}
 }

@@ -6,10 +6,14 @@
 // make the daemon operable. Beyond handler glue the package
 // provides the serving machinery a shared compiler needs:
 //
-//   - admission control: a bounded work queue sized from the engine's
+//   - admission control: a bounded in-flight budget sized from the engine's
 //     worker count; beyond it requests are rejected with 429 + Retry-After
-//     instead of queueing unboundedly, and per-request deadlines map onto
-//     context cancellation end to end (admission wait included);
+//     instead of accepting unboundedly. Admitted flights submit task graphs
+//     to the engine's shared work-stealing scheduler, which multiplexes all
+//     flights over one worker pool ordered by request deadline (timeout_ms
+//     → graph priority), so a flight never occupies a serving slot for its
+//     full wall-clock and per-request deadlines map onto context
+//     cancellation end to end;
 //   - request coalescing: identical in-flight requests share one
 //     computation (and one admission slot) on top of the engine's
 //     singleflight caches, so a thundering herd compiles once and every
@@ -19,8 +23,13 @@
 //     fanned out per request via plim.ContextWithProgress — coalesced
 //     followers replay the full stream of the shared computation;
 //   - operability: /metrics exposes request counts, latency histograms,
-//     coalescing/admission counters and both cache tiers in Prometheus
-//     text format.
+//     coalescing/admission counters, scheduler depth/steal/task-latency
+//     series and both cache tiers in Prometheus text format.
+//
+// POST /v1/execute additionally accepts a streamed NDJSON body
+// (Content-Type: application/x-ndjson): the first line is the JSON request
+// without a vector source, each following line one "0101" input vector,
+// packed incrementally so the body is never buffered whole.
 //
 // cmd/plimserve wraps the package as a daemon with graceful drain and a
 // periodic disk-cache janitor.
@@ -259,6 +268,17 @@ func eventPayload(ev plim.Event) (name string, data any) {
 			ElapsedMS float64 `json:"elapsed_ms"`
 			Error     string  `json:"error,omitempty"`
 		}{ev.Benchmark, ev.Index, ev.Total, ms(ev.Elapsed), errString(ev.Err)}
+	case plim.EventTaskStart:
+		return "task_start", struct {
+			Kind  string `json:"kind"`
+			Label string `json:"label"`
+		}{ev.Kind, ev.Label}
+	case plim.EventTaskDone:
+		return "task_done", struct {
+			Kind      string  `json:"kind"`
+			Label     string  `json:"label"`
+			ElapsedMS float64 `json:"elapsed_ms"`
+		}{ev.Kind, ev.Label, ms(ev.Elapsed)}
 	}
 	return "unknown", struct {
 		Description string `json:"description"`

@@ -277,6 +277,81 @@ func TestExecuteMetrics(t *testing.T) {
 	}
 }
 
+// postNDJSON issues a streamed /v1/execute request: reqLine is the JSON
+// request line, vectors follow one per line.
+func postNDJSON(t *testing.T, url, reqLine string, vectors []string) (*http.Response, []byte) {
+	t.Helper()
+	body := reqLine + "\n" + strings.Join(vectors, "\n") + "\n"
+	req, err := http.NewRequest("POST", url, strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/x-ndjson")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, b
+}
+
+// TestExecuteNDJSONMatchesJSON: a streamed request answers byte-identically
+// to the buffered JSON form with the same vectors — they share one
+// coalescing key, so the warm repeat is a flight-cache/engine-cache hit.
+func TestExecuteNDJSONMatchesJSON(t *testing.T) {
+	_, ts, _ := newTestServer(t, Options{})
+	m, _ := referenceProgram(t, "ctrl", "full")
+	batch := plim.RandomBatch(m.NumPIs(), 100, 21)
+	vectors := batch.Strings()
+
+	jsonBody, _ := json.Marshal(computeRequest{Benchmark: "ctrl", Config: "full", Vectors: vectors})
+	respJ, bj := postJSON(t, ts.URL+"/v1/execute", string(jsonBody), nil)
+	if respJ.StatusCode != 200 {
+		t.Fatalf("json form: %d %s", respJ.StatusCode, bj)
+	}
+	respN, bn := postNDJSON(t, ts.URL+"/v1/execute", `{"benchmark":"ctrl","config":"full"}`, vectors)
+	if respN.StatusCode != 200 {
+		t.Fatalf("ndjson form: %d %s", respN.StatusCode, bn)
+	}
+	if !bytes.Equal(bj, bn) {
+		t.Fatalf("streamed response differs from buffered:\njson:   %s\nndjson: %s", bj, bn)
+	}
+}
+
+func TestExecuteNDJSONBadRequests(t *testing.T) {
+	_, ts, _ := newTestServer(t, Options{})
+	cases := []struct {
+		name, reqLine string
+		vectors       []string
+	}{
+		{"vector source in request line", `{"benchmark":"ctrl","random":4}`, []string{"0101010"}},
+		{"exhaustive in request line", `{"benchmark":"ctrl","exhaustive":true}`, []string{"0101010"}},
+		{"no vectors", `{"benchmark":"ctrl"}`, nil},
+		{"bad vector chars", `{"benchmark":"ctrl"}`, []string{"01x"}},
+		{"ragged vectors", `{"benchmark":"ctrl"}`, []string{"01", "011"}},
+		{"bad request line", `{"benchmark"`, []string{"01"}},
+		{"unknown field", `{"benchmark":"ctrl","frobnicate":1}`, []string{"01"}},
+		{"unknown output", `{"benchmark":"ctrl","output":"hex"}`, []string{"01"}},
+		{"no function source", `{}`, []string{"01"}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			resp, body := postNDJSON(t, ts.URL+"/v1/execute", tc.reqLine, tc.vectors)
+			if resp.StatusCode != http.StatusBadRequest {
+				t.Fatalf("want 400, got %d: %s", resp.StatusCode, body)
+			}
+			var e errorResponse
+			if err := json.Unmarshal(body, &e); err != nil || e.Error == "" {
+				t.Fatalf("error body not JSON: %s", body)
+			}
+		})
+	}
+}
+
 // TestExecuteConcurrentBatches hammers one shared engine with parallel
 // /v1/execute requests — distinct batches, configs and endurance budgets
 // interleaved with identical (coalescable) requests. Run under -race this

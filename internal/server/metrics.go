@@ -3,11 +3,13 @@ package server
 import (
 	"fmt"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
 
 	"plim"
+	"plim/internal/sched"
 )
 
 // latencyBuckets are the upper bounds (seconds) of the request-latency
@@ -167,9 +169,33 @@ func (m *metrics) render(s *Server) string {
 	fmt.Fprintf(&b, "# TYPE plimserve_execute_lane_slots_total counter\nplimserve_execute_lane_slots_total %d\n", m.execLaneSlots)
 	m.mu.Unlock()
 
-	// Live gauges: admission occupancy and the engine's two cache tiers.
+	// Live gauges: admission occupancy, the engine's task scheduler and the
+	// two cache tiers.
 	fmt.Fprintf(&b, "# TYPE plimserve_inflight_computations gauge\nplimserve_inflight_computations %d\n", s.adm.running())
 	fmt.Fprintf(&b, "# TYPE plimserve_queued_computations gauge\nplimserve_queued_computations %d\n", s.adm.queuedWaiting())
+	st := s.eng.SchedulerStats()
+	fmt.Fprintf(&b, "# TYPE plimserve_sched_runnable_tasks gauge\nplimserve_sched_runnable_tasks %d\n", st.Runnable)
+	b.WriteString("# TYPE plimserve_sched_worker_steals_total counter\n")
+	for i, n := range st.Steals {
+		fmt.Fprintf(&b, "plimserve_sched_worker_steals_total{worker=\"%d\"} %d\n", i, n)
+	}
+	b.WriteString("# TYPE plimserve_sched_task_seconds histogram\n")
+	bounds := sched.LatencyBuckets()
+	for _, k := range sched.Kinds() {
+		h, ok := st.Latency[k]
+		if !ok {
+			continue // a kind never executed renders no empty series
+		}
+		var cum uint64
+		for i, ub := range bounds {
+			cum += h.Buckets[i]
+			fmt.Fprintf(&b, "plimserve_sched_task_seconds_bucket{kind=%q,le=%q} %d\n", k.String(), trimFloat(ub), cum)
+		}
+		cum += h.Buckets[len(bounds)]
+		fmt.Fprintf(&b, "plimserve_sched_task_seconds_bucket{kind=%q,le=\"+Inf\"} %d\n", k.String(), cum)
+		fmt.Fprintf(&b, "plimserve_sched_task_seconds_sum{kind=%q} %g\n", k.String(), h.SumSeconds)
+		fmt.Fprintf(&b, "plimserve_sched_task_seconds_count{kind=%q} %d\n", k.String(), h.Count)
+	}
 	rw, bench := s.eng.MemoryCacheLens()
 	fmt.Fprintf(&b, "# TYPE plimserve_cache_memory_entries gauge\n")
 	fmt.Fprintf(&b, "plimserve_cache_memory_entries{kind=\"benchmark\"} %d\n", bench)
@@ -190,7 +216,7 @@ func (m *metrics) render(s *Server) string {
 }
 
 // trimFloat renders a bucket bound the way Prometheus clients expect
-// (no trailing zeros: 0.25, 1, 30).
+// (no trailing zeros: 0.0001, 0.25, 1, 30).
 func trimFloat(f float64) string {
-	return strings.TrimRight(strings.TrimRight(fmt.Sprintf("%.3f", f), "0"), ".")
+	return strconv.FormatFloat(f, 'g', -1, 64)
 }

@@ -1,6 +1,7 @@
 package server
 
 import (
+	"bufio"
 	"bytes"
 	"context"
 	"encoding/binary"
@@ -21,13 +22,15 @@ import (
 // engine: concurrency from WithWorkers, a 4× wait queue, a 60 s default
 // request deadline capped at 10 min, 8 MiB request bodies.
 type Options struct {
-	// Concurrency bounds how many computations run at once (default: the
-	// engine's worker count). Each computation may itself use the engine's
-	// internal worker pool, so this is the knob for "how many requests", not
-	// "how many cores".
+	// Concurrency is the number of in-flight computations regarded as
+	// running (default: the engine's worker count). Flights submit task
+	// graphs to the engine's shared scheduler, which owns the actual CPU
+	// parallelism; Concurrency only anchors the running/queued gauge split
+	// and the Retry-After estimate.
 	Concurrency int
-	// QueueDepth bounds how many admitted computations may wait for a run
-	// slot (default 4 × Concurrency). Beyond it requests are answered 429.
+	// QueueDepth bounds how many computations beyond Concurrency may be in
+	// flight at once (default 4 × Concurrency). Beyond Concurrency +
+	// QueueDepth requests are answered 429 immediately.
 	QueueDepth int
 	// DefaultTimeout is the per-request deadline applied when a request
 	// names none (default 60 s; negative = no default deadline).
@@ -438,9 +441,13 @@ func vectorSource(req computeRequest) (key string, mk func(pis int) (*plim.Batch
 }
 
 func (s *Server) handleExecute(w http.ResponseWriter, r *http.Request) {
+	if ct := r.Header.Get("Content-Type"); strings.HasPrefix(ct, "application/x-ndjson") {
+		s.handleExecuteStream(w, r)
+		return
+	}
 	req, err := s.decodeRequest(w, r)
-	if err == nil && req.Output != "" && req.Output != "strings" && req.Output != "packed" {
-		err = badRequest{fmt.Sprintf("unknown output %q (want strings or packed)", req.Output)}
+	if err == nil {
+		err = validateExecute(req)
 	}
 	var cfg plim.Config
 	if err == nil {
@@ -451,12 +458,102 @@ func (s *Server) handleExecute(w http.ResponseWriter, r *http.Request) {
 	if err == nil {
 		vecKey, mkBatch, err = vectorSource(req)
 	}
-	var srcKey string
-	var shrink int
-	var load func() (*plim.MIG, error)
-	if err == nil {
-		srcKey, shrink, load, err = s.sourceMIG(req)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+		return
 	}
+	s.dispatchExecute(w, r, req, cfg, vecKey, mkBatch)
+}
+
+// validateExecute checks the execute-only request fields shared by the JSON
+// and NDJSON input forms.
+func validateExecute(req computeRequest) error {
+	if req.Output != "" && req.Output != "strings" && req.Output != "packed" {
+		return badRequest{fmt.Sprintf("unknown output %q (want strings or packed)", req.Output)}
+	}
+	return nil
+}
+
+// handleExecuteStream is the streaming input form of /v1/execute
+// (Content-Type: application/x-ndjson): the first line is the JSON request
+// — without a vector source, and with vectors following as one raw "0101"
+// line each. Vectors are packed into 64-lane chunks as they arrive, so the
+// body is never buffered whole; it bypasses the MaxBodyBytes cap and is
+// bounded by the vector cap times the width fixed by the first vector.
+// The packed batch content-hashes into the same coalescing key as the
+// buffered forms, so a streamed request coalesces with (and answers
+// byte-identically to) an equivalent JSON one.
+func (s *Server) handleExecuteStream(w http.ResponseWriter, r *http.Request) {
+	fail := func(msg string) { writeJSON(w, http.StatusBadRequest, errorResponse{Error: msg}) }
+	sc := bufio.NewScanner(r.Body)
+	sc.Buffer(make([]byte, 64<<10), 1<<20)
+	if !sc.Scan() {
+		if err := sc.Err(); err != nil {
+			fail(fmt.Sprintf("reading request line: %s", err))
+		} else {
+			fail("ndjson body: missing request line")
+		}
+		return
+	}
+	var req computeRequest
+	dec := json.NewDecoder(bytes.NewReader(sc.Bytes()))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		fail(fmt.Sprintf("invalid request line: %s", err))
+		return
+	}
+	switch {
+	case req.TimeoutMS < 0:
+		fail("timeout_ms must be ≥ 0")
+		return
+	case req.Shrink < 0:
+		fail("shrink must be ≥ 1 (or 0 for the server default)")
+		return
+	case len(req.Vectors) > 0 || req.VectorsPacked != nil || req.Random != 0 || req.Seed != 0 || req.Exhaustive:
+		fail("ndjson execute: vectors are the body lines; remove the vector-source fields")
+		return
+	}
+	if err := validateExecute(req); err != nil {
+		fail(err.Error())
+		return
+	}
+	cfg, err := parseConfig(req.Config, req.Cap)
+	if err != nil {
+		fail(err.Error())
+		return
+	}
+	bu := plim.NewBatchBuilder()
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue // tolerate blank lines and trailing newlines
+		}
+		if bu.Len() >= maxExecuteVectors {
+			fail(fmt.Sprintf("at most %d vectors per request", maxExecuteVectors))
+			return
+		}
+		if err := bu.AddString(line); err != nil {
+			fail(fmt.Sprintf("invalid vector: %s", err))
+			return
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fail(fmt.Sprintf("reading vectors: %s", err))
+		return
+	}
+	if bu.Len() == 0 {
+		fail("ndjson body carries no vectors")
+		return
+	}
+	b := bu.Batch()
+	vecKey := fmt.Sprintf("v:%016x", b.Hash())
+	s.dispatchExecute(w, r, req, cfg, vecKey, func(int) (*plim.Batch, error) { return b, nil })
+}
+
+// dispatchExecute is the request path shared by the JSON and NDJSON input
+// forms of /v1/execute, from function-source resolution onward.
+func (s *Server) dispatchExecute(w http.ResponseWriter, r *http.Request, req computeRequest, cfg plim.Config, vecKey string, mkBatch func(pis int) (*plim.Batch, error)) {
+	srcKey, shrink, load, err := s.sourceMIG(req)
 	if err != nil {
 		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
 		return
@@ -700,23 +797,21 @@ func (s *Server) dispatch(w http.ResponseWriter, r *http.Request, timeoutMS int6
 }
 
 // runFlight executes one coalesced computation: admission first (the whole
-// flight holds exactly one queue token and one run slot no matter how many
-// requests share it), then the engine call.
+// flight holds exactly one in-flight seat no matter how many requests share
+// it), then the engine call, whose work the engine's scheduler multiplexes
+// with every other flight's by request deadline.
 func (s *Server) runFlight(ctx context.Context, cancel context.CancelFunc, f *flight, fn func(context.Context, func(plim.Event)) response) {
 	defer cancel()
 	var resp response
-	release, err := s.adm.acquire(ctx)
-	switch {
-	case errors.Is(err, errQueueFull):
+	release, err := s.adm.admit()
+	if err != nil {
 		s.met.admissionRejected()
 		resp = response{
 			status:     http.StatusTooManyRequests,
 			retryAfter: s.adm.retryAfter(),
 			body:       mustJSON(errorResponse{Error: "server at capacity, retry later"}),
 		}
-	case err != nil:
-		resp = errorResult(err)
-	default:
+	} else {
 		resp = s.safeCompute(ctx, f, fn)
 		release()
 	}

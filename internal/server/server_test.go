@@ -36,10 +36,10 @@ func (p *testProbe) observe(ev plim.Event) {
 	case plim.EventRewriteCycle:
 		p.cycles.Add(1)
 		if p.gated.Load() {
-			p.gateOnce.Do(func() {
-				close(p.started)
-				<-p.release
-			})
+			// Every gated cycle blocks (holding its scheduler worker) until
+			// the test releases; the first one signals arrival.
+			p.gateOnce.Do(func() { close(p.started) })
+			<-p.release
 		}
 	case plim.EventCompileStart:
 		p.compiles.Add(1)
@@ -270,7 +270,9 @@ func TestCoalescingSharesOneComputation(t *testing.T) {
 }
 
 func TestAdmissionQueueFullReturns429(t *testing.T) {
-	s, ts, p := newTestServer(t, Options{Concurrency: 1, QueueDepth: 1})
+	// One engine worker: the gated flight blocks the whole scheduler, so the
+	// second admitted flight starves deterministically instead of finishing.
+	s, ts, p := newTestServer(t, Options{Concurrency: 1, QueueDepth: 1}, plim.WithWorkers(1))
 	p.gated.Store(true)
 
 	type result struct {
@@ -282,13 +284,13 @@ func TestAdmissionQueueFullReturns429(t *testing.T) {
 		resp, _ := postJSON(t, ts.URL+"/v1/compile", fmt.Sprintf(`{"benchmark":"router","config":%q}`, cfg), nil)
 		results <- result{resp.StatusCode, resp.Header.Get("Retry-After")}
 	}
-	go issue("full") // occupies the single run slot, gated mid-rewrite
+	go issue("full") // occupies the single running seat, gated mid-rewrite
 	<-p.started
-	go issue("compiler21") // occupies the single queue seat
+	go issue("compiler21") // occupies the single queued seat
 	deadline := time.Now().Add(5 * time.Second)
 	for s.adm.queuedWaiting() != 1 {
 		if time.Now().After(deadline) {
-			t.Fatal("second computation never queued")
+			t.Fatal("second computation never counted as queued")
 		}
 		time.Sleep(time.Millisecond)
 	}
@@ -612,6 +614,11 @@ func TestMetricsEndpoint(t *testing.T) {
 		`plimserve_cache_memory_entries{kind="benchmark"} 1`,
 		`plimserve_cache_memory_entries{kind="rewrite"} 1`,
 		`plimserve_inflight_computations 0`,
+		`plimserve_sched_runnable_tasks 0`,
+		`plimserve_sched_worker_steals_total{worker="0"}`,
+		`plimserve_sched_task_seconds_count{kind="rewrite"} 1`,
+		`plimserve_sched_task_seconds_count{kind="compile"} 1`,
+		`plimserve_sched_task_seconds_bucket{kind="compile",le="+Inf"} 1`,
 	} {
 		if !strings.Contains(text, want) {
 			t.Fatalf("metrics missing %q in:\n%s", want, text)

@@ -13,13 +13,14 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	"sync"
 	"time"
 
 	"plim/internal/alloc"
 	"plim/internal/compile"
 	"plim/internal/core"
+	"plim/internal/mig"
 	"plim/internal/progress"
+	"plim/internal/sched"
 	"plim/internal/suite"
 )
 
@@ -60,6 +61,10 @@ type Options struct {
 	// every compile job of the run; nil uses the compile package's shared
 	// default pool.
 	Scratch *compile.ScratchPool
+	// Sched, when non-nil, executes the suite's task graph on a shared
+	// process-wide scheduler (plim.Engine threads its pool through here);
+	// nil runs on a transient Workers-sized pool.
+	Sched *sched.Pool
 }
 
 func (o *Options) validate() error {
@@ -75,22 +80,28 @@ func (o *Options) validate() error {
 	return nil
 }
 
-// RunSuite evaluates every configuration on every requested benchmark as a
-// two-level schedule. Level one runs benchmark jobs in parallel: build the
-// MIG (through the benchmark cache, when set) and run each distinct
-// rewrite stage of the configuration plan exactly once (memoized through
-// the rewrite cache, when set). Level two fans the per-configuration
-// compile jobs out over the same worker budget: a benchmark job holds one
-// worker and borrows idle spare workers for its compile stages, so the
-// whole run never exceeds opts.Workers goroutines doing work.
+// RunSuite evaluates every configuration on every requested benchmark as
+// one task graph on the work-stealing scheduler. Each benchmark
+// contributes a generate task (build the MIG through the benchmark cache,
+// when set), one rewrite task per distinct pipeline of the configuration
+// plan (memoized through the rewrite cache, when set), one compile task
+// per configuration depending on its stage's rewrite, and a join task
+// depending on all of them that aggregates errors and emits the
+// benchmark-done event. Nothing serializes distinct benchmarks against
+// each other, so one benchmark's compile fan-out overlaps the next one's
+// rewrite and the whole run keeps opts.Workers workers busy (or shares
+// opts.Sched with every other caller of the same pool).
 //
-// Results are deterministic and ordered. Cancellation is checked between
-// suite jobs (and, inside each job, between rewrite cycles and compile
-// stages); once ctx is cancelled RunSuite stops dispatching work and
-// returns ctx.Err(). When several benchmarks fail independently, every
-// failure is reported through one joined error.
+// Results are deterministic and ordered; with one worker, tasks run in
+// depth-first creation order, which reproduces the sequential
+// per-benchmark event order exactly. Once ctx is cancelled unstarted tasks
+// never run and RunSuite returns ctx.Err(). When several benchmarks fail
+// independently, every failure is reported through one joined error.
 func RunSuite(ctx context.Context, cfgs []core.Config, opts Options) (*SuiteResult, error) {
 	if err := opts.validate(); err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
 	if len(opts.Benchmarks) == 0 {
@@ -101,39 +112,22 @@ func RunSuite(ctx context.Context, cfgs []core.Config, opts Options) (*SuiteResu
 		Configs:    cfgs,
 		Reports:    make([][]*core.Report, len(opts.Benchmarks)),
 	}
-	// Workers not running benchmark jobs are spare tokens the compile
-	// fan-out of in-flight benchmarks may borrow.
-	benchWorkers := min(opts.Workers, len(opts.Benchmarks))
-	spare := make(chan struct{}, opts.Workers)
-	for i := 0; i < opts.Workers-benchWorkers; i++ {
-		spare <- struct{}{}
+	pool := opts.Sched
+	if pool == nil {
+		pool = sched.New(opts.Workers)
+		defer pool.Stop()
 	}
-	jobs := make(chan int)
+	var deadline time.Time
+	if d, ok := ctx.Deadline(); ok {
+		deadline = d
+	}
+	g := pool.NewGraph(ctx, sched.GraphOptions{Deadline: deadline, Progress: opts.Progress})
 	errs := make([]error, len(opts.Benchmarks))
-	var wg sync.WaitGroup
-	for w := 0; w < benchWorkers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for idx := range jobs {
-				if ctx.Err() != nil {
-					continue // drain without starting new work
-				}
-				errs[idx] = sr.runOne(ctx, idx, opts, spare)
-			}
-		}()
+	for idx, name := range opts.Benchmarks {
+		sr.addBenchmark(g, idx, name, cfgs, opts, errs)
 	}
-dispatch:
-	for i := range opts.Benchmarks {
-		select {
-		case jobs <- i:
-		case <-ctx.Done():
-			break dispatch
-		}
-	}
-	close(jobs)
-	wg.Wait()
-	if err := ctx.Err(); err != nil {
+	if err := g.Wait(); err != nil {
+		// Cancellation surfaces as ctx.Err() itself, not a joined wrap.
 		return nil, err
 	}
 	if err := errors.Join(errs...); err != nil {
@@ -142,50 +136,64 @@ dispatch:
 	return sr, nil
 }
 
-func (sr *SuiteResult) runOne(ctx context.Context, idx int, opts Options, spare chan struct{}) error {
-	name := opts.Benchmarks[idx]
-	opts.Progress.Emit(progress.BenchmarkStart{
-		Benchmark: name, Index: idx, Total: len(opts.Benchmarks),
-	})
-	start := time.Now()
-	err := sr.buildAndRun(ctx, idx, opts, spare)
-	opts.Progress.Emit(progress.BenchmarkDone{
-		Benchmark: name, Index: idx, Total: len(opts.Benchmarks),
-		Elapsed: time.Since(start), Err: err,
-	})
-	return err
-}
-
-func (sr *SuiteResult) buildAndRun(ctx context.Context, idx int, opts Options, spare chan struct{}) error {
-	name := opts.Benchmarks[idx]
-	info, ok := suite.Get(name)
-	if !ok {
-		return fmt.Errorf("tables: unknown benchmark %q", name)
-	}
-	m, err := opts.BenchCache.BuildScaled(name, opts.Shrink)
-	if err != nil {
-		return err
-	}
-	if opts.Shrink != 1 {
-		info.PI = m.NumPIs()
-		info.PO = m.NumPOs()
-	}
-	sr.Benchmarks[idx] = info
-	reports, err := core.RunStaged(ctx, m, sr.Configs, core.StagedOptions{
+// addBenchmark adds one benchmark's generate → rewrites → compiles → join
+// task chain to the suite graph. The join writes the benchmark's composed
+// error into errs[idx].
+func (sr *SuiteResult) addBenchmark(g *sched.Graph, idx int, name string, cfgs []core.Config, opts Options, errs []error) {
+	var (
+		m      *mig.MIG
+		start  time.Time
+		genErr error
+	)
+	total := len(opts.Benchmarks)
+	gen := g.Task(sched.KindGenerate, name, func(ctx context.Context) {
+		opts.Progress.Emit(progress.BenchmarkStart{
+			Benchmark: name, Index: idx, Total: total,
+		})
+		start = time.Now()
+		info, ok := suite.Get(name)
+		if !ok {
+			genErr = fmt.Errorf("tables: unknown benchmark %q", name)
+			return
+		}
+		built, err := opts.BenchCache.BuildScaled(name, opts.Shrink)
+		if err != nil {
+			genErr = err
+			return
+		}
+		if opts.Shrink != 1 {
+			info.PI = built.NumPIs()
+			info.PO = built.NumPOs()
+		}
+		sr.Benchmarks[idx] = info
+		m = built
+	}, nil)
+	reports := make([]*core.Report, len(cfgs))
+	leaves, finish := core.StagedGraph(g, gen, func() *mig.MIG { return m }, cfgs, core.StagedOptions{
 		Effort:   opts.Effort,
-		Spare:    spare,
 		Cache:    opts.RewriteCache,
 		Scratch:  opts.Scratch,
 		Progress: opts.Progress,
-	})
-	if err != nil {
-		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
-			return err // cancellation, not a benchmark failure: no wrap
+	}, reports)
+	g.Task(sched.KindJoin, name, func(ctx context.Context) {
+		err := genErr
+		if err == nil {
+			if serr := finish(); serr != nil {
+				if errors.Is(serr, context.Canceled) || errors.Is(serr, context.DeadlineExceeded) {
+					err = serr // cancellation, not a benchmark failure: no wrap
+				} else {
+					err = fmt.Errorf("tables: %s: %w", name, serr)
+				}
+			} else {
+				sr.Reports[idx] = reports
+			}
 		}
-		return fmt.Errorf("tables: %s: %w", name, err)
-	}
-	sr.Reports[idx] = reports
-	return nil
+		errs[idx] = err
+		opts.Progress.Emit(progress.BenchmarkDone{
+			Benchmark: name, Index: idx, Total: total,
+			Elapsed: time.Since(start), Err: err,
+		})
+	}, append(leaves, gen)...)
 }
 
 // ConfigIndex locates a configuration by name.
