@@ -10,6 +10,13 @@
 //	migstat -bench sin -rewrite alg2 -o sin_opt.mig
 //	migstat -in design.mig -rewrite alg1 -effort 3 -dot design.dot -v
 //	migstat -bench log2 -rewrite alg2 -cache-dir ~/.cache/plim
+//	migstat -bench ctrl -shrink 4 -rewrite alg2 -verify
+//
+// With -verify the (rewritten) MIG is additionally compiled with the
+// minimum-write allocator (no further rewriting, so the graph is judged as
+// it stands) and statically verified — the same dataflow/wear report
+// plimcheck prints — so a rewriting experiment shows its downstream write
+// pressure immediately.
 //
 // With -cache-dir (default $PLIM_CACHE_DIR) rewrite results and benchmark
 // builds persist across invocations and are shared with the other CLIs, so
@@ -26,6 +33,7 @@ import (
 	"os/signal"
 
 	"plim"
+	"plim/internal/verify"
 )
 
 func main() {
@@ -38,6 +46,7 @@ func main() {
 		outMig    = flag.String("o", "", "write the (rewritten) MIG")
 		outDot    = flag.String("dot", "", "write Graphviz DOT")
 		checkEq   = flag.Bool("check", true, "verify rewriting preserved the function")
+		doVerify  = flag.Bool("verify", false, "compile the result (full config) and print the static verification report")
 		verbose   = flag.Bool("v", false, "stream per-cycle progress events to stderr")
 		cacheDir  = flag.String("cache-dir", os.Getenv("PLIM_CACHE_DIR"),
 			"persistent cache directory shared across plimc/plimtab/migstat invocations (default $PLIM_CACHE_DIR; empty = off)")
@@ -51,6 +60,7 @@ func main() {
 		plim.WithEffort(*effort),
 		plim.WithShrink(*shrink),
 		plim.WithPersistentCache(*cacheDir),
+		plim.WithVerify(*doVerify),
 	}
 	if *verbose {
 		engOpts = append(engOpts, plim.WithProgress(func(ev plim.Event) {
@@ -113,6 +123,23 @@ func main() {
 				mode = "exhaustively"
 			}
 			fmt.Printf("equivalence verified %s (%d patterns)\n", mode, res.Patterns)
+		}
+	}
+
+	if *doVerify {
+		rep, err := eng.Run(ctx, out, plim.MinWrite)
+		if err != nil {
+			fatal(err)
+		}
+		vr := rep.Verify
+		if vr == nil {
+			vr = plim.Verify(rep.Result.Program, plim.VerifyOptions{})
+			verify.CheckWriteParity(vr, rep.Result.WriteCounts, "allocator")
+		}
+		fmt.Println()
+		vr.Render(os.Stdout, verify.RenderOptions{Verbose: *verbose})
+		if !vr.OK() {
+			os.Exit(1)
 		}
 	}
 

@@ -529,10 +529,10 @@ func twoLevelBenchmark(name string, cfgs []core.Config, shrink int, sem chan str
 				go func(i int) {
 					defer wg.Done()
 					defer func() { <-sem }()
-					_, cerrs[i] = core.CompileConfig(ctx, rm, cfg, rst, nil, nil)
+					_, cerrs[i] = core.CompileConfig(ctx, rm, cfg, rst, nil, nil, false)
 				}(i)
 			default: // every worker busy: compile inline
-				_, cerrs[i] = core.CompileConfig(ctx, rm, cfg, rst, nil, nil)
+				_, cerrs[i] = core.CompileConfig(ctx, rm, cfg, rst, nil, nil, false)
 			}
 		}
 		wg.Wait()

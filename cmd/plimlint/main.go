@@ -1,0 +1,74 @@
+// plimlint runs the repository's custom analysis suite (internal/lint)
+// over a package tree: hotpathalloc (no allocations reachable from the
+// pinned compile/execute hot paths), determinism (no time.Now or map
+// iteration in fingerprint/codec/coalescing-key code) and ctxfirst
+// (context.Context first on exported APIs). It is a standalone runner
+// built only on the standard library — not a go vet -vettool plugin —
+// because the module carries no external dependencies.
+//
+// Usage:
+//
+//	plimlint ./...          # whole module (the CI lint job)
+//	plimlint -dir internal/lint/testdata/hotpath -hotpath-roots hotpath.Hot
+//
+// Diagnostics print as file:line:col: [analyzer] message; the exit status
+// is 1 when any are found.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"go/token"
+	"os"
+	"strings"
+
+	"plim/internal/lint"
+)
+
+func main() {
+	var (
+		dir   = flag.String("dir", "", "lint a single package directory instead of a tree")
+		roots = flag.String("hotpath-roots", strings.Join(lint.DefaultHotPathRoots, ","),
+			"comma-separated hot-path roots (pkg.Func or pkg.Type.Method)")
+	)
+	flag.Parse()
+
+	fset := token.NewFileSet()
+	var pkgs []*lint.Package
+	var err error
+	switch {
+	case *dir != "":
+		var pkg *lint.Package
+		pkg, err = lint.Load(fset, *dir, "")
+		if pkg != nil {
+			pkgs = []*lint.Package{pkg}
+		}
+	default:
+		root := "."
+		if args := flag.Args(); len(args) > 0 {
+			root = strings.TrimSuffix(strings.TrimSuffix(args[0], "..."), "/")
+			if root == "" {
+				root = "."
+			}
+		}
+		pkgs, err = lint.LoadTree(fset, root, lint.ModulePath(root))
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "plimlint:", err)
+		os.Exit(2)
+	}
+
+	analyzers := []*lint.Analyzer{
+		lint.HotPathAllocWithRoots(strings.Split(*roots, ",")),
+		lint.Determinism,
+		lint.CtxFirst,
+	}
+	diags := lint.Run(pkgs, analyzers)
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "plimlint: %d finding(s) in %d package(s)\n", len(diags), len(pkgs))
+		os.Exit(1)
+	}
+}

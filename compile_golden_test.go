@@ -12,6 +12,7 @@ import (
 	"plim/internal/core"
 	"plim/internal/rewrite"
 	"plim/internal/suite"
+	"plim/internal/verify"
 )
 
 // compileDigest hashes everything the acceptance criteria pin: the binary
@@ -71,6 +72,18 @@ func TestCompileGoldenOutputs(t *testing.T) {
 			got := compileDigest(t, res)
 			if got != tc.want {
 				t.Fatalf("compile output changed: digest %s, want %s", got, tc.want)
+			}
+			// Every golden program must also pass static verification with
+			// exact allocator parity and no dead writes — the pinned outputs
+			// are proof the verifier accepts real compiler output, and the
+			// verifier is proof the pinned outputs waste no endurance.
+			vr := verify.Program(res.Program, verify.Options{MaxWrites: tc.opts.MaxWrites})
+			verify.CheckWriteParity(vr, res.WriteCounts, "allocator")
+			if err := vr.Err(); err != nil {
+				t.Fatalf("golden program fails verification: %v", err)
+			}
+			if len(vr.DeadWrites) != 0 {
+				t.Fatalf("golden program has %d dead writes: %v", len(vr.DeadWrites), vr.DeadWrites)
 			}
 			// A second compile of the same graph (which reuses the pooled
 			// scratch the first call released) must be byte-identical too.

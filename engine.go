@@ -41,6 +41,7 @@ type Engine struct {
 	shrink      int
 	cache       bool
 	cacheBudget int
+	verify      bool
 	persistDir  string
 	progress    progress.Func
 	mu          sync.Mutex // serializes progress delivery
@@ -121,6 +122,7 @@ func NewEngine(opts ...Option) *Engine {
 			e.fail(fmt.Errorf("plim: WithPersistentCache(%q): %w", e.persistDir, err))
 		} else {
 			e.disk = d
+			d.SetVerify(e.verify)
 			e.benchCache.SetDisk(d)
 			e.rwCache.SetDisk(d)
 		}
@@ -256,6 +258,27 @@ func (e *Engine) CacheSummary() (s string, ok bool) {
 		st.RewriteHits, st.RewriteMisses, st.BenchmarkHits, st.BenchmarkMisses, st.Stores, e.persistDir), true
 }
 
+// WithVerify toggles static verification of every program the engine
+// compiles (default off). With verification on, each compiled program is
+// proven — without executing it — to read only defined cells, stay inside
+// its allocated footprint, compute every declared output, respect the
+// policy's per-cell write cap, and carry static per-cell write counts
+// that match the allocator's wear accounting exactly; a violation fails
+// the run with a structured error. Dead-write warnings (writes nothing
+// observes — wasted endurance) are attached to Report.Verify without
+// failing. The check is one linear sweep per compile, cheap enough for
+// production; it also arms the persistent cache tier's load-time
+// re-verification (stale or corrupted-but-CRC-colliding entries read as
+// misses instead of serving unverifiable state). The CI/test suites run
+// with it on.
+func WithVerify(enabled bool) Option {
+	return func(e *Engine) { e.verify = enabled }
+}
+
+// Verified reports whether the engine statically verifies every compiled
+// program.
+func (e *Engine) Verified() bool { return e.verify }
+
 // WithProgress installs a progress callback. The engine serializes
 // delivery: fn is never invoked concurrently, even during parallel suite
 // runs. fn must not block for long — it runs on the worker's critical path.
@@ -338,6 +361,7 @@ func (e *Engine) Run(ctx context.Context, m *MIG, cfg Config) (*Report, error) {
 		Cache:    e.rwCache,
 		Scratch:  e.scratch,
 		Progress: e.observer(ctx),
+		Verify:   e.verify,
 	})
 	if err != nil {
 		return nil, err
@@ -359,6 +383,7 @@ func (e *Engine) RunAll(ctx context.Context, m *MIG, cfgs []Config) ([]*Report, 
 		Cache:    e.rwCache,
 		Scratch:  e.scratch,
 		Progress: e.observer(ctx),
+		Verify:   e.verify,
 	})
 }
 
@@ -385,6 +410,7 @@ func (e *Engine) RunSuite(ctx context.Context, cfgs []Config, benchmarks ...stri
 		BenchCache:   e.benchCache,
 		RewriteCache: e.rwCache,
 		Scratch:      e.scratch,
+		Verify:       e.verify,
 	})
 }
 

@@ -131,10 +131,10 @@ func compileOn(m *mig.MIG, opts Options, sc *compileScratch) (*Result, error) {
 	}
 	prog := &isa.Program{
 		Name:     m.Name,
-		Insts:    append([]isa.Instruction(nil), c.insts...),
+		Insts:    append([]isa.Instruction(nil), c.insts...), //plim:alloc-ok result copy, once per compile
 		NumCells: uint32(c.alloc.NumCells()),
-		PICells:  append([]uint32(nil), c.piCells...),
-		POs:      append([]isa.PORef(nil), c.pos...),
+		PICells:  append([]uint32(nil), c.piCells...), //plim:alloc-ok result copy, once per compile
+		POs:      append([]isa.PORef(nil), c.pos...),  //plim:alloc-ok result copy, once per compile
 	}
 	if err := prog.Validate(); err != nil {
 		return nil, fmt.Errorf("compile: emitted invalid program: %w", err)
@@ -428,6 +428,7 @@ func (c *compiler) finalizePOs() error {
 			c.emitPreset(addr, true)
 			c.emit(isa.Instruction{A: isa.Zero, B: isa.Cell(src), Z: addr}) // ⟨0 v̄ 1⟩ = v̄
 			if c.invPOCells == nil {
+				//plim:alloc-ok lazy, at most once per compile, only for complemented POs
 				c.invPOCells = make(map[mig.NodeID]uint32)
 				c.sc.invPOCells = c.invPOCells
 			}

@@ -28,6 +28,7 @@ import (
 	"plim/internal/rewrite"
 	"plim/internal/sched"
 	"plim/internal/stats"
+	"plim/internal/verify"
 )
 
 // RewriteKind selects the rewriting algorithm applied before compilation.
@@ -99,6 +100,11 @@ type Report struct {
 	Result  *compile.Result
 	// Writes summarizes the per-device write counts (paper's min/max/STDEV).
 	Writes stats.Summary
+	// Verify is the static verification report for the compiled program;
+	// nil unless the run was verified (StagedOptions.Verify /
+	// plim.WithVerify). A non-nil report has no hard violations — those
+	// fail the compile — but may list dead-write warnings.
+	Verify *verify.Report
 }
 
 // NumInstructions is the paper's #I.
@@ -176,7 +182,7 @@ func Run(ctx context.Context, m *mig.MIG, cfg Config, effort int, obs progress.F
 	if err != nil {
 		return nil, err
 	}
-	return CompileConfig(ctx, cur, cfg, st, obs, nil)
+	return CompileConfig(ctx, cur, cfg, st, obs, nil, false)
 }
 
 // CompileConfig runs the compile/alloc stage of one configuration on an
@@ -185,7 +191,13 @@ func Run(ctx context.Context, m *mig.MIG, cfg Config, effort int, obs progress.F
 // runner shares one rewrite across several configurations). Scratch state
 // is drawn from pool; a nil pool falls back to the compile package's shared
 // default pool, so the fast path is always allocation-lean.
-func CompileConfig(ctx context.Context, rewritten *mig.MIG, cfg Config, rst rewrite.Stats, obs progress.Func, pool *compile.ScratchPool) (*Report, error) {
+//
+// When doVerify is set, the compiled program is statically verified
+// (internal/verify) before the report is returned: def-before-use, range,
+// output liveness, the policy's wear cap and static-vs-allocator write
+// parity. A hard violation fails the compile; dead-write warnings land in
+// Report.Verify.
+func CompileConfig(ctx context.Context, rewritten *mig.MIG, cfg Config, rst rewrite.Stats, obs progress.Func, pool *compile.ScratchPool, doVerify bool) (*Report, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
@@ -215,12 +227,21 @@ func CompileConfig(ctx context.Context, rewritten *mig.MIG, cfg Config, rst rewr
 	if err != nil {
 		return nil, fmt.Errorf("core: %s: %w", cfg.Name, err)
 	}
-	return &Report{
+	report := &Report{
 		Config:  cfg,
 		Rewrite: rst,
 		Result:  res,
 		Writes:  stats.Summarize(res.WriteCounts),
-	}, nil
+	}
+	if doVerify {
+		vr := verify.Program(res.Program, verify.Options{MaxWrites: cfg.MaxWrites})
+		verify.CheckWriteParity(vr, res.WriteCounts, "allocator")
+		if err := vr.Err(); err != nil {
+			return nil, fmt.Errorf("core: %s: %w", cfg.Name, err)
+		}
+		report.Verify = vr
+	}
+	return report, nil
 }
 
 // Stage is one rewrite stage of an execution plan: the set of planned
@@ -283,6 +304,9 @@ type StagedOptions struct {
 	// task start/done events. It may be invoked concurrently when the
 	// schedule runs on several workers.
 	Progress progress.Func
+	// Verify statically verifies every compiled program (see
+	// CompileConfig); a hard violation fails that configuration's compile.
+	Verify bool
 }
 
 // StagedGraph adds the staged plan of cfgs to graph g: one rewrite task
@@ -318,7 +342,7 @@ func StagedGraph(g *sched.Graph, dep *sched.Task, mFn func() *mig.MIG, cfgs []Co
 				if rms[si] == nil {
 					return // stage rewrite failed or was skipped
 				}
-				out[ci], cmpErrs[ci] = CompileConfig(ctx, rms[si], cfgs[ci], rsts[si], opts.Progress, opts.Scratch)
+				out[ci], cmpErrs[ci] = CompileConfig(ctx, rms[si], cfgs[ci], rsts[si], opts.Progress, opts.Scratch, opts.Verify)
 			}, rw)
 			leaves = append(leaves, ct)
 		}

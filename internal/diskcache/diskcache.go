@@ -49,7 +49,11 @@ import (
 // Bump it whenever the entry layout, the .mig text format, rewrite.Stats
 // or mig.Fingerprint changes incompatibly; all existing entries then read
 // as misses and are rewritten on the next store.
-const FormatVersion = 1
+//
+// Version history: 1 = initial layout; 2 = entries additionally record the
+// stored graph's own fingerprint (the "out" header line), enabling
+// load-time re-verification under SetVerify.
+const FormatVersion = 2
 
 const magic = "plimcache"
 
@@ -74,9 +78,14 @@ type Counters struct {
 type Cache struct {
 	dir string
 
+	// verify arms load-time re-verification: a hit must also reproduce the
+	// fingerprint recorded at store time (see SetVerify).
+	verify atomic.Bool
+
 	rewriteHits, rewriteMisses atomic.Uint64
 	benchHits, benchMisses     atomic.Uint64
 	stores, storeErrors        atomic.Uint64
+	verifyMisses               atomic.Uint64
 }
 
 // Open creates (if needed) and opens a cache directory. Stale temp files
@@ -114,6 +123,20 @@ func sweepStaleTemps(dir string) {
 
 // Dir returns the cache directory.
 func (c *Cache) Dir() string { return c.dir }
+
+// SetVerify toggles load-time re-verification (default off; plim.Engine
+// arms it under WithVerify). Every entry records the fingerprint of the
+// graph it stores; with verification on, a load additionally recomputes
+// the parsed graph's fingerprint and treats any mismatch as a miss. The
+// CRC already catches torn writes and random corruption; the fingerprint
+// closes the residual gap — a corrupted-but-CRC-colliding payload, or an
+// entry written by a build whose serialization drifted without a
+// FormatVersion bump — so a verifying engine can never be served a graph
+// that is not byte-for-byte the one that was stored.
+func (c *Cache) SetVerify(enabled bool) { c.verify.Store(enabled) }
+
+// VerifyMisses counts loads rejected by SetVerify re-verification alone.
+func (c *Cache) VerifyMisses() uint64 { return c.verifyMisses.Load() }
 
 // Counters returns a snapshot of the cache's accounting.
 func (c *Cache) Counters() Counters {
@@ -205,6 +228,7 @@ func (c *Cache) StoreRewrite(fp uint64, kind uint8, effort int, m *mig.MIG, st r
 	}
 	var head bytes.Buffer
 	fmt.Fprintf(&head, "key %016x %d %d\n", fp, kind, effort)
+	fmt.Fprintf(&head, "out %016x\n", m.Fingerprint())
 	fmt.Fprintf(&head, "stats %d %d %d %d %d %d %d %d %d %d %d %d %d\n",
 		st.Cycles, st.NodesBefore, st.NodesAfter, st.DepthBefore, st.DepthAfter,
 		st.CompHistBefore[0], st.CompHistBefore[1], st.CompHistBefore[2], st.CompHistBefore[3],
@@ -217,7 +241,7 @@ func (c *Cache) StoreRewrite(fp uint64, kind uint8, effort int, m *mig.MIG, st r
 func (c *Cache) LoadRewrite(fp uint64, kind uint8, effort int) (m *mig.MIG, st rewrite.Stats, ok bool) {
 	payload, header, ok := c.load(rewritePath(c.dir, fp, kind, effort), kindRewrite)
 	if ok {
-		m, st, ok = parseRewrite(payload, header, fp, kind, effort)
+		m, st, ok = c.parseRewrite(payload, header, fp, kind, effort)
 	}
 	if ok {
 		c.rewriteHits.Add(1)
@@ -227,9 +251,9 @@ func (c *Cache) LoadRewrite(fp uint64, kind uint8, effort int) (m *mig.MIG, st r
 	return m, st, ok
 }
 
-func parseRewrite(payload []byte, header []string, fp uint64, kind uint8, effort int) (*mig.MIG, rewrite.Stats, bool) {
+func (c *Cache) parseRewrite(payload []byte, header []string, fp uint64, kind uint8, effort int) (*mig.MIG, rewrite.Stats, bool) {
 	var st rewrite.Stats
-	if len(header) != 2 {
+	if len(header) != 3 {
 		return nil, st, false
 	}
 	var gotFP uint64
@@ -238,7 +262,7 @@ func parseRewrite(payload []byte, header []string, fp uint64, kind uint8, effort
 		gotFP != fp || gotKind != int(kind) || gotEffort != effort {
 		return nil, st, false
 	}
-	if _, err := fmt.Sscanf(header[1], "stats %d %d %d %d %d %d %d %d %d %d %d %d %d",
+	if _, err := fmt.Sscanf(header[2], "stats %d %d %d %d %d %d %d %d %d %d %d %d %d",
 		&st.Cycles, &st.NodesBefore, &st.NodesAfter, &st.DepthBefore, &st.DepthAfter,
 		&st.CompHistBefore[0], &st.CompHistBefore[1], &st.CompHistBefore[2], &st.CompHistBefore[3],
 		&st.CompHistAfter[0], &st.CompHistAfter[1], &st.CompHistAfter[2], &st.CompHistAfter[3]); err != nil {
@@ -248,7 +272,29 @@ func parseRewrite(payload []byte, header []string, fp uint64, kind uint8, effort
 	if err != nil || m.Validate() != nil {
 		return nil, st, false
 	}
+	if !c.checkOut(header[1], m) {
+		return nil, st, false
+	}
 	return m, st, true
+}
+
+// checkOut re-verifies a parsed graph against the "out <fingerprint>"
+// header line recorded at store time. The line must parse regardless of
+// the verify switch (it is part of the v2 layout); the fingerprint itself
+// is only recomputed and compared when SetVerify armed the cache.
+func (c *Cache) checkOut(line string, m *mig.MIG) bool {
+	var want uint64
+	if _, err := fmt.Sscanf(line, "out %x", &want); err != nil {
+		return false
+	}
+	if !c.verify.Load() {
+		return true
+	}
+	if m.Fingerprint() != want {
+		c.verifyMisses.Add(1)
+		return false
+	}
+	return true
 }
 
 // StoreBenchmark persists a benchmark build under (name, shrink).
@@ -256,7 +302,7 @@ func (c *Cache) StoreBenchmark(name string, shrink int, m *mig.MIG) error {
 	if !Storable(m) {
 		return nil
 	}
-	head := fmt.Appendf(nil, "key %q %d\n", name, shrink)
+	head := fmt.Appendf(nil, "key %q %d\nout %016x\n", name, shrink, m.Fingerprint())
 	return c.store(benchPath(c.dir, name, shrink), kindBenchmark, head, m)
 }
 
@@ -265,7 +311,7 @@ func (c *Cache) LoadBenchmark(name string, shrink int) (*mig.MIG, bool) {
 	payload, header, ok := c.load(benchPath(c.dir, name, shrink), kindBenchmark)
 	var m *mig.MIG
 	if ok {
-		m, ok = parseBenchmark(payload, header, name, shrink)
+		m, ok = c.parseBenchmark(payload, header, name, shrink)
 	}
 	if ok {
 		c.benchHits.Add(1)
@@ -275,8 +321,8 @@ func (c *Cache) LoadBenchmark(name string, shrink int) (*mig.MIG, bool) {
 	return m, ok
 }
 
-func parseBenchmark(payload []byte, header []string, name string, shrink int) (*mig.MIG, bool) {
-	if len(header) != 1 {
+func (c *Cache) parseBenchmark(payload []byte, header []string, name string, shrink int) (*mig.MIG, bool) {
+	if len(header) != 2 {
 		return nil, false
 	}
 	var gotName string
@@ -287,6 +333,9 @@ func parseBenchmark(payload []byte, header []string, name string, shrink int) (*
 	}
 	m, err := mig.Read(bytes.NewReader(payload))
 	if err != nil || m.Validate() != nil {
+		return nil, false
+	}
+	if !c.checkOut(header[1], m) {
 		return nil, false
 	}
 	return m, true

@@ -3,6 +3,7 @@ package diskcache
 import (
 	"bytes"
 	"fmt"
+	"hash/crc32"
 	"os"
 	"path/filepath"
 	"strings"
@@ -383,3 +384,110 @@ func TestOpenSweepsStaleTemps(t *testing.T) {
 		t.Error("real entry lost during sweep")
 	}
 }
+
+// TestVerifyOnLoadRejectsCRCCollision simulates the failure the CRC alone
+// cannot catch: an entry whose payload was swapped for a different —
+// structurally valid — graph with a matching checksum line. Without
+// SetVerify the load succeeds (the CRC was "right"); with it, the
+// fingerprint recorded at store time exposes the substitution.
+func TestVerifyOnLoadRejectsCRCCollision(t *testing.T) {
+	m := testMIG("victim", 1)
+	imposter := testMIG("victim", 2) // same name, different structure
+	if m.Fingerprint() == imposter.Fingerprint() {
+		t.Fatal("test graphs must differ")
+	}
+
+	forge := func(t *testing.T, c *Cache) {
+		t.Helper()
+		if err := c.StoreRewrite(m.Fingerprint(), 2, 5, m, testStats()); err != nil {
+			t.Fatal(err)
+		}
+		// Rewrite the entry in place with the imposter payload and a
+		// freshly computed (i.e. "colliding") CRC line.
+		path := entryFile(t, c)
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		head, _, ok := strings.Cut(string(data), "payload ")
+		if !ok {
+			t.Fatal("no payload line")
+		}
+		var payload bytes.Buffer
+		if err := imposter.Write(&payload); err != nil {
+			t.Fatal(err)
+		}
+		forged := fmt.Sprintf("%spayload %d %08x\n%s", head, payload.Len(), crc32ieee(payload.Bytes()), payload.Bytes())
+		if err := os.WriteFile(path, []byte(forged), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	t.Run("unverified-load-accepts", func(t *testing.T) {
+		c := open(t)
+		forge(t, c)
+		got, _, ok := c.LoadRewrite(m.Fingerprint(), 2, 5)
+		if !ok {
+			t.Fatal("unverified cache should accept the CRC-consistent forgery")
+		}
+		if got.Fingerprint() != imposter.Fingerprint() {
+			t.Fatal("expected the imposter graph back")
+		}
+	})
+
+	t.Run("verified-load-rejects", func(t *testing.T) {
+		c := open(t)
+		c.SetVerify(true)
+		forge(t, c)
+		if _, _, ok := c.LoadRewrite(m.Fingerprint(), 2, 5); ok {
+			t.Fatal("verified cache served a forged entry")
+		}
+		if c.VerifyMisses() != 1 {
+			t.Fatalf("verify miss not counted: %d", c.VerifyMisses())
+		}
+		if c.Counters().RewriteMisses != 1 {
+			t.Fatal("verify rejection must account as a miss")
+		}
+	})
+
+	t.Run("verified-load-accepts-honest-entry", func(t *testing.T) {
+		c := open(t)
+		c.SetVerify(true)
+		if err := c.StoreRewrite(m.Fingerprint(), 2, 5, m, testStats()); err != nil {
+			t.Fatal(err)
+		}
+		if _, _, ok := c.LoadRewrite(m.Fingerprint(), 2, 5); !ok {
+			t.Fatal("verified cache rejected an honest entry")
+		}
+	})
+}
+
+// TestVerifyOnLoadBenchmark covers the benchmark entry kind: verification
+// is part of the v2 layout there too.
+func TestVerifyOnLoadBenchmark(t *testing.T) {
+	c := open(t)
+	c.SetVerify(true)
+	m := testMIG("adder", 3)
+	if err := c.StoreBenchmark("adder", 2, m); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := c.LoadBenchmark("adder", 2)
+	if !ok || got.Fingerprint() != m.Fingerprint() {
+		t.Fatal("verified benchmark load failed on an honest entry")
+	}
+
+	// A v2 entry with a garbled "out" line is a miss even unverified: the
+	// line is part of the layout.
+	path := entryFile(t, c)
+	data, _ := os.ReadFile(path)
+	mangled := strings.Replace(string(data), "out ", "oot ", 1)
+	if err := os.WriteFile(path, []byte(mangled), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	c.SetVerify(false)
+	if _, ok := c.LoadBenchmark("adder", 2); ok {
+		t.Fatal("mangled out line must be a miss")
+	}
+}
+
+func crc32ieee(b []byte) uint32 { return crc32.ChecksumIEEE(b) }

@@ -176,6 +176,14 @@ func parseOperand(tok string) (Operand, error) {
 const (
 	binaryMagic   = "PLIM"
 	binaryVersion = 1
+	// maxBinaryName bounds the decoded name: a length prefix beyond it is
+	// corruption, not a program.
+	maxBinaryName = 1 << 20
+	// decodeChunk caps the capacity pre-reserved from untrusted count
+	// prefixes. Decoded slices grow by append, so memory tracks bytes
+	// actually parsed — a truncated or hostile stream claiming 2^60
+	// elements hits EOF long before it can allocate anything large.
+	decodeChunk = 1 << 16
 )
 
 // WriteBinary encodes the program in the compact binary format.
@@ -235,49 +243,56 @@ func ReadBinary(r io.Reader) (*Program, error) {
 	if err != nil {
 		return nil, err
 	}
+	if nameLen > maxBinaryName {
+		return nil, fmt.Errorf("isa: name length %d exceeds limit %d", nameLen, maxBinaryName)
+	}
 	name := make([]byte, nameLen)
 	if _, err := io.ReadFull(br, name); err != nil {
 		return nil, err
 	}
 	p.Name = string(name)
-	cells, err := binary.ReadUvarint(br)
-	if err != nil {
+	if p.NumCells, err = readU32(br, "cell count"); err != nil {
 		return nil, err
 	}
-	p.NumCells = uint32(cells)
 	npi, err := binary.ReadUvarint(br)
 	if err != nil {
 		return nil, err
 	}
-	p.PICells = make([]uint32, npi)
-	for i := range p.PICells {
-		v, err := binary.ReadUvarint(br)
+	p.PICells = make([]uint32, 0, min(npi, decodeChunk))
+	for i := uint64(0); i < npi; i++ {
+		v, err := readU32(br, "PI cell")
 		if err != nil {
 			return nil, err
 		}
-		p.PICells[i] = uint32(v)
+		p.PICells = append(p.PICells, v)
 	}
 	npo, err := binary.ReadUvarint(br)
 	if err != nil {
 		return nil, err
 	}
-	p.POs = make([]PORef, npo)
-	for i := range p.POs {
+	p.POs = make([]PORef, 0, min(npo, decodeChunk))
+	for i := uint64(0); i < npo; i++ {
 		v, err := binary.ReadUvarint(br)
 		if err != nil {
 			return nil, err
 		}
-		p.POs[i] = PORef{Addr: uint32(v >> 1), Neg: v&1 == 1}
+		if v>>1 > maxUint32 {
+			return nil, fmt.Errorf("isa: PO address %d overflows uint32", v>>1)
+		}
+		p.POs = append(p.POs, PORef{Addr: uint32(v >> 1), Neg: v&1 == 1})
 	}
 	ninst, err := binary.ReadUvarint(br)
 	if err != nil {
 		return nil, err
 	}
-	p.Insts = make([]Instruction, ninst)
-	for i := range p.Insts {
+	p.Insts = make([]Instruction, 0, min(ninst, decodeChunk))
+	for i := uint64(0); i < ninst; i++ {
 		flags, err := br.ReadByte()
 		if err != nil {
 			return nil, err
+		}
+		if flags>>4 != 0 {
+			return nil, fmt.Errorf("isa: inst %d: bad instruction flags %#x", i, flags)
 		}
 		ins := Instruction{
 			A: Operand{Kind: OperandKind(flags & 3)},
@@ -287,30 +302,40 @@ func ReadBinary(r io.Reader) (*Program, error) {
 			return nil, fmt.Errorf("isa: inst %d: bad operand kind", i)
 		}
 		if ins.A.Kind == OpCell {
-			v, err := binary.ReadUvarint(br)
-			if err != nil {
+			if ins.A.Addr, err = readU32(br, "operand A"); err != nil {
 				return nil, err
 			}
-			ins.A.Addr = uint32(v)
 		}
 		if ins.B.Kind == OpCell {
-			v, err := binary.ReadUvarint(br)
-			if err != nil {
+			if ins.B.Addr, err = readU32(br, "operand B"); err != nil {
 				return nil, err
 			}
-			ins.B.Addr = uint32(v)
 		}
-		z, err := binary.ReadUvarint(br)
-		if err != nil {
+		if ins.Z, err = readU32(br, "destination"); err != nil {
 			return nil, err
 		}
-		ins.Z = uint32(z)
-		p.Insts[i] = ins
+		p.Insts = append(p.Insts, ins)
 	}
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
 	return p, nil
+}
+
+const maxUint32 = 1<<32 - 1
+
+// readU32 decodes a uvarint that must fit a 32-bit address or count;
+// silently truncating an oversized value would let a corrupt stream
+// decode into a different (possibly valid) program.
+func readU32(br *bufio.Reader, what string) (uint32, error) {
+	v, err := binary.ReadUvarint(br)
+	if err != nil {
+		return 0, err
+	}
+	if v > maxUint32 {
+		return 0, fmt.Errorf("isa: %s %d overflows uint32", what, v)
+	}
+	return uint32(v), nil
 }
 
 func writeUvarint(w *bufio.Writer, v uint64) {

@@ -114,6 +114,7 @@ func (p *Program) NumInstructions() int { return len(p.Insts) }
 // Validate checks that all addresses are within NumCells and PI cells are
 // unique.
 func (p *Program) Validate() error {
+	//plim:alloc-ok validation map sized by PI count, once per compile
 	seen := make(map[uint32]int, len(p.PICells))
 	for i, c := range p.PICells {
 		if c >= p.NumCells {

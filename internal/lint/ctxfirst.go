@@ -1,0 +1,78 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+)
+
+// CtxFirst enforces the Go convention that a context.Context parameter
+// comes first. It applies to exported functions, and to exported methods
+// on exported types — the surfaces a library user calls. Long-running
+// engine APIs grew context support over several PRs; this pins the
+// signature shape so new entry points cannot regress it.
+var CtxFirst = &Analyzer{
+	Name: "ctxfirst",
+	Doc:  "exported functions taking a context.Context must take it first",
+	Run:  ctxFirst,
+}
+
+func ctxFirst(pkgs []*Package) []Diagnostic {
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			imports := fileImports(f)
+			if imports["context"] != "context" {
+				continue
+			}
+			for _, d := range f.Decls {
+				fd, ok := d.(*ast.FuncDecl)
+				if !ok || !fd.Name.IsExported() {
+					continue
+				}
+				if fd.Recv != nil && !ast.IsExported(recvTypeName(fd.Recv)) {
+					continue
+				}
+				pos, idx := ctxParamIndex(fd)
+				if idx > 0 {
+					diags = append(diags, Diagnostic{
+						Pos:      pkg.Fset.Position(pos.Pos()),
+						Analyzer: "ctxfirst",
+						Message: fmt.Sprintf("%s.%s takes context.Context as parameter %d; contexts go first",
+							pkg.Name, fd.Name.Name, idx+1),
+					})
+				}
+			}
+		}
+	}
+	return diags
+}
+
+// ctxParamIndex returns the position of the first context.Context parameter
+// in flattened parameter order, or -1. Multi-name fields (a, b int) count
+// each name as one position.
+func ctxParamIndex(fd *ast.FuncDecl) (ast.Node, int) {
+	if fd.Type.Params == nil {
+		return nil, -1
+	}
+	pos := 0
+	for _, field := range fd.Type.Params.List {
+		n := len(field.Names)
+		if n == 0 {
+			n = 1
+		}
+		if isContextType(field.Type) {
+			return field, pos
+		}
+		pos += n
+	}
+	return nil, -1
+}
+
+func isContextType(e ast.Expr) bool {
+	sel, ok := e.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	x, ok := sel.X.(*ast.Ident)
+	return ok && x.Name == "context" && sel.Sel.Name == "Context"
+}

@@ -1,0 +1,138 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"path/filepath"
+	"strings"
+)
+
+// Determinism flags sources of run-to-run instability in identity-
+// producing code: functions whose name mentions Fingerprint, Hash or Key,
+// plus every function in a codec.go or coalesce.go file. Those identities
+// are persisted in the disk cache, used as coalescing keys across
+// concurrent requests and compared between processes — so they must not
+// depend on the clock (time.Now, time.Since) or on Go's randomized map
+// iteration order. Ranging over a map is detected syntactically: the
+// ranged expression is a map literal, a make(map...), or a name the
+// function visibly binds to one (parameter, var declaration or := from a
+// map construction). Sorting extracted keys first is the standard fix.
+var Determinism = &Analyzer{
+	Name: "determinism",
+	Doc:  "flags time.Now and map iteration in fingerprint/codec/coalescing-key code",
+	Run:  determinism,
+}
+
+// identityFiles are file basenames whose entire contents are in scope.
+var identityFiles = map[string]bool{"codec.go": true, "coalesce.go": true}
+
+func determinism(pkgs []*Package) []Diagnostic {
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			wholeFile := identityFiles[filepath.Base(pkg.Fset.Position(f.Pos()).Filename)]
+			imports := fileImports(f)
+			for _, d := range f.Decls {
+				fd, ok := d.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				if !wholeFile && !identityName(fd.Name.Name) {
+					continue
+				}
+				diags = append(diags, checkDeterminism(pkg, f, fd, imports)...)
+			}
+		}
+	}
+	return diags
+}
+
+func identityName(name string) bool {
+	l := strings.ToLower(name)
+	return strings.Contains(l, "fingerprint") || strings.Contains(l, "hash") ||
+		strings.Contains(l, "key")
+}
+
+func checkDeterminism(pkg *Package, f *ast.File, fd *ast.FuncDecl, imports map[string]string) []Diagnostic {
+	mapNames := mapBindings(fd)
+	var diags []Diagnostic
+	report := func(node ast.Node, msg string) {
+		diags = append(diags, Diagnostic{
+			Pos:      pkg.Fset.Position(node.Pos()),
+			Analyzer: "determinism",
+			Message:  fmt.Sprintf("%s in identity-sensitive %s.%s", msg, pkg.Name, fd.Name.Name),
+		})
+	}
+	ast.Inspect(fd.Body, func(node ast.Node) bool {
+		switch n := node.(type) {
+		case *ast.CallExpr:
+			if sel, ok := n.Fun.(*ast.SelectorExpr); ok {
+				if x, ok := sel.X.(*ast.Ident); ok && imports[x.Name] == "time" {
+					switch sel.Sel.Name {
+					case "Now", "Since", "Until":
+						report(n, "time."+sel.Sel.Name+" call")
+					}
+				}
+			}
+		case *ast.RangeStmt:
+			if isMapExpr(n.X, mapNames) {
+				report(n, "iteration over a map (randomized order)")
+			}
+		}
+		return true
+	})
+	return diags
+}
+
+// mapBindings collects the names a function visibly binds to maps:
+// parameters declared with a map type, var declarations of map type, and
+// short declarations whose right-hand side constructs a map.
+func mapBindings(fd *ast.FuncDecl) map[string]bool {
+	names := make(map[string]bool)
+	if fd.Type.Params != nil {
+		for _, field := range fd.Type.Params.List {
+			if _, ok := field.Type.(*ast.MapType); ok {
+				for _, id := range field.Names {
+					names[id.Name] = true
+				}
+			}
+		}
+	}
+	ast.Inspect(fd.Body, func(node ast.Node) bool {
+		switch n := node.(type) {
+		case *ast.ValueSpec:
+			if _, ok := n.Type.(*ast.MapType); ok {
+				for _, id := range n.Names {
+					names[id.Name] = true
+				}
+			}
+		case *ast.AssignStmt:
+			for i, rhs := range n.Rhs {
+				if i < len(n.Lhs) && isMapExpr(rhs, nil) {
+					if id, ok := n.Lhs[i].(*ast.Ident); ok {
+						names[id.Name] = true
+					}
+				}
+			}
+		}
+		return true
+	})
+	return names
+}
+
+// isMapExpr reports whether e syntactically constructs or names a map.
+func isMapExpr(e ast.Expr, mapNames map[string]bool) bool {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return mapNames[e.Name]
+	case *ast.CompositeLit:
+		_, ok := e.Type.(*ast.MapType)
+		return ok
+	case *ast.CallExpr:
+		if fun, ok := e.Fun.(*ast.Ident); ok && fun.Name == "make" && len(e.Args) > 0 {
+			_, ok := e.Args[0].(*ast.MapType)
+			return ok
+		}
+	}
+	return false
+}

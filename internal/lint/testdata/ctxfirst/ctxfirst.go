@@ -1,0 +1,27 @@
+// Package ctxfirst is a lint fixture for the ctxfirst analyzer.
+package ctxfirst
+
+import "context"
+
+// Bad takes its context second. // want: contexts go first
+func Bad(name string, ctx context.Context) error { _ = name; _ = ctx; return nil }
+
+// Good takes its context first: clean.
+func Good(ctx context.Context, name string) error { _ = name; _ = ctx; return nil }
+
+// NoContext has no context at all: clean.
+func NoContext(name string) error { _ = name; return nil }
+
+// internalBad is unexported: out of scope even with ctx second.
+func internalBad(name string, ctx context.Context) error { _ = name; _ = ctx; return nil }
+
+// Runner is exported; its exported method with ctx second is in scope.
+type Runner struct{}
+
+// Run is a method with ctx second. // want: contexts go first
+func (Runner) Run(n int, ctx context.Context) error { _ = n; _ = ctx; return nil }
+
+type hidden struct{}
+
+// Run on an unexported receiver is out of scope.
+func (hidden) Run(n int, ctx context.Context) error { _ = n; _ = ctx; return nil }

@@ -1,0 +1,25 @@
+// Package determinism is a lint fixture for the determinism analyzer.
+// This file is named codec.go, so every function in it is in scope.
+package determinism
+
+import "time"
+
+func stamp() int64 {
+	return time.Now().UnixNano() // want: time.Now
+}
+
+func serialize(fields map[string]int) []string {
+	var out []string
+	for k := range fields { // want: map iteration
+		out = append(out, k)
+	}
+	return out
+}
+
+func serializeSlice(fields []string) []string {
+	out := make([]string, 0, len(fields))
+	for _, k := range fields { // slices iterate in order: clean
+		out = append(out, k)
+	}
+	return out
+}

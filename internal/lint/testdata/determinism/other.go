@@ -1,0 +1,28 @@
+package determinism
+
+import "time"
+
+// CacheKey is in scope by name (contains "Key").
+func CacheKey(parts map[string]string) string {
+	k := ""
+	for _, v := range parts { // want: map iteration
+		k += v
+	}
+	return k
+}
+
+// Fingerprint is in scope by name.
+func Fingerprint() uint64 {
+	seed := make(map[int]int)
+	seed[1] = 2
+	for _, v := range seed { // want: map iteration
+		return uint64(v)
+	}
+	return 0
+}
+
+// Elapsed is NOT identity-sensitive and not in a codec/coalesce file:
+// the clock is fine here.
+func Elapsed(start time.Time) time.Duration {
+	return time.Since(start)
+}

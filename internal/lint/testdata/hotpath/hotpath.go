@@ -1,0 +1,39 @@
+// Package hotpath is a lint fixture: Hot is the hot-path root; everything
+// reachable from it must be allocation-free. The CI lint job asserts that
+// plimlint FAILS on this package — proving the analyzer still bites.
+package hotpath
+
+import "sort"
+
+// Hot is the fixture's hot-path root.
+func Hot(xs []int) int {
+	m := newState() // want: make(map)
+	return helper(xs) + len(m) + (&thing{}).method(xs)
+}
+
+func newState() map[int]int {
+	return make(map[int]int) // want: make(map) allocates
+}
+
+func helper(xs []int) int {
+	ys := append([]int(nil), xs...) // want: append onto a fresh slice
+	sort.Ints(ys)                   // want: sort call boxes
+	var v any = any(len(ys))        // want: conversion to any
+	_ = v
+	//plim:alloc-ok fixture: the directive must suppress this line
+	ok := append([]int(nil), xs...)
+	return len(ok)
+}
+
+type thing struct{}
+
+func (t *thing) method(xs []int) int {
+	lut := map[int]bool{1: true} // want: map literal
+	_ = lut
+	return len(xs)
+}
+
+// Cold is NOT reachable from Hot: its allocations must not be flagged.
+func Cold() map[string]int {
+	return map[string]int{"free": 1}
+}

@@ -76,6 +76,13 @@ type computeRequest struct {
 	// assembly text, "binary" for the base64-encoded binary encoding.
 	Emit string `json:"emit,omitempty"`
 
+	// Verify adds a static verification report to a /v1/compile response:
+	// def-before-use, footprint range, output liveness, dead writes, the
+	// policy's wear cap and static-vs-allocator write parity, proven
+	// without executing the program. Violations come back as structured
+	// JSON (verification.ok=false), not as an HTTP error.
+	Verify bool `json:"verify,omitempty"`
+
 	// Vectors lists /v1/execute input vectors as "0101" strings (character
 	// i is primary input i); VectorsPacked is the compact bit-sliced
 	// alternative. Random asks the server to generate that many uniformly
@@ -153,6 +160,34 @@ type compileResponse struct {
 	Lifetime1e10  uint64           `json:"lifetime_1e10"`
 	ProgramAsm    string           `json:"program_asm,omitempty"`
 	ProgramBinary []byte           `json:"program_binary,omitempty"` // base64 in JSON
+	Verification  *verifyJSON      `json:"verification,omitempty"`   // set when the request asked for verify
+}
+
+// verifyJSON is a static verification report on the wire (verify=true on
+// /v1/compile). Violation entries are hard findings; dead writes are
+// wasted-endurance warnings.
+type verifyJSON struct {
+	OK            bool                   `json:"ok"`
+	Clean         bool                   `json:"clean"` // ok and no dead writes
+	Fingerprint   string                 `json:"program_fingerprint"`
+	TotalWrites   uint64                 `json:"total_writes"`
+	MaxCellWrites uint64                 `json:"max_cell_writes"`
+	CellsWritten  int                    `json:"cells_written"`
+	Violations    []plim.VerifyViolation `json:"violations,omitempty"`
+	DeadWrites    []plim.VerifyViolation `json:"dead_writes,omitempty"`
+}
+
+func verifyReport(r *plim.VerifyReport) *verifyJSON {
+	return &verifyJSON{
+		OK:            r.OK(),
+		Clean:         r.Clean(),
+		Fingerprint:   fmt.Sprintf("%016x", r.Fingerprint),
+		TotalWrites:   r.TotalWrites,
+		MaxCellWrites: r.MaxCellWrites,
+		CellsWritten:  r.CellsWritten,
+		Violations:    r.Violations,
+		DeadWrites:    r.DeadWrites,
+	}
 }
 
 // rewriteResponse is the /v1/rewrite response body.

@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"plim"
+	"plim/internal/verify"
 )
 
 // Options configures a Server. The zero value derives everything from the
@@ -311,7 +312,7 @@ func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
 		return
 	}
-	key := fmt.Sprintf("compile|%s|%s|%s", srcKey, cfg.Name, req.Emit)
+	key := fmt.Sprintf("compile|%s|%s|%s|verify=%t", srcKey, cfg.Name, req.Emit, req.Verify)
 	s.dispatch(w, r, req.TimeoutMS, key, func(ctx context.Context, publish func(plim.Event)) response {
 		m, err := load()
 		if err != nil {
@@ -331,6 +332,14 @@ func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 			RRAMs:        rep.NumRRAMs(),
 			Writes:       summarizeWrites(rep.Writes),
 			Lifetime1e10: rep.Lifetime(1e10),
+		}
+		if req.Verify {
+			vr := rep.Verify // already computed when the engine runs WithVerify
+			if vr == nil {
+				vr = plim.Verify(rep.Result.Program, plim.VerifyOptions{MaxWrites: cfg.MaxWrites})
+				verify.CheckWriteParity(vr, rep.Result.WriteCounts, "allocator")
+			}
+			out.Verification = verifyReport(vr)
 		}
 		switch req.Emit {
 		case "asm":

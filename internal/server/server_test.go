@@ -647,3 +647,66 @@ func TestMetricsIncludeDiskTier(t *testing.T) {
 		}
 	}
 }
+
+func TestCompileVerifyFlag(t *testing.T) {
+	_, ts, _ := newTestServer(t, Options{}, plim.WithVerify(true))
+
+	// Without the flag the report is absent.
+	_, plain := postJSON(t, ts.URL+"/v1/compile", `{"benchmark":"ctrl","config":"full"}`, nil)
+	var outPlain compileResponse
+	if err := json.Unmarshal(plain, &outPlain); err != nil {
+		t.Fatal(err)
+	}
+	if outPlain.Verification != nil {
+		t.Fatal("verification present without verify=true")
+	}
+
+	resp, b := postJSON(t, ts.URL+"/v1/compile", `{"benchmark":"ctrl","config":"full","verify":true}`, nil)
+	if resp.StatusCode != 200 {
+		t.Fatalf("verify=true: %d %s", resp.StatusCode, b)
+	}
+	var out compileResponse
+	if err := json.Unmarshal(b, &out); err != nil {
+		t.Fatal(err)
+	}
+	v := out.Verification
+	if v == nil {
+		t.Fatalf("no verification in response: %s", b)
+	}
+	if !v.OK || len(v.Violations) != 0 {
+		t.Fatalf("compiler output must verify clean: %+v", v)
+	}
+	if v.TotalWrites == 0 || v.MaxCellWrites == 0 || v.CellsWritten == 0 || v.Fingerprint == "" {
+		t.Fatalf("implausible verification report: %+v", v)
+	}
+	// Static parity with the allocator's summary in the same response.
+	if v.TotalWrites != out.Writes.Total || v.MaxCellWrites != out.Writes.Max {
+		t.Fatalf("static counts diverge from allocator summary: %+v vs %+v", v, out.Writes)
+	}
+
+	// verify=true and verify=false must not coalesce into one response
+	// shape: the flag is part of the flight key, so the warm path stays
+	// byte-identical per variant.
+	_, b2 := postJSON(t, ts.URL+"/v1/compile", `{"benchmark":"ctrl","config":"full","verify":true}`, nil)
+	if !bytes.Equal(b, b2) {
+		t.Fatalf("warm verified response differs:\n%s\nvs\n%s", b, b2)
+	}
+}
+
+// TestCompileVerifyWithoutEngineVerify covers the handler-side fallback:
+// the engine did not verify (rep.Verify == nil), so the handler runs the
+// checker itself, including allocator write parity.
+func TestCompileVerifyWithoutEngineVerify(t *testing.T) {
+	_, ts, _ := newTestServer(t, Options{})
+	resp, b := postJSON(t, ts.URL+"/v1/compile", `{"benchmark":"ctrl","config":"full+cap50","verify":true}`, nil)
+	if resp.StatusCode != 200 {
+		t.Fatalf("%d %s", resp.StatusCode, b)
+	}
+	var out compileResponse
+	if err := json.Unmarshal(b, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Verification == nil || !out.Verification.OK {
+		t.Fatalf("expected a clean fallback verification: %s", b)
+	}
+}

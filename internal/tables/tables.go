@@ -65,6 +65,9 @@ type Options struct {
 	// process-wide scheduler (plim.Engine threads its pool through here);
 	// nil runs on a transient Workers-sized pool.
 	Sched *sched.Pool
+	// Verify statically verifies every compiled program of the run (see
+	// core.CompileConfig); a hard violation fails that configuration.
+	Verify bool
 }
 
 func (o *Options) validate() error {
@@ -174,6 +177,7 @@ func (sr *SuiteResult) addBenchmark(g *sched.Graph, idx int, name string, cfgs [
 		Cache:    opts.RewriteCache,
 		Scratch:  opts.Scratch,
 		Progress: opts.Progress,
+		Verify:   opts.Verify,
 	}, reports)
 	g.Task(sched.KindJoin, name, func(ctx context.Context) {
 		err := genErr

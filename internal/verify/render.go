@@ -1,0 +1,58 @@
+package verify
+
+import (
+	"fmt"
+	"io"
+
+	"plim/internal/stats"
+)
+
+// RenderOptions configures the textual report shared by cmd/plimcheck
+// and migstat -verify.
+type RenderOptions struct {
+	// Endurance, when non-zero, adds a lifetime estimate
+	// (endurance / hottest cell's static writes).
+	Endurance uint64
+	// Verbose lists the full per-cell write histogram.
+	Verbose bool
+}
+
+// Render writes the human-readable verification report.
+func (r *Report) Render(w io.Writer, opts RenderOptions) {
+	fmt.Fprintf(w, "program %s  (fingerprint %016x)\n", r.name(), r.Fingerprint)
+	fmt.Fprintf(w, "  instructions %d   cells %d (%d written)\n", r.Instructions, r.Cells, r.CellsWritten)
+	fmt.Fprintf(w, "  writes: total %d   max/cell %d", r.TotalWrites, r.MaxCellWrites)
+	if g := stats.Gini(r.WriteCounts); r.TotalWrites > 0 {
+		fmt.Fprintf(w, "   gini %.3f", g)
+	}
+	fmt.Fprintln(w)
+	if opts.Endurance > 0 {
+		life := stats.Lifetime(r.WriteCounts, opts.Endurance)
+		fmt.Fprintf(w, "  lifetime @ endurance %d: %d runs\n", opts.Endurance, life)
+	}
+	if opts.Verbose {
+		for c, n := range r.WriteCounts {
+			if n > 0 {
+				fmt.Fprintf(w, "    cell %4d  %d writes\n", c, n)
+			}
+		}
+	}
+	switch {
+	case len(r.DeadWrites) == 0:
+		fmt.Fprintln(w, "  dead writes: none")
+	default:
+		fmt.Fprintf(w, "  dead writes: %d (wasted endurance)\n", len(r.DeadWrites))
+		for _, v := range r.DeadWrites {
+			fmt.Fprintf(w, "    %s\n", v)
+		}
+	}
+	switch {
+	case r.OK():
+		fmt.Fprintln(w, "  verify: OK")
+	default:
+		fmt.Fprintf(w, "  verify: FAIL (%d violations)\n", len(r.Violations))
+		for _, v := range r.Violations {
+			fmt.Fprintf(w, "    %s\n", v)
+		}
+	}
+}
