@@ -133,7 +133,7 @@ func main() {
 		}
 		vr := rep.Verify
 		if vr == nil {
-			vr = plim.Verify(rep.Result.Program, plim.VerifyOptions{})
+			vr = plim.Verify(rep.Result.Program, plim.VerifyOptions{CostModel: eng.CostModel()})
 			verify.CheckWriteParity(vr, rep.Result.WriteCounts, "allocator")
 		}
 		fmt.Println()

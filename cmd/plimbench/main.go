@@ -260,6 +260,41 @@ func main() {
 		os.RemoveAll(diskDir) // throwaway dir: not needed by the parity runs below
 	}
 
+	// The explore family: the design-space sweep behind plimexplore — two
+	// rewriting efforts under two cost models — cold and cache-warm. The
+	// model axis is pure post-hoc pricing, so its marginal cost over the
+	// equivalent suite runs is what this family keeps honest. New names are
+	// gate-safe: a baseline that predates them skips, it does not fail.
+	exploreOpts := func() plim.ExploreOptions {
+		alt := plim.DefaultCostModel()
+		alt.Name = "alt"
+		alt.RM3.EnergyPJ *= 2
+		return plim.ExploreOptions{
+			Benchmarks: names,
+			Efforts:    []int{0, core.DefaultEffort},
+			Models:     []*plim.CostModel{plim.DefaultCostModel(), alt},
+		}
+	}
+	add("explore/sweep-cold", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			cold := plim.NewEngine(plim.WithShrink(*shrink))
+			if _, err := cold.Explore(context.Background(), exploreOpts()); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	expEng := plim.NewEngine(plim.WithShrink(*shrink))
+	if _, err := expEng.Explore(context.Background(), exploreOpts()); err != nil {
+		fatal(err)
+	}
+	add("explore/sweep-warm", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := expEng.Explore(context.Background(), exploreOpts()); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
 	// The scheduler family: the DAG scheduler against a replica of the old
 	// two-level scheme, at a forced GOMAXPROCS of 4 so the comparison means
 	// the same thing on every host. Both sides do identical work (one
@@ -529,10 +564,10 @@ func twoLevelBenchmark(name string, cfgs []core.Config, shrink int, sem chan str
 				go func(i int) {
 					defer wg.Done()
 					defer func() { <-sem }()
-					_, cerrs[i] = core.CompileConfig(ctx, rm, cfg, rst, nil, nil, false)
+					_, cerrs[i] = core.CompileConfig(ctx, rm, cfg, rst, nil, nil, false, nil)
 				}(i)
 			default: // every worker busy: compile inline
-				_, cerrs[i] = core.CompileConfig(ctx, rm, cfg, rst, nil, nil, false)
+				_, cerrs[i] = core.CompileConfig(ctx, rm, cfg, rst, nil, nil, false, nil)
 			}
 		}
 		wg.Wait()

@@ -47,8 +47,19 @@ func main() {
 		verbose   = flag.Bool("v", false, "list the full per-cell write histogram")
 		cacheDir  = flag.String("cache-dir", os.Getenv("PLIM_CACHE_DIR"),
 			"persistent cache directory shared with plimc/plimtab/migstat (default $PLIM_CACHE_DIR; empty = off)")
+		costPath = flag.String("cost-model", "",
+			"JSON instruction cost model pricing the report's cost block (default: built-in)")
 	)
 	flag.Parse()
+
+	cm := plim.DefaultCostModel()
+	if *costPath != "" {
+		var err error
+		if cm, err = plim.LoadCostModel(*costPath); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
 
 	var rpt *plim.VerifyReport
 	var err error
@@ -56,9 +67,9 @@ func main() {
 	case *inFile != "" && *benchName != "":
 		err = fmt.Errorf("plimcheck: use either -in or -bench, not both")
 	case *inFile != "":
-		rpt, err = checkFile(*inFile, *format, *cap)
+		rpt, err = checkFile(*inFile, *format, *cap, cm)
 	case *benchName != "":
-		rpt, err = checkBenchmark(*benchName, *cfgName, *cap, *effort, *shrink, *cacheDir)
+		rpt, err = checkBenchmark(*benchName, *cfgName, *cap, *effort, *shrink, *cacheDir, cm)
 	default:
 		err = fmt.Errorf("plimcheck: need -in or -bench")
 	}
@@ -85,7 +96,7 @@ func main() {
 // checkFile verifies a program read from disk. These bytes may come from
 // anywhere — the codec rejects malformed streams with an error, and the
 // verifier judges whatever decodes.
-func checkFile(path, format string, cap uint64) (*plim.VerifyReport, error) {
+func checkFile(path, format string, cap uint64, cm *plim.CostModel) (*plim.VerifyReport, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return nil, err
@@ -109,14 +120,14 @@ func checkFile(path, format string, cap uint64) (*plim.VerifyReport, error) {
 	if err != nil {
 		return nil, fmt.Errorf("plimcheck: %s: %w", path, err)
 	}
-	return plim.Verify(p, plim.VerifyOptions{MaxWrites: cap}), nil
+	return plim.Verify(p, plim.VerifyOptions{MaxWrites: cap, CostModel: cm}), nil
 }
 
 // checkBenchmark compiles a benchmark under the named configuration and
 // verifies the result, including static-vs-allocator write parity — the
 // cross-check that the wear accounting the paper's tables are built on is
 // itself sound.
-func checkBenchmark(bench, cfgName string, cap uint64, effort, shrink int, cacheDir string) (*plim.VerifyReport, error) {
+func checkBenchmark(bench, cfgName string, cap uint64, effort, shrink int, cacheDir string, cm *plim.CostModel) (*plim.VerifyReport, error) {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 
@@ -129,6 +140,7 @@ func checkBenchmark(bench, cfgName string, cap uint64, effort, shrink int, cache
 		plim.WithShrink(shrink),
 		plim.WithPersistentCache(cacheDir),
 		plim.WithVerify(true),
+		plim.WithCostModel(cm),
 	)
 	m, err := eng.Benchmark(bench)
 	if err != nil {
@@ -143,7 +155,7 @@ func checkBenchmark(bench, cfgName string, cap uint64, effort, shrink int, cache
 	// for wear numbers and dead-write warnings.
 	rpt := rep.Verify
 	if rpt == nil {
-		rpt = plim.Verify(rep.Result.Program, plim.VerifyOptions{MaxWrites: cfg.MaxWrites})
+		rpt = plim.Verify(rep.Result.Program, plim.VerifyOptions{MaxWrites: cfg.MaxWrites, CostModel: cm})
 		verify.CheckWriteParity(rpt, rep.Result.WriteCounts, "allocator")
 	}
 	if s, ok := eng.CacheSummary(); ok {

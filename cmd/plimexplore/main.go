@@ -1,0 +1,194 @@
+// plimexplore sweeps the endurance-management design space — compilation
+// policy × rewriting effort × datapath shrink × instruction cost model —
+// and emits the Pareto front of energy vs. latency vs. lifetime per
+// benchmark as deterministic CSV or JSON:
+//
+//	plimexplore -benchmarks adder,ctrl -shrink 8
+//	plimexplore -efforts 0,2,5 -configs naive,full,cap50 -format json
+//	plimexplore -cost-models fast.json,lowpower.json -all -o sweep.csv
+//
+// The whole sweep runs as one task graph on the engine's work-stealing
+// scheduler: each benchmark builds once per shrink, each rewriting
+// pipeline runs once per (benchmark, shrink, effort) — served from the
+// in-memory and, with -cache-dir, persistent caches — and the compile
+// fan-out keeps every worker busy. Cost models are pure accounting, so the
+// model axis multiplies output rows without recompiling anything.
+//
+// Output is byte-deterministic: the same sweep produces the same bytes,
+// cold or cache-warm, which CI exploits to pin reproducibility. By default
+// only Pareto-optimal rows (within each benchmark × shrink × model group)
+// are emitted; -all includes dominated points, distinguished by the pareto
+// column.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+
+	"plim"
+)
+
+func main() {
+	var (
+		benches  = flag.String("benchmarks", "", "comma-separated subset (default: all 18)")
+		configs  = flag.String("configs", "table1", "table1 or a comma-separated list of naive|compiler21|minwrite|rewriting|full|capN")
+		efforts  = flag.String("efforts", "", "comma-separated rewriting cycle budgets (default: 5)")
+		shrinks  = flag.String("shrinks", "", "comma-separated datapath divisors (default: 1)")
+		models   = flag.String("cost-models", "", "comma-separated JSON cost model files (default: built-in)")
+		format   = flag.String("format", "csv", "csv|json")
+		outFile  = flag.String("o", "", "write to file instead of stdout")
+		all      = flag.Bool("all", false, "emit every swept point, not only the Pareto front")
+		doVerify = flag.Bool("verify", false, "statically verify every compile (incl. write and cost parity)")
+		workers  = flag.Int("workers", runtime.GOMAXPROCS(0), "parallel workers")
+		quiet    = flag.Bool("q", false, "suppress the cache/timing summary on stderr")
+		verbose  = flag.Bool("v", false, "stream per-benchmark progress events to stderr")
+		cacheDir = flag.String("cache-dir", os.Getenv("PLIM_CACHE_DIR"),
+			"persistent cache directory shared across plimc/plimtab/... (default $PLIM_CACHE_DIR; empty = off)")
+	)
+	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	opts := plim.ExploreOptions{Verify: *doVerify}
+	var err error
+	if *benches != "" {
+		opts.Benchmarks = splitList(*benches)
+	}
+	if opts.Configs, err = parseConfigs(*configs); err != nil {
+		fatal(err)
+	}
+	if opts.Efforts, err = parseInts(*efforts, "effort"); err != nil {
+		fatal(err)
+	}
+	if opts.Shrinks, err = parseInts(*shrinks, "shrink"); err != nil {
+		fatal(err)
+	}
+	for _, path := range splitList(*models) {
+		m, err := plim.LoadCostModel(path)
+		if err != nil {
+			fatal(err)
+		}
+		opts.Models = append(opts.Models, m)
+	}
+
+	engOpts := []plim.Option{
+		plim.WithWorkers(*workers),
+		plim.WithPersistentCache(*cacheDir),
+	}
+	if *verbose && !*quiet {
+		engOpts = append(engOpts, plim.WithProgress(func(ev plim.Event) {
+			switch ev.(type) {
+			case plim.EventRewriteCycle, plim.EventCompileStart, plim.EventTaskStart, plim.EventTaskDone:
+				return // the sweep is wide; per-benchmark granularity is enough
+			}
+			fmt.Fprintln(os.Stderr, plim.FormatEvent(ev))
+		}))
+	}
+	eng := plim.NewEngine(engOpts...)
+
+	start := time.Now()
+	res, err := eng.Explore(ctx, opts)
+	if err != nil {
+		fatal(err)
+	}
+
+	out := io.Writer(os.Stdout)
+	if *outFile != "" {
+		f, err := os.Create(*outFile)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		out = f
+	}
+	switch *format {
+	case "csv":
+		err = res.WriteCSV(out, !*all)
+	case "json":
+		err = res.WriteJSON(out, !*all)
+	default:
+		err = fmt.Errorf("plimexplore: unknown format %q (want csv or json)", *format)
+	}
+	if err != nil {
+		fatal(err)
+	}
+
+	if !*quiet {
+		if s, ok := eng.CacheSummary(); ok {
+			fmt.Fprintln(os.Stderr, s)
+		}
+		fmt.Fprintf(os.Stderr, "explored %d points (%d on front) in %v\n",
+			len(res.Points), len(res.Front()), time.Since(start).Round(time.Millisecond))
+	}
+}
+
+// splitList splits a comma-separated flag, trimming blanks.
+func splitList(s string) []string {
+	var out []string
+	for _, f := range strings.Split(s, ",") {
+		if f = strings.TrimSpace(f); f != "" {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+func parseInts(s, what string) ([]int, error) {
+	var out []int
+	for _, f := range splitList(s) {
+		n, err := strconv.Atoi(f)
+		if err != nil {
+			return nil, fmt.Errorf("plimexplore: bad %s %q", what, f)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}
+
+// parseConfigs resolves -configs: "table1" expands to the paper's five
+// incremental configurations; otherwise each name is a Table I
+// configuration or capN for the full policy under a maximum write count.
+func parseConfigs(s string) ([]plim.Config, error) {
+	if s == "" || s == "table1" {
+		return plim.TableIConfigs(), nil
+	}
+	var cfgs []plim.Config
+	for _, name := range splitList(s) {
+		switch name {
+		case "naive":
+			cfgs = append(cfgs, plim.Naive)
+		case "compiler21":
+			cfgs = append(cfgs, plim.Compiler21)
+		case "minwrite":
+			cfgs = append(cfgs, plim.MinWrite)
+		case "rewriting":
+			cfgs = append(cfgs, plim.Rewriting)
+		case "full":
+			cfgs = append(cfgs, plim.Full)
+		default:
+			if w, ok := strings.CutPrefix(name, "cap"); ok {
+				n, err := strconv.ParseUint(w, 10, 64)
+				if err == nil && n > 0 {
+					cfgs = append(cfgs, plim.FullCap(n))
+					continue
+				}
+			}
+			return nil, fmt.Errorf("plimexplore: unknown config %q", name)
+		}
+	}
+	return cfgs, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}

@@ -51,6 +51,8 @@ func main() {
 		cacheBudget = flag.Int("cache-budget", plim.DefaultCacheBudget, "in-memory cache byte budget per tier")
 		cacheDir    = flag.String("cache-dir", os.Getenv("PLIM_CACHE_DIR"),
 			"persistent cache directory shared with plimc/plimtab/... (default $PLIM_CACHE_DIR; empty = off)")
+		costPath = flag.String("cost-model", "",
+			"JSON instruction cost model pricing every response's cost block (default: built-in)")
 
 		concurrency = flag.Int("concurrency", 0, "in-flight computations counted as running (0 = -workers)")
 		queue       = flag.Int("queue", 0, "in-flight computations beyond -concurrency (0 = 4×concurrency); beyond both: 429")
@@ -72,6 +74,13 @@ func main() {
 		plim.WithWorkers(*workers),
 		plim.WithCacheBudget(*cacheBudget),
 		plim.WithPersistentCache(*cacheDir),
+	}
+	if *costPath != "" {
+		cm, err := plim.LoadCostModel(*costPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		engOpts = append(engOpts, plim.WithCostModel(cm))
 	}
 	if *verbose {
 		engOpts = append(engOpts, plim.WithProgress(func(ev plim.Event) {

@@ -3,8 +3,14 @@
 //	plimtab -table 1                 Table I  (write distribution, 5 configs)
 //	plimtab -table 2                 Table II (#I and #R)
 //	plimtab -table 3                 Table III (max-write cap trade-off)
+//	plimtab -table cost              energy/latency/lifetime per config (extension)
 //	plimtab -table ablation          per-technique isolation (extension)
 //	plimtab -table all -format md    everything, Markdown (EXPERIMENTS.md)
+//
+// The cost table prices every compiled program under an instruction cost
+// model — the built-in default, or a JSON model given with -cost-model
+// (see plim.LoadCostModel). Pricing never changes the compiled programs,
+// so Tables I–III are byte-identical whatever the model.
 //
 // Flags select benchmarks, rewriting effort, output format and a datapath
 // shrink factor for quick runs. The suite runs on a plim.Engine: Ctrl-C
@@ -34,7 +40,8 @@ import (
 
 func main() {
 	var (
-		table    = flag.String("table", "all", "1|2|3|ablation|all")
+		table    = flag.String("table", "all", "1|2|3|cost|ablation|all")
+		costPath = flag.String("cost-model", "", "JSON instruction cost model (default: built-in)")
 		benches  = flag.String("benchmarks", "", "comma-separated subset (default: all 18)")
 		effort   = flag.Int("effort", plim.DefaultEffort, "MIG rewriting cycles (0 = none)")
 		shrink   = flag.Int("shrink", 1, "divide datapath widths (quick runs)")
@@ -57,6 +64,13 @@ func main() {
 		plim.WithShrink(*shrink),
 		plim.WithWorkers(*workers),
 		plim.WithPersistentCache(*cacheDir),
+	}
+	if *costPath != "" {
+		cm, err := plim.LoadCostModel(*costPath)
+		if err != nil {
+			fatal(err)
+		}
+		engOpts = append(engOpts, plim.WithCostModel(cm))
 	}
 	if *verbose && !*quiet {
 		engOpts = append(engOpts, plim.WithProgress(func(ev plim.Event) {
@@ -109,7 +123,7 @@ func main() {
 	want := func(name string) bool { return *table == "all" || *table == name }
 	start := time.Now()
 
-	if want("1") || want("2") {
+	if want("1") || want("2") || want("cost") {
 		progress("running Table I/II configurations...")
 		sr, err := eng.RunSuite(ctx, plim.TableIConfigs(), names...)
 		if err != nil {
@@ -124,6 +138,13 @@ func main() {
 		}
 		if want("2") {
 			d, err := plim.TableII(sr)
+			if err != nil {
+				fatal(err)
+			}
+			render(d.Grid())
+		}
+		if want("cost") {
+			d, err := plim.TableCost(sr)
 			if err != nil {
 				fatal(err)
 			}

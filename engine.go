@@ -9,6 +9,7 @@ import (
 
 	"plim/internal/compile"
 	"plim/internal/core"
+	"plim/internal/cost"
 	"plim/internal/diskcache"
 	"plim/internal/exec"
 	"plim/internal/lru"
@@ -43,6 +44,7 @@ type Engine struct {
 	cacheBudget int
 	verify      bool
 	persistDir  string
+	costModel   *cost.Model
 	progress    progress.Func
 	mu          sync.Mutex // serializes progress delivery
 	err         error      // first invalid option; surfaced by every method
@@ -101,6 +103,7 @@ func NewEngine(opts ...Option) *Engine {
 		shrink:      1,
 		cache:       true,
 		cacheBudget: DefaultCacheBudget,
+		costModel:   cost.Default(),
 		scratch:     compile.NewScratchPool(),
 	}
 	for _, opt := range opts {
@@ -279,6 +282,35 @@ func WithVerify(enabled bool) Option {
 // program.
 func (e *Engine) Verified() bool { return e.verify }
 
+// WithCostModel sets the instruction cost model that prices everything the
+// engine compiles and executes (default DefaultCostModel). The model is
+// pure accounting: it never influences rewriting, node selection or device
+// allocation, so two engines differing only in cost model emit
+// byte-identical programs — only Report.Cost / ExecResult.Cost change.
+// With WithVerify on, static-vs-allocator cost parity is proven for every
+// compile; a divergence fails the run. A nil model is invalid — cost
+// accounting is always on (it is one integer classify per emitted
+// instruction); it cannot be disabled, only re-priced.
+func WithCostModel(m *CostModel) Option {
+	return func(e *Engine) {
+		if m == nil {
+			e.fail(fmt.Errorf("plim: WithCostModel(nil): model must be non-nil"))
+			return
+		}
+		if err := m.Validate(); err != nil {
+			e.fail(fmt.Errorf("plim: WithCostModel: %w", err))
+			return
+		}
+		e.costModel = m
+	}
+}
+
+// CostModelName reports the name of the engine's cost model.
+func (e *Engine) CostModelName() string { return e.costModel.Name }
+
+// CostModel returns the engine's cost model.
+func (e *Engine) CostModel() *CostModel { return e.costModel }
+
 // WithProgress installs a progress callback. The engine serializes
 // delivery: fn is never invoked concurrently, even during parallel suite
 // runs. fn must not block for long — it runs on the worker's critical path.
@@ -356,12 +388,13 @@ func (e *Engine) Run(ctx context.Context, m *MIG, cfg Config) (*Report, error) {
 		return nil, e.err
 	}
 	reps, err := core.RunStaged(ctx, m, []Config{cfg}, core.StagedOptions{
-		Effort:   e.effort,
-		Sched:    e.scheduler(),
-		Cache:    e.rwCache,
-		Scratch:  e.scratch,
-		Progress: e.observer(ctx),
-		Verify:   e.verify,
+		Effort:    e.effort,
+		Sched:     e.scheduler(),
+		Cache:     e.rwCache,
+		Scratch:   e.scratch,
+		Progress:  e.observer(ctx),
+		Verify:    e.verify,
+		CostModel: e.costModel,
 	})
 	if err != nil {
 		return nil, err
@@ -378,12 +411,13 @@ func (e *Engine) RunAll(ctx context.Context, m *MIG, cfgs []Config) ([]*Report, 
 		return nil, e.err
 	}
 	return core.RunStaged(ctx, m, cfgs, core.StagedOptions{
-		Effort:   e.effort,
-		Sched:    e.scheduler(),
-		Cache:    e.rwCache,
-		Scratch:  e.scratch,
-		Progress: e.observer(ctx),
-		Verify:   e.verify,
+		Effort:    e.effort,
+		Sched:     e.scheduler(),
+		Cache:     e.rwCache,
+		Scratch:   e.scratch,
+		Progress:  e.observer(ctx),
+		Verify:    e.verify,
+		CostModel: e.costModel,
 	})
 }
 
@@ -411,7 +445,41 @@ func (e *Engine) RunSuite(ctx context.Context, cfgs []Config, benchmarks ...stri
 		RewriteCache: e.rwCache,
 		Scratch:      e.scratch,
 		Verify:       e.verify,
+		CostModel:    e.costModel,
 	})
+}
+
+// Explore sweeps the design space (benchmark × shrink × effort × config ×
+// cost model) as one task graph on the engine's scheduler and caches, and
+// returns every point with its (benchmark, shrink, model)-local Pareto
+// front marked — see core.Explore. Only the sweep axes and Verify are
+// taken from opts: the plumbing fields (Workers, Sched, Progress, caches,
+// Scratch) are the engine's own. Empty axes default to the engine's
+// configuration — its effort, its shrink, its cost model — rather than the
+// package-level defaults, so a bare ExploreOptions{} sweeps exactly what
+// Run would compile. Verification is on when either opts.Verify or the
+// engine's WithVerify is set.
+func (e *Engine) Explore(ctx context.Context, opts ExploreOptions) (*ExploreResult, error) {
+	if e.err != nil {
+		return nil, e.err
+	}
+	if len(opts.Efforts) == 0 {
+		opts.Efforts = []int{e.effort}
+	}
+	if len(opts.Shrinks) == 0 {
+		opts.Shrinks = []int{e.shrink}
+	}
+	if len(opts.Models) == 0 {
+		opts.Models = []*CostModel{e.costModel}
+	}
+	opts.Workers = e.workers
+	opts.Sched = e.scheduler()
+	opts.Progress = e.observer(ctx)
+	opts.BenchCache = e.benchCache
+	opts.RewriteCache = e.rwCache
+	opts.Scratch = e.scratch
+	opts.Verify = opts.Verify || e.verify
+	return core.Explore(ctx, opts)
 }
 
 // Rewrite applies one of the MIG rewriting algorithms with the engine's
@@ -545,6 +613,11 @@ func (e *Engine) ExecuteBatch(ctx context.Context, p *Program, b *Batch, opts Ex
 	pl, err := e.plan(p)
 	if err != nil {
 		return nil, err
+	}
+	if opts.CostModel == nil {
+		// Engine runs are always priced; an explicit per-call model (e.g. a
+		// design-space sweep re-pricing one program) overrides the engine's.
+		opts.CostModel = e.costModel
 	}
 	obs := e.observer(ctx)
 	if obs != nil {

@@ -32,6 +32,7 @@ import (
 	"fmt"
 
 	"plim/internal/alloc"
+	"plim/internal/cost"
 	"plim/internal/isa"
 	"plim/internal/mig"
 )
@@ -77,6 +78,11 @@ type Options struct {
 	// last use. The paper reuses them (its #R figures are below
 	// #PI + #PO + workspace otherwise).
 	PinPIs bool
+	// CostModel, when non-nil, prices every emitted instruction as it is
+	// allocated: the Result gains an exact per-run Cost accumulated at the
+	// emission sites, alongside the allocator's write bookkeeping. Costing
+	// never changes which program is compiled.
+	CostModel *cost.Model
 }
 
 // Result is a compiled program plus the endurance bookkeeping the paper's
@@ -91,6 +97,11 @@ type Result struct {
 	NumInstructions int
 	// NumRRAMs is the paper's #R: every device the program ever allocated.
 	NumRRAMs int
+	// Cost is the per-run price of the program under Options.CostModel,
+	// accumulated instruction by instruction at the emission sites (the
+	// allocator-side accounting the verifier's static cost must match);
+	// nil when no model was configured.
+	Cost *cost.Cost
 }
 
 // Compile translates m into a PLiM program, drawing scratch state from the
@@ -139,12 +150,17 @@ func compileOn(m *mig.MIG, opts Options, sc *compileScratch) (*Result, error) {
 	if err := prog.Validate(); err != nil {
 		return nil, fmt.Errorf("compile: emitted invalid program: %w", err)
 	}
-	return &Result{
+	res := &Result{
 		Program:         prog,
 		WriteCounts:     c.alloc.WriteCounts(),
 		NumInstructions: len(prog.Insts),
 		NumRRAMs:        c.alloc.NumCells(),
-	}, nil
+	}
+	if m := opts.CostModel; m != nil {
+		rc := m.FromCounts(c.costOps, c.alloc.MaxWear())
+		res.Cost = &rc
+	}
+	return res, nil
 }
 
 type compiler struct {
@@ -188,6 +204,11 @@ type compiler struct {
 	// and constPOCells the two constant PO cells.
 	invPOCells   map[mig.NodeID]uint32
 	constPOCells [2]int64
+
+	// costOps counts emitted instructions per cost class when
+	// opts.CostModel is set; per-cell weighted wear rides the allocator
+	// (NoteWear next to NoteWrite).
+	costOps cost.Counts
 }
 
 // parentsOf returns the distinct majority parents of node n.
@@ -442,6 +463,11 @@ func (c *compiler) finalizePOs() error {
 func (c *compiler) emit(ins isa.Instruction) {
 	c.insts = append(c.insts, ins)
 	c.alloc.NoteWrite(ins.Z, 1)
+	if m := c.opts.CostModel; m != nil {
+		op := cost.Classify(ins)
+		c.costOps.Note(op)
+		c.alloc.NoteWear(ins.Z, m.Of(op).Wear)
+	}
 }
 
 // emitPreset writes constant v into addr: RM3 #0,#1 (→0) or RM3 #1,#0 (→1).

@@ -23,6 +23,7 @@ import (
 
 	"plim/internal/alloc"
 	"plim/internal/compile"
+	"plim/internal/cost"
 	"plim/internal/mig"
 	"plim/internal/progress"
 	"plim/internal/rewrite"
@@ -105,6 +106,11 @@ type Report struct {
 	// plim.WithVerify). A non-nil report has no hard violations — those
 	// fail the compile — but may list dead-write warnings.
 	Verify *verify.Report
+	// Cost is the per-run price of the compiled program under the
+	// configured cost model (StagedOptions.CostModel / plim.WithCostModel);
+	// nil without one. When the run is verified, static and allocator cost
+	// parity has been proven before this report exists.
+	Cost *cost.Cost
 }
 
 // NumInstructions is the paper's #I.
@@ -182,7 +188,7 @@ func Run(ctx context.Context, m *mig.MIG, cfg Config, effort int, obs progress.F
 	if err != nil {
 		return nil, err
 	}
-	return CompileConfig(ctx, cur, cfg, st, obs, nil, false)
+	return CompileConfig(ctx, cur, cfg, st, obs, nil, false, nil)
 }
 
 // CompileConfig runs the compile/alloc stage of one configuration on an
@@ -197,7 +203,11 @@ func Run(ctx context.Context, m *mig.MIG, cfg Config, effort int, obs progress.F
 // output liveness, the policy's wear cap and static-vs-allocator write
 // parity. A hard violation fails the compile; dead-write warnings land in
 // Report.Verify.
-func CompileConfig(ctx context.Context, rewritten *mig.MIG, cfg Config, rst rewrite.Stats, obs progress.Func, pool *compile.ScratchPool, doVerify bool) (*Report, error) {
+//
+// cm, when non-nil, prices the compilation (compile.Options.CostModel);
+// with doVerify additionally set, static-vs-allocator cost parity is
+// checked and a divergence fails the compile like any other violation.
+func CompileConfig(ctx context.Context, rewritten *mig.MIG, cfg Config, rst rewrite.Stats, obs progress.Func, pool *compile.ScratchPool, doVerify bool, cm *cost.Model) (*Report, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
@@ -207,6 +217,7 @@ func CompileConfig(ctx context.Context, rewritten *mig.MIG, cfg Config, rst rewr
 		Selection: cfg.Selection,
 		Alloc:     cfg.Alloc,
 		MaxWrites: cfg.MaxWrites,
+		CostModel: cm,
 	}
 	var res *compile.Result
 	var err error
@@ -232,10 +243,14 @@ func CompileConfig(ctx context.Context, rewritten *mig.MIG, cfg Config, rst rewr
 		Rewrite: rst,
 		Result:  res,
 		Writes:  stats.Summarize(res.WriteCounts),
+		Cost:    res.Cost,
 	}
 	if doVerify {
-		vr := verify.Program(res.Program, verify.Options{MaxWrites: cfg.MaxWrites})
+		vr := verify.Program(res.Program, verify.Options{MaxWrites: cfg.MaxWrites, CostModel: cm})
 		verify.CheckWriteParity(vr, res.WriteCounts, "allocator")
+		if res.Cost != nil {
+			verify.CheckCostParity(vr, *res.Cost, "allocator")
+		}
 		if err := vr.Err(); err != nil {
 			return nil, fmt.Errorf("core: %s: %w", cfg.Name, err)
 		}
@@ -307,6 +322,9 @@ type StagedOptions struct {
 	// Verify statically verifies every compiled program (see
 	// CompileConfig); a hard violation fails that configuration's compile.
 	Verify bool
+	// CostModel, when non-nil, prices every compilation (Report.Cost) and
+	// — with Verify set — proves static-vs-allocator cost parity.
+	CostModel *cost.Model
 }
 
 // StagedGraph adds the staged plan of cfgs to graph g: one rewrite task
@@ -342,7 +360,7 @@ func StagedGraph(g *sched.Graph, dep *sched.Task, mFn func() *mig.MIG, cfgs []Co
 				if rms[si] == nil {
 					return // stage rewrite failed or was skipped
 				}
-				out[ci], cmpErrs[ci] = CompileConfig(ctx, rms[si], cfgs[ci], rsts[si], opts.Progress, opts.Scratch, opts.Verify)
+				out[ci], cmpErrs[ci] = CompileConfig(ctx, rms[si], cfgs[ci], rsts[si], opts.Progress, opts.Scratch, opts.Verify, opts.CostModel)
 			}, rw)
 			leaves = append(leaves, ct)
 		}

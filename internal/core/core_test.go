@@ -572,11 +572,11 @@ func TestRewriteCacheDiskTier(t *testing.T) {
 
 	// And the compiled programs must match exactly.
 	for _, cfg := range TableIConfigs() {
-		r1, err := CompileConfig(ctx, want, cfg, wantSt, nil, nil, true)
+		r1, err := CompileConfig(ctx, want, cfg, wantSt, nil, nil, true, nil)
 		if err != nil {
 			t.Fatal(err)
 		}
-		r2, err := CompileConfig(ctx, got, cfg, gotSt, nil, nil, true)
+		r2, err := CompileConfig(ctx, got, cfg, gotSt, nil, nil, true, nil)
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math/bits"
 
+	"plim/internal/cost"
 	"plim/internal/isa"
 	"plim/internal/rram"
 )
@@ -103,6 +104,10 @@ type Options struct {
 	// OnChunk, when non-nil, is invoked after each 64-lane chunk completes
 	// (done in 1..total). It runs on the calling goroutine.
 	OnChunk func(done, total int)
+	// CostModel, when non-nil, prices the batch: Result.Cost aggregates the
+	// executed instructions (the full program, or the prefix before an
+	// endurance fault) over every lane.
+	CostModel *cost.Model
 }
 
 // Result is the outcome of executing a batch.
@@ -117,6 +122,12 @@ type Result struct {
 	Switches []uint64
 	// Vectors is the batch size the wear counts aggregate over.
 	Vectors int
+	// Cost prices the run under Options.CostModel (nil without one):
+	// energy, latency and wear aggregate over all lanes of the executed
+	// instructions; LifetimeRuns stays the per-run estimate. On an
+	// endurance fault only the executed prefix is charged — writes that
+	// never happened cost nothing.
+	Cost *cost.Cost
 }
 
 // FaultError reports an endurance fault: the instruction whose destination
@@ -202,14 +213,23 @@ func (pl *Plan) runRange(ctx context.Context, b *Batch, run []op, writeOutputs b
 // finalize assembles a Result from the aggregate switch counts of a full
 // run. Write pulses are data-independent: each executed instruction pulses
 // its destination once in every lane, so aggregate counts are the static
-// per-cell counts of the executed prefix times the batch size.
-func (pl *Plan) finalize(b *Batch, run []op, faultAt int, switches []uint64, outputs *Batch) (*Result, error) {
+// per-cell counts of the executed prefix times the batch size — and the
+// batch cost is likewise the executed prefix's per-run cost scaled by the
+// lane count, which is what makes batched cost ÷ lanes equal the static
+// cost exactly.
+func (pl *Plan) finalize(b *Batch, run []op, faultAt int, switches []uint64, outputs *Batch, opts Options) (*Result, error) {
 	res := &Result{
 		Writes:   make([]uint64, pl.numCells),
 		Switches: switches,
 		Vectors:  b.Len(),
 	}
 	n := uint64(b.Len())
+	if m := opts.CostModel; m != nil {
+		// run is always a prefix of ops, which map 1:1 onto src.Insts.
+		per := m.Price(pl.src.Insts[:len(run)], pl.numCells)
+		c := m.Scale(per, n)
+		res.Cost = &c
+	}
 	if faultAt < 0 || n == 0 {
 		// An empty batch executes nothing, so even a program that would
 		// fault has no lane to fault in.
@@ -245,7 +265,7 @@ func (pl *Plan) RunContext(ctx context.Context, b *Batch, opts Options) (*Result
 	if err := pl.runRange(ctx, b, run, faultAt < 0, switches, outputs, 0, chunks, onChunk); err != nil {
 		return nil, err
 	}
-	return pl.finalize(b, run, faultAt, switches, outputs)
+	return pl.finalize(b, run, faultAt, switches, outputs, opts)
 }
 
 // Execute compiles and runs in one call — the convenience entry point for

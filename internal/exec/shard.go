@@ -66,5 +66,5 @@ func (pl *Plan) RunSharded(ctx context.Context, b *Batch, opts Options, pool *sc
 			switches[i] += v
 		}
 	}
-	return pl.finalize(b, run, faultAt, switches, outputs)
+	return pl.finalize(b, run, faultAt, switches, outputs, opts)
 }

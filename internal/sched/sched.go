@@ -17,11 +17,20 @@
 // runs (and is pinned by engine tests).
 //
 // Priority: every graph carries an optional deadline (servers map a
-// request's timeout to it). The injector is a min-heap on (deadline,
-// submission order), and a worker prefers the injector's head over its own
-// deque when the head's deadline is strictly earlier than that of its local
-// work — so near-deadline flights are picked up first and a long suite
-// cannot starve a small compile request.
+// request's timeout to it). The injector is a min-heap on (effective
+// deadline, submission order), and a worker prefers the injector's head
+// over its own deque when the head's graph deadline is strictly earlier
+// than that of its local work — so near-deadline flights are picked up
+// first and a long suite cannot starve a small compile request.
+//
+// Fairness: a task's effective deadline is min(graph deadline, enqueue
+// time + AgingHorizon), fixed when it enters the injector. Deadline-free
+// tasks therefore age into priority instead of waiting behind an unbounded
+// stream of deadline flights: after the horizon they outrank any newly
+// arriving deadline further out, which bounds injector starvation. Among
+// deadline-free tasks the aged ordering is still FIFO (enqueue times are
+// monotone under the pool lock), so the single-worker determinism contract
+// is unchanged. Stats reports the worst observed injector wait.
 //
 // Cancellation: a graph's context cancels the whole graph. Workers never
 // start a task whose graph is cancelled — the task is skipped, still counts
@@ -78,6 +87,11 @@ func Kinds() []Kind {
 // noDeadline orders deadline-free graphs after every real deadline.
 const noDeadline = int64(math.MaxInt64)
 
+// AgingHorizon bounds injector starvation: a task queued that long is
+// treated as if its deadline were due, outranking every graph whose
+// deadline is further out (see the fairness note in the package comment).
+const AgingHorizon = 5 * time.Minute
+
 // Task is one node of a dependency graph. Tasks are created with
 // Graph.Task and scheduled automatically once every dependency completed.
 type Task struct {
@@ -91,6 +105,13 @@ type Task struct {
 	children []*Task // tasks waiting on this one
 	done     bool
 	seq      uint64 // global submission order, tie-breaks equal deadlines
+
+	// Injector state, set by injectLocked: enqueue time and the aged
+	// priority key min(graph deadline, enqNs + AgingHorizon). Tasks that
+	// become ready on a worker's deque never enter the injector and leave
+	// both zero.
+	enqNs       int64
+	effDeadline int64
 }
 
 // Graph is a set of tasks with dependency edges, executed by a Pool.
@@ -138,6 +159,14 @@ type Pool struct {
 
 	startOnce sync.Once
 	runnable  atomic.Int64 // queued tasks across injector + deques
+
+	// runnableByKind splits the runnable gauge per task kind — the input of
+	// scheduler-aware Retry-After estimates (queued work × mean latency).
+	runnableByKind [numKinds]atomic.Int64
+
+	// maxWaitNs is the worst observed injector wait (enqueue → pop), the
+	// starvation metric the aging horizon bounds.
+	maxWaitNs atomic.Int64
 
 	// lat[kind] accumulates task-latency histograms.
 	lat [numKinds]latHist
@@ -241,13 +270,39 @@ func (g *Graph) Wait() error {
 	return g.ctx.Err()
 }
 
-// injectLocked queues t on the global injector. Pool mutex held.
+// injectLocked queues t on the global injector with its aged priority key.
+// Enqueue times are taken under the pool mutex, so they are monotone with
+// seq and deadline-free tasks stay FIFO among themselves. Pool mutex held.
 func (p *Pool) injectLocked(t *Task) {
+	t.enqNs = time.Now().UnixNano()
+	t.effDeadline = t.g.deadline
+	if aged := t.enqNs + int64(AgingHorizon); aged < t.effDeadline {
+		t.effDeadline = aged
+	}
 	p.inj.push(t)
 	p.runnable.Add(1)
+	p.runnableByKind[t.kind].Add(1)
 	if p.idle > 0 {
 		p.cond.Signal()
 	}
+}
+
+// popInjectorLocked pops the injector head, recording its queue wait in
+// the starvation metric. Pool mutex held.
+func (p *Pool) popInjectorLocked() *Task {
+	t := p.inj.pop()
+	if wait := time.Now().UnixNano() - t.enqNs; wait > p.maxWaitNs.Load() {
+		p.maxWaitNs.Store(wait)
+	}
+	p.noteDequeuedLocked(t)
+	return t
+}
+
+// noteDequeuedLocked maintains the runnable gauges for one dequeued task.
+// Pool mutex held.
+func (p *Pool) noteDequeuedLocked(t *Task) {
+	p.runnable.Add(-1)
+	p.runnableByKind[t.kind].Add(-1)
 }
 
 // pushLocalLocked appends newly-ready tasks to w's deque (callers pass
@@ -257,6 +312,9 @@ func (p *Pool) injectLocked(t *Task) {
 func (p *Pool) pushLocalLocked(w *worker, ts []*Task) {
 	w.deque = append(w.deque, ts...)
 	p.runnable.Add(int64(len(ts)))
+	for _, t := range ts {
+		p.runnableByKind[t.kind].Add(1)
+	}
 	for i := 1; i < len(ts) && p.idle > 0; i++ {
 		p.cond.Signal()
 	}
@@ -270,26 +328,27 @@ func (p *Pool) next(w *worker) *Task {
 	for {
 		// Prefer local LIFO work unless the injector's head belongs to a
 		// graph with a strictly earlier deadline — deadline pressure wins
-		// over locality.
+		// over locality. The raw graph deadline decides here, not the aged
+		// key: aging reorders waiting injector entries among themselves, it
+		// never lets an aged root preempt a graph mid-execution (which would
+		// break the single-worker FIFO contract).
 		if n := len(w.deque); n > 0 {
 			if h := p.inj.peek(); h != nil && h.g.deadline < w.deque[n-1].g.deadline {
-				p.runnable.Add(-1)
-				return p.inj.pop()
+				return p.popInjectorLocked()
 			}
 			t := w.deque[n-1]
 			w.deque[n-1] = nil
 			w.deque = w.deque[:n-1]
-			p.runnable.Add(-1)
+			p.noteDequeuedLocked(t)
 			return t
 		}
 		if p.inj.peek() != nil {
-			p.runnable.Add(-1)
-			return p.inj.pop()
+			return p.popInjectorLocked()
 		}
 		// Steal half of a random victim's deque (the oldest half — the
 		// victim keeps the hot tail it is about to pop).
 		if t := p.stealLocked(w); t != nil {
-			p.runnable.Add(-1)
+			p.noteDequeuedLocked(t)
 			return t
 		}
 		if p.stopped {
@@ -384,12 +443,14 @@ func (p *Pool) exec(w *worker, t *Task) {
 	}
 }
 
-// injector is a min-heap of tasks on (graph deadline, submission seq).
+// injector is a min-heap of tasks on (effective deadline, submission seq).
+// The effective deadline is the aged key set by injectLocked, so entries
+// that waited past AgingHorizon rise above later-deadline arrivals.
 type injector struct{ h []*Task }
 
 func (q *injector) less(a, b *Task) bool {
-	if a.g.deadline != b.g.deadline {
-		return a.g.deadline < b.g.deadline
+	if a.effDeadline != b.effDeadline {
+		return a.effDeadline < b.effDeadline
 	}
 	return a.seq < b.seq
 }
@@ -478,15 +539,31 @@ type Stats struct {
 	Runnable int      // tasks queued (injector + all deques), excluding running
 	Steals   []uint64 // per-worker successful steal counts
 	Latency  map[Kind]Histogram
+	// RunnableByKind splits Runnable per task kind. Combined with each
+	// kind's mean latency it estimates the backlog drain time — the
+	// scheduler-aware Retry-After input (kinds with zero queued tasks are
+	// absent).
+	RunnableByKind map[Kind]int
+	// MaxInjectorWaitSeconds is the worst enqueue-to-pop wait any task
+	// spent in the global injector since the pool started — the starvation
+	// metric bounded by AgingHorizon plus one task's execution time.
+	MaxInjectorWaitSeconds float64
 }
 
 // Stats snapshots the pool's counters.
 func (p *Pool) Stats() Stats {
 	st := Stats{
-		Workers:  len(p.workers),
-		Runnable: int(max(0, p.runnable.Load())),
-		Steals:   make([]uint64, len(p.workers)),
-		Latency:  make(map[Kind]Histogram, int(numKinds)),
+		Workers:                len(p.workers),
+		Runnable:               int(max(0, p.runnable.Load())),
+		Steals:                 make([]uint64, len(p.workers)),
+		Latency:                make(map[Kind]Histogram, int(numKinds)),
+		RunnableByKind:         make(map[Kind]int, int(numKinds)),
+		MaxInjectorWaitSeconds: float64(p.maxWaitNs.Load()) / 1e9,
+	}
+	for k := Kind(0); k < numKinds; k++ {
+		if n := p.runnableByKind[k].Load(); n > 0 {
+			st.RunnableByKind[k] = int(n)
+		}
 	}
 	for i, w := range p.workers {
 		st.Steals[i] = w.steals.Load()

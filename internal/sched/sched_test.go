@@ -312,3 +312,109 @@ func TestStealStorm(t *testing.T) {
 		t.Fatalf("ran %d tasks, want %d", total.Load(), want)
 	}
 }
+
+// TestInjectorAging pins the aged priority key: a deadline-free task that
+// has waited past AgingHorizon is due now, outranking every task whose
+// (effective) deadline still lies ahead — including a near-deadline
+// arrival, and a fortiori a far-deadline one. The heap is exercised
+// directly with keys computed the way injectLocked fixes them at enqueue
+// time.
+func TestInjectorAging(t *testing.T) {
+	p := New(1)
+	defer p.Stop()
+	now := time.Now().UnixNano()
+	free := p.NewGraph(context.Background(), GraphOptions{})
+	far := p.NewGraph(context.Background(), GraphOptions{Deadline: time.Now().Add(AgingHorizon + time.Hour)})
+	near := p.NewGraph(context.Background(), GraphOptions{Deadline: time.Now().Add(time.Millisecond)})
+
+	// One deadline-free task enqueued AgingHorizon+1min ago, then a
+	// far-deadline and a near-deadline task enqueued now — submission order
+	// aged, fresh, urgent.
+	mk := func(g *Graph, name string, seq uint64, enqNs int64) *Task {
+		tk := &Task{g: g, kind: KindCompile, label: name, seq: seq, enqNs: enqNs}
+		tk.effDeadline = g.deadline
+		if aged := enqNs + int64(AgingHorizon); aged < tk.effDeadline {
+			tk.effDeadline = aged
+		}
+		return tk
+	}
+	aged := mk(free, "aged", 1, now-int64(AgingHorizon)-int64(time.Minute))
+	fresh := mk(far, "far-deadline", 2, now)
+	urgent := mk(near, "near-deadline", 3, now)
+
+	var q injector
+	q.push(aged)
+	q.push(fresh)
+	q.push(urgent)
+	var order []string
+	for q.peek() != nil {
+		order = append(order, q.pop().label)
+	}
+	want := []string{"aged", "near-deadline", "far-deadline"}
+	if fmt.Sprint(order) != fmt.Sprint(want) {
+		t.Fatalf("injector pop order %v, want %v", order, want)
+	}
+}
+
+// TestInjectLockedSetsAgedKey: injectLocked must fix the aged key at
+// enqueue time — graph deadline when it is nearer than the horizon, the
+// aged bound otherwise (deadline-free graphs in particular).
+func TestInjectLockedSetsAgedKey(t *testing.T) {
+	p := New(1)
+	defer p.Stop()
+	free := p.NewGraph(context.Background(), GraphOptions{})
+	near := p.NewGraph(context.Background(), GraphOptions{Deadline: time.Now().Add(time.Second)})
+
+	freeTask := &Task{g: free, kind: KindJoin}
+	nearTask := &Task{g: near, kind: KindJoin}
+	p.mu.Lock()
+	p.injectLocked(freeTask)
+	p.injectLocked(nearTask)
+	// Drain so the pool's worker never sees these synthetic tasks.
+	for p.inj.peek() != nil {
+		p.popInjectorLocked()
+	}
+	p.mu.Unlock()
+
+	if want := freeTask.enqNs + int64(AgingHorizon); freeTask.effDeadline != want {
+		t.Fatalf("deadline-free task effDeadline = %d, want enq+horizon %d", freeTask.effDeadline, want)
+	}
+	if nearTask.effDeadline != near.deadline {
+		t.Fatalf("near-deadline task effDeadline = %d, want graph deadline %d", nearTask.effDeadline, near.deadline)
+	}
+}
+
+// TestStatsMaxInjectorWait: the starvation metric reports the worst
+// enqueue-to-pop wait and the per-kind runnable split drains to empty.
+func TestStatsMaxInjectorWait(t *testing.T) {
+	p := New(1)
+	defer p.Stop()
+	g := p.NewGraph(context.Background(), GraphOptions{})
+	block := make(chan struct{})
+	g.Task(KindGenerate, "blocker", func(context.Context) { <-block })
+	// While the worker is blocked, queued tasks accumulate injector wait
+	// and show up in the per-kind runnable split.
+	g.Task(KindCompile, "queued", func(context.Context) {})
+	deadlineByKind := time.Now().Add(200 * time.Millisecond)
+	for time.Now().Before(deadlineByKind) {
+		if p.Stats().RunnableByKind[KindCompile] == 1 {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if got := p.Stats().RunnableByKind[KindCompile]; got != 1 {
+		t.Fatalf("RunnableByKind[compile] = %d while queued, want 1", got)
+	}
+	time.Sleep(5 * time.Millisecond) // let the queued task accumulate wait
+	close(block)
+	if err := g.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	st := p.Stats()
+	if len(st.RunnableByKind) != 0 {
+		t.Fatalf("RunnableByKind = %v after drain, want empty", st.RunnableByKind)
+	}
+	if st.MaxInjectorWaitSeconds < 0.005 {
+		t.Fatalf("MaxInjectorWaitSeconds = %g, want ≥ 5ms (the queued task waited behind the blocker)", st.MaxInjectorWaitSeconds)
+	}
+}

@@ -161,6 +161,10 @@ type compileResponse struct {
 	ProgramAsm    string           `json:"program_asm,omitempty"`
 	ProgramBinary []byte           `json:"program_binary,omitempty"` // base64 in JSON
 	Verification  *verifyJSON      `json:"verification,omitempty"`   // set when the request asked for verify
+	// Cost prices the compiled program under the server's cost model
+	// (plimserve -cost-model; static == allocator parity holds whenever
+	// verification ran). Unlimited lifetimes carry the raw sentinel value.
+	Cost *plim.Cost `json:"cost,omitempty"`
 }
 
 // verifyJSON is a static verification report on the wire (verify=true on
@@ -206,6 +210,7 @@ type suiteReportJSON struct {
 	RRAMs        int              `json:"rrams"`
 	Writes       writesJSON       `json:"writes"`
 	Rewrite      rewriteStatsJSON `json:"rewrite"`
+	Cost         *plim.Cost       `json:"cost,omitempty"` // priced under the server's cost model
 }
 
 // benchmarkJSON is one entry of /v1/benchmarks.
@@ -249,6 +254,9 @@ type executeResponse struct {
 	Writes       writesJSON        `json:"writes"`
 	Switches     uint64            `json:"switches_total"`
 	Fault        *executeFaultJSON `json:"fault,omitempty"`
+	// Cost prices the executed batch (all lanes of the executed prefix)
+	// under the server's cost model; LifetimeRuns stays the per-run bound.
+	Cost *plim.Cost `json:"cost,omitempty"`
 }
 
 // errorResponse is every non-2xx body.

@@ -175,6 +175,13 @@ func (m *metrics) render(s *Server) string {
 	fmt.Fprintf(&b, "# TYPE plimserve_queued_computations gauge\nplimserve_queued_computations %d\n", s.adm.queuedWaiting())
 	st := s.eng.SchedulerStats()
 	fmt.Fprintf(&b, "# TYPE plimserve_sched_runnable_tasks gauge\nplimserve_sched_runnable_tasks %d\n", st.Runnable)
+	b.WriteString("# TYPE plimserve_sched_runnable_tasks_by_kind gauge\n")
+	for _, k := range sched.Kinds() {
+		if n, ok := st.RunnableByKind[k]; ok {
+			fmt.Fprintf(&b, "plimserve_sched_runnable_tasks_by_kind{kind=%q} %d\n", k.String(), n)
+		}
+	}
+	fmt.Fprintf(&b, "# TYPE plimserve_sched_injector_max_wait_seconds gauge\nplimserve_sched_injector_max_wait_seconds %g\n", st.MaxInjectorWaitSeconds)
 	b.WriteString("# TYPE plimserve_sched_worker_steals_total counter\n")
 	for i, n := range st.Steals {
 		fmt.Fprintf(&b, "plimserve_sched_worker_steals_total{worker=\"%d\"} %d\n", i, n)

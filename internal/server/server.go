@@ -9,6 +9,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math"
 	"net/http"
 	"strconv"
 	"strings"
@@ -312,7 +313,9 @@ func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
 		return
 	}
-	key := fmt.Sprintf("compile|%s|%s|%s|verify=%t", srcKey, cfg.Name, req.Emit, req.Verify)
+	// The cost model name joins the key: responses embed priced totals, so
+	// requests served by engines priced differently must never coalesce.
+	key := fmt.Sprintf("compile|%s|%s|%s|verify=%t|cm=%s", srcKey, cfg.Name, req.Emit, req.Verify, s.eng.CostModelName())
 	s.dispatch(w, r, req.TimeoutMS, key, func(ctx context.Context, publish func(plim.Event)) response {
 		m, err := load()
 		if err != nil {
@@ -332,6 +335,7 @@ func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 			RRAMs:        rep.NumRRAMs(),
 			Writes:       summarizeWrites(rep.Writes),
 			Lifetime1e10: rep.Lifetime(1e10),
+			Cost:         rep.Cost,
 		}
 		if req.Verify {
 			vr := rep.Verify // already computed when the engine runs WithVerify
@@ -567,7 +571,7 @@ func (s *Server) dispatchExecute(w http.ResponseWriter, r *http.Request, req com
 		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
 		return
 	}
-	key := fmt.Sprintf("execute|%s|%s|e%d|%s|%s", srcKey, cfg.Name, req.Endurance, vecKey, req.Output)
+	key := fmt.Sprintf("execute|%s|%s|e%d|%s|%s|cm=%s", srcKey, cfg.Name, req.Endurance, vecKey, req.Output, s.eng.CostModelName())
 	endurance, packedOut := req.Endurance, req.Output == "packed"
 	s.dispatch(w, r, req.TimeoutMS, key, func(ctx context.Context, publish func(plim.Event)) response {
 		m, err := load()
@@ -605,6 +609,7 @@ func (s *Server) dispatchExecute(w http.ResponseWriter, r *http.Request, req com
 			Chunks:       b.Chunks(),
 			Writes:       summarizeWrites(plim.SummarizeWrites(res.Writes)),
 			Switches:     total(res.Switches),
+			Cost:         res.Cost,
 		}
 		switch {
 		case fault != nil:
@@ -707,7 +712,7 @@ func (s *Server) handleSuite(w http.ResponseWriter, r *http.Request) {
 	for i, c := range cfgs {
 		cfgNames[i] = c.Name
 	}
-	key := fmt.Sprintf("suite|%s|%s", strings.Join(req.Benchmarks, ","), strings.Join(cfgNames, ","))
+	key := fmt.Sprintf("suite|%s|%s|cm=%s", strings.Join(req.Benchmarks, ","), strings.Join(cfgNames, ","), s.eng.CostModelName())
 	benchmarks := req.Benchmarks
 	s.dispatch(w, r, req.TimeoutMS, key, func(ctx context.Context, publish func(plim.Event)) response {
 		sr, err := s.eng.RunSuite(plim.ContextWithProgress(ctx, publish), cfgs, benchmarks...)
@@ -733,6 +738,7 @@ func (s *Server) handleSuite(w http.ResponseWriter, r *http.Request) {
 					RRAMs:        rep.NumRRAMs(),
 					Writes:       summarizeWrites(rep.Writes),
 					Rewrite:      rewriteStats(rep.Rewrite),
+					Cost:         rep.Cost,
 				}
 			}
 		}
@@ -817,7 +823,7 @@ func (s *Server) runFlight(ctx context.Context, cancel context.CancelFunc, f *fl
 		s.met.admissionRejected()
 		resp = response{
 			status:     http.StatusTooManyRequests,
-			retryAfter: s.adm.retryAfter(),
+			retryAfter: s.retryAfter(),
 			body:       mustJSON(errorResponse{Error: "server at capacity, retry later"}),
 		}
 	} else {
@@ -826,6 +832,43 @@ func (s *Server) runFlight(ctx context.Context, cancel context.CancelFunc, f *fl
 	}
 	s.flights.forget(f)
 	f.finish(resp)
+}
+
+// retryAfter estimates when a rejected client should try again. The
+// primary estimate is scheduler-aware: the tasks queued in the engine's
+// scheduler, per kind, times that kind's observed mean task latency,
+// divided across the workers draining them — how long the current backlog
+// actually needs, rather than a guess from whole-flight wall-clocks. Kinds
+// without latency history yet contribute nothing; when no queued kind has
+// history (cold server, or a backlog of flights admission counts but the
+// scheduler has not seen), it falls back to the admission EWMA estimate.
+// Clamped to [1s, 60s] like the fallback.
+func (s *Server) retryAfter() time.Duration {
+	st := s.eng.SchedulerStats()
+	var secs float64
+	known := false
+	for k, n := range st.RunnableByKind {
+		h, ok := st.Latency[k]
+		if !ok || h.Count == 0 {
+			continue
+		}
+		secs += float64(n) * (h.SumSeconds / float64(h.Count))
+		known = true
+	}
+	if !known {
+		return s.adm.retryAfter()
+	}
+	if st.Workers > 0 {
+		secs /= float64(st.Workers)
+	}
+	secs = math.Ceil(secs)
+	if secs < 1 {
+		secs = 1
+	}
+	if secs > 60 {
+		secs = 60
+	}
+	return time.Duration(secs) * time.Second
 }
 
 // safeCompute runs the computation with a panic barrier: runFlight executes

@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"strconv"
 )
 
 // Summary describes the distribution of per-device write counts.
@@ -107,13 +108,17 @@ func Histogram(writes []uint64, nBuckets int) (buckets []int, width uint64) {
 	return buckets, width
 }
 
-// Lifetime estimates how many complete executions of a program a memory
-// survives, given a per-device endurance budget: the first device to die is
-// the one with the most writes per run. A run with zero writes lives
-// forever; that case returns MaxLifetime.
+// MaxLifetime is the sentinel for an unbounded lifetime. The convention,
+// shared by internal/verify and internal/cost: a run that writes no device
+// never wears one out, and an endurance budget of zero means "no budget" —
+// both live forever. Renderers print it as "unlimited" (FormatLifetime);
+// JSON reports carry the raw sentinel.
 const MaxLifetime = math.MaxUint64
 
-// Lifetime returns endurance / maxWritesPerRun.
+// Lifetime estimates how many complete executions of a program a memory
+// survives, given a per-device endurance budget: endurance divided by the
+// hottest device's writes per run. A zero-write run or a zero (absent)
+// endurance budget returns MaxLifetime.
 func Lifetime(writesPerRun []uint64, endurance uint64) uint64 {
 	var max uint64
 	for _, w := range writesPerRun {
@@ -121,8 +126,17 @@ func Lifetime(writesPerRun []uint64, endurance uint64) uint64 {
 			max = w
 		}
 	}
-	if max == 0 {
+	if max == 0 || endurance == 0 {
 		return MaxLifetime
 	}
 	return endurance / max
+}
+
+// FormatLifetime renders a lifetime for humans, spelling the MaxLifetime
+// sentinel out as "unlimited" instead of printing 2^64-1.
+func FormatLifetime(runs uint64) string {
+	if runs == MaxLifetime {
+		return "unlimited"
+	}
+	return strconv.FormatUint(runs, 10)
 }

@@ -18,6 +18,7 @@ import (
 	"plim/internal/alloc"
 	"plim/internal/compile"
 	"plim/internal/core"
+	"plim/internal/cost"
 	"plim/internal/mig"
 	"plim/internal/progress"
 	"plim/internal/sched"
@@ -68,6 +69,9 @@ type Options struct {
 	// Verify statically verifies every compiled program of the run (see
 	// core.CompileConfig); a hard violation fails that configuration.
 	Verify bool
+	// CostModel, when non-nil, prices every compilation of the run
+	// (core.Report.Cost) — the input of the cost table (TableCost).
+	CostModel *cost.Model
 }
 
 func (o *Options) validate() error {
@@ -173,11 +177,12 @@ func (sr *SuiteResult) addBenchmark(g *sched.Graph, idx int, name string, cfgs [
 	}, nil)
 	reports := make([]*core.Report, len(cfgs))
 	leaves, finish := core.StagedGraph(g, gen, func() *mig.MIG { return m }, cfgs, core.StagedOptions{
-		Effort:   opts.Effort,
-		Cache:    opts.RewriteCache,
-		Scratch:  opts.Scratch,
-		Progress: opts.Progress,
-		Verify:   opts.Verify,
+		Effort:    opts.Effort,
+		Cache:     opts.RewriteCache,
+		Scratch:   opts.Scratch,
+		Progress:  opts.Progress,
+		Verify:    opts.Verify,
+		CostModel: opts.CostModel,
 	}, reports)
 	g.Task(sched.KindJoin, name, func(ctx context.Context) {
 		err := genErr

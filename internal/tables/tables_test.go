@@ -10,6 +10,7 @@ import (
 	"testing"
 
 	"plim/internal/core"
+	"plim/internal/cost"
 	"plim/internal/progress"
 	"plim/internal/suite"
 )
@@ -442,5 +443,68 @@ func TestRunSuiteEmitsCompileEvents(t *testing.T) {
 	want := len(opts.Benchmarks) * 5
 	if startN != want || doneN != want {
 		t.Fatalf("compile events: %d starts, %d dones, want %d each", startN, doneN, want)
+	}
+}
+
+// TestTableCost pins the suite's cost columns: a priced run renders
+// energy/latency/lifetime per configuration, the CSV is byte-identical
+// across a cold and a cache-warm repeat, and an unpriced run is rejected
+// with a pointer at Options.CostModel.
+func TestTableCost(t *testing.T) {
+	opts := quickOpts()
+	opts.BenchCache = suite.NewCache()
+	opts.RewriteCache = core.NewRewriteCache()
+	opts.CostModel = cost.Default()
+	sr, err := RunSuite(context.Background(), core.TableIConfigs(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := TableCost(sr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Model != "default" {
+		t.Fatalf("model = %q", d.Model)
+	}
+	g := d.Grid()
+	for _, want := range []string{"naive energy(pJ)", "full latency", "full lifetime"} {
+		if !slices.Contains(g.Columns, want) {
+			t.Fatalf("cost table missing column %q: %v", want, g.Columns)
+		}
+	}
+	csv := g.CSV()
+	if !strings.Contains(csv, "AVG") {
+		t.Fatalf("cost CSV missing AVG row:\n%s", csv)
+	}
+	for b := range d.Benchmarks {
+		for c := range d.ConfigNames {
+			cell := d.Cells[b][c]
+			if cell.EnergyPJ <= 0 || cell.LatencyCycles == 0 || cell.LifetimeRuns == 0 {
+				t.Fatalf("degenerate cost cell [%d][%d]: %+v", b, c, cell)
+			}
+		}
+	}
+
+	// Warm repeat through both in-memory caches: byte-identical CSV.
+	again, err := RunSuite(context.Background(), core.TableIConfigs(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, err := TableCost(again)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := d2.Grid().CSV(); got != csv {
+		t.Fatalf("cache-warm cost CSV diverged:\n%s\nvs\n%s", got, csv)
+	}
+
+	// Unpriced runs cannot render a cost table.
+	unpriced := quickOpts()
+	srBad, err := RunSuite(context.Background(), core.TableIConfigs(), unpriced)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := TableCost(srBad); err == nil || !strings.Contains(err.Error(), "CostModel") {
+		t.Fatalf("unpriced suite must be rejected with a CostModel hint, got %v", err)
 	}
 }

@@ -28,7 +28,12 @@ func (r *Report) Render(w io.Writer, opts RenderOptions) {
 	fmt.Fprintln(w)
 	if opts.Endurance > 0 {
 		life := stats.Lifetime(r.WriteCounts, opts.Endurance)
-		fmt.Fprintf(w, "  lifetime @ endurance %d: %d runs\n", opts.Endurance, life)
+		fmt.Fprintf(w, "  lifetime @ endurance %d: %s runs\n", opts.Endurance, stats.FormatLifetime(life))
+	}
+	if c := r.Cost; c != nil {
+		fmt.Fprintf(w, "  cost (%s): %d resets + %d sets + %d rm3s\n", c.Model, c.Resets, c.Sets, c.RM3s)
+		fmt.Fprintf(w, "    energy %.2f pJ   latency %d cycles   wear %d (max/cell %d)   lifetime %s runs\n",
+			c.EnergyPJ, c.LatencyCycles, c.TotalWear, c.MaxCellWear, stats.FormatLifetime(c.LifetimeRuns))
 	}
 	if opts.Verbose {
 		for c, n := range r.WriteCounts {

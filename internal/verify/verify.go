@@ -29,6 +29,7 @@ import (
 	"errors"
 	"fmt"
 
+	"plim/internal/cost"
 	"plim/internal/isa"
 )
 
@@ -42,6 +43,7 @@ const (
 	CheckLiveness   = "output-liveness" // declared PO never computed
 	CheckWearCap    = "wear-cap"        // static writes exceed the policy cap
 	CheckWriteCount = "write-parity"    // static counts disagree with a dynamic/allocator aggregate
+	CheckCost       = "cost-parity"     // static cost disagrees with a dynamic/allocator cost
 )
 
 // Options configures a verification pass.
@@ -50,6 +52,10 @@ type Options struct {
 	// (core.Config.MaxWrites); any cell whose static count exceeds it is
 	// reported as a wear-cap violation.
 	MaxWrites uint64
+	// CostModel, when non-nil, prices the program during the sweep: the
+	// report gains exact static energy/latency/lifetime totals derived from
+	// the same per-instruction walk that proves the write counts.
+	CostModel *cost.Model
 }
 
 // Violation is one finding. Inst and Cell are -1 when the finding is not
@@ -93,6 +99,12 @@ type Report struct {
 	MaxCellWrites uint64 `json:"max_cell_writes"`
 	// CellsWritten counts cells with at least one write.
 	CellsWritten int `json:"cells_written"`
+
+	// Cost is the static price of one program execution under
+	// Options.CostModel; nil when no model was supplied. It is exact for the
+	// same reason the write counts are: straight-line programs execute every
+	// instruction exactly once per run.
+	Cost *cost.Cost `json:"cost,omitempty"`
 
 	Violations []Violation `json:"violations,omitempty"`
 	DeadWrites []Violation `json:"dead_writes,omitempty"`
@@ -182,6 +194,14 @@ func Program(p *isa.Program, opts Options) *Report {
 	for i := range lastWrite {
 		lastWrite[i] = -1
 	}
+	// Cost accumulation rides the same sweep: per-class op counts plus
+	// per-cell weighted wear (identical to WriteCounts under the default
+	// model's unit wear).
+	var costOps cost.Counts
+	var costWear []uint64
+	if opts.CostModel != nil {
+		costWear = make([]uint64, p.NumCells)
+	}
 	read := func(inst int, c uint32, what string) {
 		if !inRange(c) {
 			r.violate(CheckRange, inst, int64(c), "%s cell %d out of range %d", what, c, p.NumCells)
@@ -220,6 +240,11 @@ func Program(p *isa.Program, opts Options) *Report {
 		defined[ins.Z] = true
 		lastWrite[ins.Z] = int32(i)
 		r.WriteCounts[ins.Z]++
+		if m := opts.CostModel; m != nil {
+			op := cost.Classify(ins)
+			costOps.Note(op)
+			costWear[ins.Z] += m.Of(op).Wear
+		}
 	}
 
 	// Output liveness, and POs count as reads for deadness.
@@ -256,6 +281,16 @@ func Program(p *isa.Program, opts Options) *Report {
 			r.violate(CheckWearCap, -1, int64(c), "cell receives %d writes, policy cap is %d", w, opts.MaxWrites)
 		}
 	}
+	if m := opts.CostModel; m != nil {
+		var maxWear uint64
+		for _, w := range costWear {
+			if w > maxWear {
+				maxWear = w
+			}
+		}
+		c := m.FromCounts(costOps, maxWear)
+		r.Cost = &c
+	}
 	return r
 }
 
@@ -278,4 +313,22 @@ func CheckWriteParity(r *Report, got []uint64, source string) bool {
 		}
 	}
 	return ok
+}
+
+// CheckCostParity compares the report's static cost against an
+// independently accounted one — the compiler/allocator's emission-time
+// accumulation (compile.Result.Cost) or internal/exec's per-run dynamic
+// cost — and records a cost-parity violation on divergence. Both sides
+// derive their totals through cost.Model.FromCounts, so agreement is exact,
+// including the floating-point energy total. It returns true when they
+// agree (or when the report was produced without a cost model).
+func CheckCostParity(r *Report, got cost.Cost, source string) bool {
+	if r.Cost == nil {
+		return true
+	}
+	if *r.Cost == got {
+		return true
+	}
+	r.violate(CheckCost, -1, -1, "static cost %+v, %s reports %+v", *r.Cost, source, got)
+	return false
 }
