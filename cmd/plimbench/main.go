@@ -41,6 +41,12 @@
 // spare-slot compile goroutines), forced to GOMAXPROCS=4 so the numbers
 // are comparable across hosts; on a single-core runner both paths
 // time-slice on one CPU and the honest speedup is ~1x.
+//
+// The trace/ family pins the span recorder's contract: with tracing
+// disabled a Start/End pair is one context lookup and zero allocations
+// (asserted outright — the gate's absolute floor would forgive strays),
+// and the enabled cost is recorded for the trend at both span and
+// warm-engine-run granularity.
 package main
 
 import (
@@ -61,6 +67,7 @@ import (
 	"plim/internal/rewrite"
 	"plim/internal/suite"
 	"plim/internal/tables"
+	"plim/internal/trace"
 )
 
 // Entry is one benchmark measurement in the emitted JSON.
@@ -198,6 +205,66 @@ func main() {
 	fmt.Fprintf(os.Stderr, "exec speedup: %.2fx (%d vectors: %.0f ns/vector scalar, %.0f ns/vector batched)\n",
 		rep.ExecSpeedup, execVectors,
 		float64(scalar.NsPerOp())/execVectors, float64(wide.NsPerOp())/execVectors)
+
+	// The trace family: what span recording costs, off and on. Disabled
+	// tracing must be free on the hot paths — the Start/End pair degrades
+	// to one context lookup and no allocations — and that is asserted
+	// outright here rather than left to the baseline gate, whose absolute
+	// allocs floor would forgive a handful of strays. The -on entries
+	// record the enabled cost for the trend.
+	untracedCtx := context.Background()
+	spanOff := add("trace/span-off", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			_, sp := trace.Start(untracedCtx, "compile", "bench")
+			sp.End()
+		}
+	})
+	if spanOff.AllocsPerOp() != 0 {
+		fatal(fmt.Errorf("plimbench: trace/span-off costs %d allocs/op — disabled tracing must be allocation-free", spanOff.AllocsPerOp()))
+	}
+	add("trace/span-on", func(b *testing.B) {
+		tr := trace.New()
+		tracedCtx := trace.NewContext(context.Background(), tr)
+		for i := 0; i < b.N; i++ {
+			if i&(1<<14-1) == 0 { // fresh trace every 16k spans: bounded arena
+				tr = trace.New()
+				tracedCtx = trace.NewContext(context.Background(), tr)
+			}
+			sp := trace.StartNoCtx(tracedCtx, "compile", "bench")
+			sp.End()
+		}
+	})
+	// The same contract at engine scale: a warm Run (cache-served rewrite,
+	// instrumented compile) through an untraced engine, against one that
+	// records and surrenders a trace per iteration — the traced-flight
+	// shape plimserve produces for "trace": true.
+	traceMIG := mustBuild("ctrl", *shrink)
+	traceEngOff := plim.NewEngine(plim.WithShrink(*shrink))
+	if _, err := traceEngOff.Run(context.Background(), traceMIG, plim.Full); err != nil {
+		fatal(err)
+	}
+	add("trace/run-warm-off", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := traceEngOff.Run(context.Background(), traceMIG, plim.Full); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	traceEngOn := plim.NewEngine(plim.WithShrink(*shrink), plim.WithTrace(true))
+	if _, err := traceEngOn.Run(context.Background(), traceMIG, plim.Full); err != nil {
+		fatal(err)
+	}
+	traceEngOn.TakeTrace()
+	add("trace/run-warm-on", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := traceEngOn.Run(context.Background(), traceMIG, plim.Full); err != nil {
+				b.Fatal(err)
+			}
+			if traceEngOn.TakeTrace() == nil {
+				b.Fatal("traced engine recorded no spans")
+			}
+		}
+	})
 
 	// The suite sweep, before and after. The per-configuration reference
 	// reproduces the pre-staged RunSuite: benchmarks in parallel, but every

@@ -41,6 +41,7 @@ func main() {
 		outAsm    = flag.String("asm", "", "write the compiled program as assembly")
 		list      = flag.Bool("list", false, "list benchmarks and exit")
 		showStats = flag.Bool("stats", true, "print compilation statistics")
+		tracePath = flag.String("trace", "", "write a Chrome trace-event JSON trace of this run (with -v: also a span tree on stderr)")
 		verbose   = flag.Bool("v", false, "stream progress events to stderr")
 		cacheDir  = flag.String("cache-dir", os.Getenv("PLIM_CACHE_DIR"),
 			"persistent cache directory shared across plimc/plimtab invocations (default $PLIM_CACHE_DIR; empty = off)")
@@ -66,6 +67,7 @@ func main() {
 		plim.WithEffort(*effort),
 		plim.WithShrink(*shrink),
 		plim.WithPersistentCache(*cacheDir),
+		plim.WithTrace(*tracePath != ""),
 	}
 	if *verbose {
 		engOpts = append(engOpts, plim.WithProgress(func(ev plim.Event) {
@@ -108,6 +110,11 @@ func main() {
 			fatal(err)
 		}
 	}
+	if *tracePath != "" {
+		if err := writeTrace(eng, *tracePath, *verbose); err != nil {
+			fatal(err)
+		}
+	}
 	printCacheSummary(eng)
 }
 
@@ -117,6 +124,24 @@ func printCacheSummary(eng *plim.Engine) {
 	if s, ok := eng.CacheSummary(); ok {
 		fmt.Fprintln(os.Stderr, s)
 	}
+}
+
+// writeTrace exports the engine's recorded trace as Chrome trace-event
+// JSON (chrome://tracing, Perfetto); with verbose set it also renders the
+// span tree to stderr.
+func writeTrace(eng *plim.Engine, path string, verbose bool) error {
+	tr := eng.TakeTrace()
+	if tr == nil {
+		return fmt.Errorf("plimc: -trace: no spans recorded")
+	}
+	if err := writeFile(path, tr.WriteChrome); err != nil {
+		return err
+	}
+	if verbose {
+		fmt.Fprintln(os.Stderr, "trace:")
+		tr.Render(os.Stderr)
+	}
+	return nil
 }
 
 func loadMIG(eng *plim.Engine, bench, file string) (*plim.MIG, error) {

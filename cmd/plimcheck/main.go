@@ -44,6 +44,7 @@ func main() {
 		endurance = flag.Uint64("endurance", 1e10, "per-device endurance for the lifetime estimate (0 = omit)")
 		jsonOut   = flag.Bool("json", false, "emit the report as JSON instead of text")
 		strict    = flag.Bool("strict", false, "also fail (exit 1) on dead writes")
+		tracePath = flag.String("trace", "", "with -bench: write a Chrome trace-event JSON trace of the compile (with -v: also a span tree on stderr)")
 		verbose   = flag.Bool("v", false, "list the full per-cell write histogram")
 		cacheDir  = flag.String("cache-dir", os.Getenv("PLIM_CACHE_DIR"),
 			"persistent cache directory shared with plimc/plimtab/migstat (default $PLIM_CACHE_DIR; empty = off)")
@@ -66,10 +67,12 @@ func main() {
 	switch {
 	case *inFile != "" && *benchName != "":
 		err = fmt.Errorf("plimcheck: use either -in or -bench, not both")
+	case *tracePath != "" && *benchName == "":
+		err = fmt.Errorf("plimcheck: -trace records the compile and needs -bench")
 	case *inFile != "":
 		rpt, err = checkFile(*inFile, *format, *cap, cm)
 	case *benchName != "":
-		rpt, err = checkBenchmark(*benchName, *cfgName, *cap, *effort, *shrink, *cacheDir, cm)
+		rpt, err = checkBenchmark(*benchName, *cfgName, *cap, *effort, *shrink, *cacheDir, *tracePath, *verbose, cm)
 	default:
 		err = fmt.Errorf("plimcheck: need -in or -bench")
 	}
@@ -127,7 +130,7 @@ func checkFile(path, format string, cap uint64, cm *plim.CostModel) (*plim.Verif
 // verifies the result, including static-vs-allocator write parity — the
 // cross-check that the wear accounting the paper's tables are built on is
 // itself sound.
-func checkBenchmark(bench, cfgName string, cap uint64, effort, shrink int, cacheDir string, cm *plim.CostModel) (*plim.VerifyReport, error) {
+func checkBenchmark(bench, cfgName string, cap uint64, effort, shrink int, cacheDir, tracePath string, verbose bool, cm *plim.CostModel) (*plim.VerifyReport, error) {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 
@@ -141,6 +144,7 @@ func checkBenchmark(bench, cfgName string, cap uint64, effort, shrink int, cache
 		plim.WithPersistentCache(cacheDir),
 		plim.WithVerify(true),
 		plim.WithCostModel(cm),
+		plim.WithTrace(tracePath != ""),
 	)
 	m, err := eng.Benchmark(bench)
 	if err != nil {
@@ -158,10 +162,40 @@ func checkBenchmark(bench, cfgName string, cap uint64, effort, shrink int, cache
 		rpt = plim.Verify(rep.Result.Program, plim.VerifyOptions{MaxWrites: cfg.MaxWrites, CostModel: cm})
 		verify.CheckWriteParity(rpt, rep.Result.WriteCounts, "allocator")
 	}
+	if tracePath != "" {
+		if err := writeTrace(eng, tracePath, verbose); err != nil {
+			return nil, err
+		}
+	}
 	if s, ok := eng.CacheSummary(); ok {
 		fmt.Fprintln(os.Stderr, s)
 	}
 	return rpt, nil
+}
+
+// writeTrace exports the engine's recorded trace as Chrome trace-event
+// JSON; with verbose set it also renders the span tree to stderr.
+func writeTrace(eng *plim.Engine, path string, verbose bool) error {
+	tr := eng.TakeTrace()
+	if tr == nil {
+		return fmt.Errorf("plimcheck: -trace: no spans recorded")
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := tr.WriteChrome(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if verbose {
+		fmt.Fprintln(os.Stderr, "trace:")
+		tr.Render(os.Stderr)
+	}
+	return nil
 }
 
 func configByName(name string, cap uint64) (plim.Config, error) {

@@ -38,19 +38,20 @@ import (
 
 func main() {
 	var (
-		benches  = flag.String("benchmarks", "", "comma-separated subset (default: all 18)")
-		configs  = flag.String("configs", "table1", "table1 or a comma-separated list of naive|compiler21|minwrite|rewriting|full|capN")
-		efforts  = flag.String("efforts", "", "comma-separated rewriting cycle budgets (default: 5)")
-		shrinks  = flag.String("shrinks", "", "comma-separated datapath divisors (default: 1)")
-		models   = flag.String("cost-models", "", "comma-separated JSON cost model files (default: built-in)")
-		format   = flag.String("format", "csv", "csv|json")
-		outFile  = flag.String("o", "", "write to file instead of stdout")
-		all      = flag.Bool("all", false, "emit every swept point, not only the Pareto front")
-		doVerify = flag.Bool("verify", false, "statically verify every compile (incl. write and cost parity)")
-		workers  = flag.Int("workers", runtime.GOMAXPROCS(0), "parallel workers")
-		quiet    = flag.Bool("q", false, "suppress the cache/timing summary on stderr")
-		verbose  = flag.Bool("v", false, "stream per-benchmark progress events to stderr")
-		cacheDir = flag.String("cache-dir", os.Getenv("PLIM_CACHE_DIR"),
+		benches   = flag.String("benchmarks", "", "comma-separated subset (default: all 18)")
+		configs   = flag.String("configs", "table1", "table1 or a comma-separated list of naive|compiler21|minwrite|rewriting|full|capN")
+		efforts   = flag.String("efforts", "", "comma-separated rewriting cycle budgets (default: 5)")
+		shrinks   = flag.String("shrinks", "", "comma-separated datapath divisors (default: 1)")
+		models    = flag.String("cost-models", "", "comma-separated JSON cost model files (default: built-in)")
+		format    = flag.String("format", "csv", "csv|json")
+		outFile   = flag.String("o", "", "write to file instead of stdout")
+		all       = flag.Bool("all", false, "emit every swept point, not only the Pareto front")
+		doVerify  = flag.Bool("verify", false, "statically verify every compile (incl. write and cost parity)")
+		workers   = flag.Int("workers", runtime.GOMAXPROCS(0), "parallel workers")
+		quiet     = flag.Bool("q", false, "suppress the cache/timing summary on stderr")
+		tracePath = flag.String("trace", "", "write a Chrome trace-event JSON trace of the sweep (with -v: also a span tree on stderr)")
+		verbose   = flag.Bool("v", false, "stream per-benchmark progress events to stderr")
+		cacheDir  = flag.String("cache-dir", os.Getenv("PLIM_CACHE_DIR"),
 			"persistent cache directory shared across plimc/plimtab/... (default $PLIM_CACHE_DIR; empty = off)")
 	)
 	flag.Parse()
@@ -83,6 +84,7 @@ func main() {
 	engOpts := []plim.Option{
 		plim.WithWorkers(*workers),
 		plim.WithPersistentCache(*cacheDir),
+		plim.WithTrace(*tracePath != ""),
 	}
 	if *verbose && !*quiet {
 		engOpts = append(engOpts, plim.WithProgress(func(ev plim.Event) {
@@ -122,6 +124,11 @@ func main() {
 		fatal(err)
 	}
 
+	if *tracePath != "" {
+		if err := writeTrace(eng, *tracePath, *verbose && !*quiet); err != nil {
+			fatal(err)
+		}
+	}
 	if !*quiet {
 		if s, ok := eng.CacheSummary(); ok {
 			fmt.Fprintln(os.Stderr, s)
@@ -129,6 +136,31 @@ func main() {
 		fmt.Fprintf(os.Stderr, "explored %d points (%d on front) in %v\n",
 			len(res.Points), len(res.Front()), time.Since(start).Round(time.Millisecond))
 	}
+}
+
+// writeTrace exports the engine's recorded trace as Chrome trace-event
+// JSON; with verbose set it also renders the span tree to stderr.
+func writeTrace(eng *plim.Engine, path string, verbose bool) error {
+	tr := eng.TakeTrace()
+	if tr == nil {
+		return fmt.Errorf("plimexplore: -trace: no spans recorded")
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := tr.WriteChrome(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if verbose {
+		fmt.Fprintln(os.Stderr, "trace:")
+		tr.Render(os.Stderr)
+	}
+	return nil
 }
 
 // splitList splits a comma-separated flag, trimming blanks.

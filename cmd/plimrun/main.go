@@ -25,6 +25,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -45,6 +46,7 @@ func main() {
 		seed      = flag.Int64("seed", 1, "random seed")
 		wearmap   = flag.Bool("wearmap", false, "print the crossbar wear map after the run")
 		endurance = flag.Uint64("endurance", 0, "per-device write budget (0 = unlimited)")
+		tracePath = flag.String("trace", "", "write a Chrome trace-event JSON trace of the batch execution")
 		shrink    = flag.Int("shrink", 1, "datapath divisor when -verify names a benchmark")
 		cacheDir  = flag.String("cache-dir", os.Getenv("PLIM_CACHE_DIR"),
 			"persistent cache directory for benchmark rebuilds (default $PLIM_CACHE_DIR; empty = off)")
@@ -85,9 +87,18 @@ func main() {
 		fatal(fmt.Errorf("plimrun: input vectors have %d bits, program needs %d", batch.Lines(), npi))
 	}
 
-	res, err := plim.ExecuteBatch(prog, batch, plim.ExecOptions{Endurance: *endurance})
+	// Execution goes through an engine so -trace can record per-chunk
+	// spans; without -trace this is equivalent to the plain ExecuteBatch
+	// free function (the engine stays cold apart from the plan cache).
+	eng := plim.NewEngine(plim.WithTrace(*tracePath != ""))
+	res, err := eng.ExecuteBatch(context.Background(), prog, batch, plim.ExecOptions{Endurance: *endurance})
 	if err != nil {
 		fatal(fmt.Errorf("plimrun: %w", err))
+	}
+	if *tracePath != "" {
+		if err := writeTrace(eng, *tracePath); err != nil {
+			fatal(err)
+		}
 	}
 
 	if ref != nil {
@@ -233,6 +244,24 @@ func firstDiff(a, b uint64, chunk int) int {
 		i++
 	}
 	return chunk*64 + i
+}
+
+// writeTrace exports the engine's recorded trace as Chrome trace-event
+// JSON (chrome://tracing, Perfetto).
+func writeTrace(eng *plim.Engine, path string) error {
+	tr := eng.TakeTrace()
+	if tr == nil {
+		return fmt.Errorf("plimrun: -trace: no spans recorded")
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := tr.WriteChrome(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func fatal(err error) {

@@ -19,6 +19,12 @@
 // (or Ctrl-C) drains gracefully: /healthz flips to 503, in-flight requests
 // finish (up to -drain-timeout), then the process exits.
 //
+// Requests with "trace": true receive a span-per-task execution trace in
+// the response (plus a Server-Timing header); -debug-addr starts a second
+// listener with net/http/pprof under /debug/pprof/ and the ring of the
+// slowest traced flights under /debug/trace/last. Logs are structured
+// (log/slog, text format, stderr); -log-level adjusts verbosity.
+//
 // With -cache-dir (default $PLIM_CACHE_DIR) the persistent cache tier is
 // shared with the other CLIs, and a periodic janitor (-cache-gc-interval)
 // keeps the directory within -cache-max-age / -cache-max-bytes.
@@ -29,8 +35,9 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"runtime"
@@ -64,9 +71,17 @@ func main() {
 		gcMaxBytes = flag.Int64("cache-max-bytes", 0, "janitor: keep the disk cache under this many bytes (0 = no size limit)")
 
 		drainTimeout = flag.Duration("drain-timeout", 10*time.Second, "graceful-shutdown budget for in-flight requests")
-		verbose      = flag.Bool("v", false, "log every progress event to stderr")
+		debugAddr    = flag.String("debug-addr", "", "debug listener address serving /debug/pprof/ and /debug/trace/last (empty = off)")
+		logLevel     = flag.String("log-level", "info", "log verbosity: debug, info, warn or error")
+		verbose      = flag.Bool("v", false, "log every progress event")
 	)
 	flag.Parse()
+
+	var level slog.Level
+	if err := level.UnmarshalText([]byte(*logLevel)); err != nil {
+		fatal(fmt.Errorf("plimserve: bad -log-level %q (want debug, info, warn or error)", *logLevel))
+	}
+	logger := slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: level}))
 
 	engOpts := []plim.Option{
 		plim.WithEffort(*effort),
@@ -78,13 +93,13 @@ func main() {
 	if *costPath != "" {
 		cm, err := plim.LoadCostModel(*costPath)
 		if err != nil {
-			log.Fatal(err)
+			fatal(err)
 		}
 		engOpts = append(engOpts, plim.WithCostModel(cm))
 	}
 	if *verbose {
 		engOpts = append(engOpts, plim.WithProgress(func(ev plim.Event) {
-			log.Println(plim.FormatEvent(ev))
+			logger.Info("progress", "event", plim.FormatEvent(ev))
 		}))
 	}
 	eng := plim.NewEngine(engOpts...)
@@ -94,6 +109,7 @@ func main() {
 		QueueDepth:     *queue,
 		DefaultTimeout: *reqTimeout,
 		MaxTimeout:     *maxTimeout,
+		Logger:         logger,
 	})
 	httpSrv := &http.Server{Addr: *addr, Handler: srv}
 
@@ -108,15 +124,40 @@ func main() {
 			// A budget without a period would be a silently-unenforced
 			// limit; default to an hourly sweep instead.
 			*gcInterval = time.Hour
-			log.Printf("cache janitor: -cache-gc-interval not set, defaulting to %v", *gcInterval)
+			logger.Warn("cache janitor: -cache-gc-interval not set, using default", "interval", *gcInterval)
 		}
-		go janitor(ctx, *cacheDir, *gcInterval, *gcMaxAge, *gcMaxBytes)
+		go janitor(ctx, logger, *cacheDir, *gcInterval, *gcMaxAge, *gcMaxBytes)
+	}
+
+	if *debugAddr != "" {
+		// The debug listener is separate on purpose: profiles and retained
+		// traces stay off the service port, so the main listener can face a
+		// load balancer while /debug binds to localhost only.
+		dmux := http.NewServeMux()
+		dmux.HandleFunc("/debug/pprof/", pprof.Index)
+		dmux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		dmux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		dmux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		dmux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		dmux.Handle("/debug/trace/last", srv.TraceLastHandler())
+		dbgSrv := &http.Server{Addr: *debugAddr, Handler: dmux}
+		go func() {
+			if err := dbgSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				logger.Error("debug listener failed", "addr", *debugAddr, "error", err)
+			}
+		}()
+		defer dbgSrv.Close()
+		logger.Info("debug listener", "addr", *debugAddr)
 	}
 
 	errc := make(chan error, 1)
 	go func() { errc <- httpSrv.ListenAndServe() }()
-	log.Printf("plimserve listening on %s (effort %d, shrink %d, workers %d, cache-dir %q)",
-		*addr, eng.Effort(), eng.Shrink(), eng.Workers(), eng.PersistentCacheDir())
+	logger.Info("plimserve listening",
+		"addr", *addr,
+		"effort", eng.Effort(),
+		"shrink", eng.Shrink(),
+		"workers", eng.Workers(),
+		"cache_dir", eng.PersistentCacheDir())
 
 	select {
 	case err := <-errc:
@@ -126,38 +167,44 @@ func main() {
 
 	// Graceful drain: advertise unhealthiness first so load balancers stop
 	// routing here, then let in-flight requests finish.
-	log.Printf("plimserve draining (budget %v)", *drainTimeout)
+	logger.Info("plimserve draining", "budget", *drainTimeout)
 	srv.SetDraining(true)
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 	defer cancel()
 	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
-		log.Printf("plimserve drain incomplete: %v", err)
+		logger.Error("plimserve drain incomplete", "error", err)
 		os.Exit(1)
 	}
 	if s, ok := eng.CacheSummary(); ok {
-		log.Print(s)
+		// The one-line summary format is shared with the other CLIs (and
+		// grepped by CI smoke jobs), so it stays a plain stderr line.
+		fmt.Fprintln(os.Stderr, s)
 	}
-	log.Printf("plimserve stopped")
+	logger.Info("plimserve stopped")
 }
 
 // janitor periodically bounds the shared cache directory. It opens its own
 // diskcache handle: GC is pure directory hygiene, and concurrent engine
 // reads/writes tolerate deletions by design (a deleted entry is a miss).
-func janitor(ctx context.Context, dir string, interval, maxAge time.Duration, maxBytes int64) {
+func janitor(ctx context.Context, logger *slog.Logger, dir string, interval, maxAge time.Duration, maxBytes int64) {
 	c, err := diskcache.Open(dir)
 	if err != nil {
-		log.Printf("cache janitor disabled: %v", err)
+		logger.Error("cache janitor disabled", "error", err)
 		return
 	}
 	sweep := func() {
 		st, err := c.GC(maxAge, maxBytes)
 		if err != nil {
-			log.Printf("cache gc: %v", err)
+			logger.Error("cache gc failed", "error", err)
 			return
 		}
 		if st.Removed > 0 || st.TempsRemoved > 0 {
-			log.Printf("cache gc: removed %d entries (%d bytes) + %d stray temps; %d entries / %d bytes remain",
-				st.Removed, st.RemovedBytes, st.TempsRemoved, st.Entries, st.Bytes)
+			logger.Info("cache gc",
+				"removed", st.Removed,
+				"removed_bytes", st.RemovedBytes,
+				"temps_removed", st.TempsRemoved,
+				"entries", st.Entries,
+				"bytes", st.Bytes)
 		}
 	}
 	// Sweep once up front: a directory that outgrew its budget while the

@@ -40,18 +40,19 @@ import (
 
 func main() {
 	var (
-		table    = flag.String("table", "all", "1|2|3|cost|ablation|all")
-		costPath = flag.String("cost-model", "", "JSON instruction cost model (default: built-in)")
-		benches  = flag.String("benchmarks", "", "comma-separated subset (default: all 18)")
-		effort   = flag.Int("effort", plim.DefaultEffort, "MIG rewriting cycles (0 = none)")
-		shrink   = flag.Int("shrink", 1, "divide datapath widths (quick runs)")
-		format   = flag.String("format", "text", "text|md|csv")
-		outFile  = flag.String("out", "", "write to file instead of stdout")
-		workers  = flag.Int("workers", runtime.GOMAXPROCS(0), "parallel benchmark workers")
-		caps     = flag.String("caps", "10,20,50,100", "write caps for Table III")
-		quiet    = flag.Bool("q", false, "suppress progress output")
-		verbose  = flag.Bool("v", false, "stream per-benchmark progress events to stderr")
-		cacheDir = flag.String("cache-dir", os.Getenv("PLIM_CACHE_DIR"),
+		table     = flag.String("table", "all", "1|2|3|cost|ablation|all")
+		costPath  = flag.String("cost-model", "", "JSON instruction cost model (default: built-in)")
+		benches   = flag.String("benchmarks", "", "comma-separated subset (default: all 18)")
+		effort    = flag.Int("effort", plim.DefaultEffort, "MIG rewriting cycles (0 = none)")
+		shrink    = flag.Int("shrink", 1, "divide datapath widths (quick runs)")
+		format    = flag.String("format", "text", "text|md|csv")
+		outFile   = flag.String("out", "", "write to file instead of stdout")
+		workers   = flag.Int("workers", runtime.GOMAXPROCS(0), "parallel benchmark workers")
+		caps      = flag.String("caps", "10,20,50,100", "write caps for Table III")
+		quiet     = flag.Bool("q", false, "suppress progress output")
+		tracePath = flag.String("trace", "", "write a Chrome trace-event JSON trace of the run (with -v: also a span tree on stderr)")
+		verbose   = flag.Bool("v", false, "stream per-benchmark progress events to stderr")
+		cacheDir  = flag.String("cache-dir", os.Getenv("PLIM_CACHE_DIR"),
 			"persistent cache directory shared across plimtab/plimc invocations (default $PLIM_CACHE_DIR; empty = off)")
 	)
 	flag.Parse()
@@ -64,6 +65,7 @@ func main() {
 		plim.WithShrink(*shrink),
 		plim.WithWorkers(*workers),
 		plim.WithPersistentCache(*cacheDir),
+		plim.WithTrace(*tracePath != ""),
 	}
 	if *costPath != "" {
 		cm, err := plim.LoadCostModel(*costPath)
@@ -188,10 +190,40 @@ func main() {
 		render(g)
 	}
 
+	if *tracePath != "" {
+		if err := writeTrace(eng, *tracePath, *verbose && !*quiet); err != nil {
+			fatal(err)
+		}
+	}
 	if s, ok := eng.CacheSummary(); ok {
 		progress(s)
 	}
 	progress(fmt.Sprintf("done in %v", time.Since(start).Round(time.Millisecond)))
+}
+
+// writeTrace exports the engine's recorded trace as Chrome trace-event
+// JSON; with verbose set it also renders the span tree to stderr.
+func writeTrace(eng *plim.Engine, path string, verbose bool) error {
+	tr := eng.TakeTrace()
+	if tr == nil {
+		return fmt.Errorf("plimtab: -trace: no spans recorded")
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := tr.WriteChrome(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if verbose {
+		fmt.Fprintln(os.Stderr, "trace:")
+		tr.Render(os.Stderr)
+	}
+	return nil
 }
 
 func fatal(err error) {

@@ -17,6 +17,7 @@ import (
 	"plim/internal/sched"
 	"plim/internal/suite"
 	"plim/internal/tables"
+	"plim/internal/trace"
 )
 
 // Engine is the primary entry point of the package: a reusable, configured
@@ -70,6 +71,13 @@ type Engine struct {
 	// scratch recycles compile-stage state (per-node tables, candidate
 	// heap, device allocator) across every compilation the engine runs.
 	scratch *compile.ScratchPool
+
+	// traceOn arms span recording (WithTrace): every engine call then
+	// records scheduler-task, cache-probe and exec-chunk spans into the
+	// current trace, harvested by TakeTrace. traceMu guards tr.
+	traceOn bool
+	traceMu sync.Mutex
+	tr      *trace.Trace
 
 	// sched is the engine's process-wide work-stealing task scheduler,
 	// sized by WithWorkers and created lazily on first use. Every Run /
@@ -222,11 +230,14 @@ func WithPersistentCache(dir string) Option {
 }
 
 // CacheCounters is a snapshot of the persistent cache tier's accounting.
-// Loads that fail verification count as misses.
+// Loads that fail verification count as misses; VerifyMisses counts the
+// subset of misses rejected by fingerprint re-verification alone (engines
+// built WithVerify re-verify disk-served graphs).
 type CacheCounters struct {
 	RewriteHits, RewriteMisses     uint64
 	BenchmarkHits, BenchmarkMisses uint64
 	Stores, StoreErrors            uint64
+	VerifyMisses                   uint64
 }
 
 // PersistentCacheStats reports the persistent tier's hit/miss/store
@@ -242,6 +253,7 @@ func (e *Engine) PersistentCacheStats() (c CacheCounters, ok bool) {
 		RewriteMisses: d.RewriteMisses,
 		BenchmarkHits: d.BenchmarkHits, BenchmarkMisses: d.BenchmarkMisses,
 		Stores: d.Stores, StoreErrors: d.StoreErrors,
+		VerifyMisses: e.disk.VerifyMisses(),
 	}, true
 }
 
@@ -310,6 +322,65 @@ func (e *Engine) CostModelName() string { return e.costModel.Name }
 
 // CostModel returns the engine's cost model.
 func (e *Engine) CostModel() *CostModel { return e.costModel }
+
+// WithTrace toggles span tracing (default off). With tracing on, every
+// engine call records a span tree — one span per scheduler task with
+// queue-wait, worker id and steal origin, one per cache probe with its
+// outcome (memory-hit / disk-hit / verify-miss / compute), one per executed
+// 64-lane chunk with lane occupancy — into an accumulating trace that
+// TakeTrace harvests. Calls whose context already carries a trace (server
+// flights built with trace.NewContext) keep recording into that per-request
+// trace instead. With tracing off the instrumentation is inert: the hot
+// paths pay only context lookups and nil checks, no allocations (pinned by
+// the plimbench trace/ family).
+func WithTrace(enabled bool) Option {
+	return func(e *Engine) { e.traceOn = enabled }
+}
+
+// Trace is a recorded span tree — see Engine.TakeTrace. It exports Chrome
+// trace-event JSON (WriteChrome, loadable in Perfetto or chrome://tracing),
+// a human-readable tree (Render/RenderString) and per-stage totals (Totals).
+type Trace = trace.Trace
+
+// TraceSpan is one span of a Trace.
+type TraceSpan = trace.Span
+
+// TakeTrace returns the spans recorded since the engine was built (or since
+// the previous TakeTrace) and resets the accumulator. It returns nil when
+// WithTrace is off or nothing traced ran.
+func (e *Engine) TakeTrace() *Trace {
+	e.traceMu.Lock()
+	defer e.traceMu.Unlock()
+	t := e.tr
+	e.tr = nil
+	return t
+}
+
+// traceCtx opens a "call" span for one engine call — see traceSpan.
+func (e *Engine) traceCtx(ctx context.Context, call string) (context.Context, trace.Handle) {
+	return e.traceSpan(ctx, "call", call)
+}
+
+// traceSpan opens a span on whichever trace applies: a trace already
+// carried by ctx (a server flight's per-request trace) records the span as
+// a child of the caller's current span; otherwise, with WithTrace on, the
+// span roots in the engine's own accumulating trace. With neither, ctx is
+// returned unchanged with an inert Handle.
+func (e *Engine) traceSpan(ctx context.Context, kind, name string) (context.Context, trace.Handle) {
+	if trace.FromContext(ctx) == nil {
+		if !e.traceOn {
+			return ctx, trace.Handle{}
+		}
+		e.traceMu.Lock()
+		if e.tr == nil {
+			e.tr = trace.New()
+		}
+		t := e.tr
+		e.traceMu.Unlock()
+		ctx = trace.NewContext(ctx, t)
+	}
+	return trace.Start(ctx, kind, name)
+}
 
 // WithProgress installs a progress callback. The engine serializes
 // delivery: fn is never invoked concurrently, even during parallel suite
@@ -387,6 +458,8 @@ func (e *Engine) Run(ctx context.Context, m *MIG, cfg Config) (*Report, error) {
 	if e.err != nil {
 		return nil, e.err
 	}
+	ctx, csp := e.traceCtx(ctx, "run")
+	defer csp.End()
 	reps, err := core.RunStaged(ctx, m, []Config{cfg}, core.StagedOptions{
 		Effort:    e.effort,
 		Sched:     e.scheduler(),
@@ -410,6 +483,8 @@ func (e *Engine) RunAll(ctx context.Context, m *MIG, cfgs []Config) ([]*Report, 
 	if e.err != nil {
 		return nil, e.err
 	}
+	ctx, csp := e.traceCtx(ctx, "run-all")
+	defer csp.End()
 	return core.RunStaged(ctx, m, cfgs, core.StagedOptions{
 		Effort:    e.effort,
 		Sched:     e.scheduler(),
@@ -434,6 +509,8 @@ func (e *Engine) RunSuite(ctx context.Context, cfgs []Config, benchmarks ...stri
 	if e.err != nil {
 		return nil, e.err
 	}
+	ctx, csp := e.traceCtx(ctx, "suite")
+	defer csp.End()
 	return tables.RunSuite(ctx, cfgs, tables.Options{
 		Benchmarks:   benchmarks,
 		Effort:       e.effort,
@@ -463,6 +540,8 @@ func (e *Engine) Explore(ctx context.Context, opts ExploreOptions) (*ExploreResu
 	if e.err != nil {
 		return nil, e.err
 	}
+	ctx, csp := e.traceCtx(ctx, "explore")
+	defer csp.End()
 	if len(opts.Efforts) == 0 {
 		opts.Efforts = []int{e.effort}
 	}
@@ -491,6 +570,8 @@ func (e *Engine) Rewrite(ctx context.Context, m *MIG, kind RewriteKind) (*MIG, R
 	if e.err != nil {
 		return nil, RewriteStats{}, e.err
 	}
+	ctx, csp := e.traceCtx(ctx, "rewrite")
+	defer csp.End()
 	out, st, err := e.rwCache.Rewrite(ctx, m, kind, e.effort, e.observer(ctx), "")
 	if err != nil {
 		return nil, st, err
@@ -519,16 +600,26 @@ func (e *Engine) Benchmark(name string) (*MIG, error) {
 // mixed shrinks still build each (benchmark, shrink) once. The result is
 // always private to the caller.
 func (e *Engine) BenchmarkScaled(name string, shrink int) (*MIG, error) {
+	return e.BenchmarkScaledContext(context.Background(), name, shrink)
+}
+
+// BenchmarkScaledContext is BenchmarkScaled with a context: when ctx
+// carries a trace (a server flight) or the engine traces (WithTrace), the
+// build records a generate span with the cache probe nested inside, so
+// traced requests account for benchmark generation, not just the compile.
+func (e *Engine) BenchmarkScaledContext(ctx context.Context, name string, shrink int) (*MIG, error) {
 	if e.err != nil {
 		return nil, e.err
 	}
 	if shrink < 1 {
 		return nil, fmt.Errorf("plim: BenchmarkScaled(%q, %d): shrink must be ≥ 1", name, shrink)
 	}
+	ctx, sp := e.traceSpan(ctx, "generate", name)
+	defer sp.End()
 	if e.benchCache == nil {
 		return suite.BuildScaled(name, shrink)
 	}
-	m, err := e.benchCache.BuildScaled(name, shrink)
+	m, err := e.benchCache.BuildScaledContext(ctx, name, shrink)
 	if err != nil {
 		return nil, err
 	}
@@ -547,6 +638,16 @@ func (e *Engine) MemoryCacheLens() (rewrites, benchmarks int) {
 		benchmarks = e.benchCache.Len()
 	}
 	return rewrites, benchmarks
+}
+
+// MemoryCacheProbes reports the in-memory tiers' probe counters summed over
+// the rewrite and benchmark caches: hits include probes that attached to an
+// in-flight singleflight computation. Servers export these as
+// plimserve_cache_probe_total{tier="memory"}.
+func (e *Engine) MemoryCacheProbes() (hits, misses uint64) {
+	rh, rm := e.rwCache.Probes()
+	bh, bm := e.benchCache.Probes()
+	return rh + bh, rm + bm
 }
 
 // plan returns the bit-sliced execution plan for p, memoized by program
@@ -610,6 +711,8 @@ func (e *Engine) ExecuteBatch(ctx context.Context, p *Program, b *Batch, opts Ex
 	if e.err != nil {
 		return nil, e.err
 	}
+	ctx, csp := e.traceCtx(ctx, "execute-batch")
+	defer csp.End()
 	pl, err := e.plan(p)
 	if err != nil {
 		return nil, err

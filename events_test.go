@@ -1,0 +1,64 @@
+package plim
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestFormatEventTaskSpans(t *testing.T) {
+	start := FormatEvent(EventTaskStart{Kind: "rewrite", Label: "adder/full"})
+	if start != "task rewrite adder/full: start" {
+		t.Fatalf("TaskStart rendering: %q", start)
+	}
+	done := FormatEvent(EventTaskDone{Kind: "compile", Label: "adder/full", Elapsed: 1500 * time.Millisecond})
+	if done != "task compile adder/full: done in 1.5s" {
+		t.Fatalf("TaskDone rendering: %q", done)
+	}
+}
+
+// TestFormatEventAllTypesRender pins that every progress event type — the
+// full set a WithProgress callback can see — renders to a non-empty line
+// that never falls through to the unknown-event branch.
+func TestFormatEventAllTypesRender(t *testing.T) {
+	events := []Event{
+		EventRewriteCycle{Function: "adder", Config: "full", Cycle: 2, Effort: 5, Nodes: 120},
+		EventRewriteCycle{Function: "adder", Cycle: 1, Effort: 5, Nodes: 130}, // no config
+		EventCompileStart{Function: "adder", Config: "full"},
+		EventCompileDone{Function: "adder", Config: "full", Elapsed: time.Millisecond, Instructions: 7, RRAMs: 3},
+		EventCompileDone{Function: "adder", Config: "full", Err: errors.New("boom")},
+		EventBenchmarkStart{Benchmark: "ctrl", Index: 0, Total: 18},
+		EventBenchmarkDone{Benchmark: "ctrl", Index: 0, Total: 18, Elapsed: time.Second},
+		EventBenchmarkDone{Benchmark: "ctrl", Index: 1, Total: 18, Err: errors.New("boom")},
+		EventExecuteChunk{Program: "adder", Done: 1, Total: 4, Vectors: 256},
+		EventTaskStart{Kind: "generate", Label: "ctrl"},
+		EventTaskDone{Kind: "join", Label: "suite", Elapsed: time.Microsecond},
+	}
+	for _, ev := range events {
+		s := FormatEvent(ev)
+		if s == "" {
+			t.Fatalf("FormatEvent(%T) rendered empty", ev)
+		}
+		if strings.HasPrefix(s, "unknown event") {
+			t.Fatalf("FormatEvent(%T) fell through to the unknown branch: %q", ev, s)
+		}
+	}
+
+	// Failure renderings surface the error, not just timings.
+	if s := FormatEvent(EventCompileDone{Function: "f", Config: "full", Err: errors.New("boom")}); !strings.Contains(s, "FAILED") || !strings.Contains(s, "boom") {
+		t.Fatalf("failed compile rendering hides the error: %q", s)
+	}
+	if s := FormatEvent(EventBenchmarkDone{Benchmark: "b", Total: 1, Err: errors.New("boom")}); !strings.Contains(s, "FAILED") || !strings.Contains(s, "boom") {
+		t.Fatalf("failed benchmark rendering hides the error: %q", s)
+	}
+}
+
+// TestFormatEventUnknownType pins the fallback for event types FormatEvent
+// does not know (future additions degrade to a typed placeholder, never a
+// panic).
+func TestFormatEventUnknownType(t *testing.T) {
+	if s := FormatEvent(nil); !strings.HasPrefix(s, "unknown event") {
+		t.Fatalf("nil event: %q", s)
+	}
+}

@@ -3,13 +3,16 @@ package core
 import (
 	"context"
 	"errors"
+	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"plim/internal/diskcache"
 	"plim/internal/lru"
 	"plim/internal/mig"
 	"plim/internal/progress"
 	"plim/internal/rewrite"
+	"plim/internal/trace"
 )
 
 // errComputePanicked is what waiters observe when the computing caller
@@ -43,6 +46,11 @@ var errComputePanicked = errors.New("core: rewrite computation panicked")
 type RewriteCache struct {
 	mu      sync.Mutex
 	entries *lru.Map[rewriteKey, *rewriteEntry]
+
+	// hits/misses count memory-tier probe outcomes (a probe that attaches
+	// to an in-flight computation counts as a hit; disk-tier accounting
+	// lives in diskcache.Counters). Feeds plimserve_cache_probe_total.
+	hits, misses atomic.Uint64
 
 	// disk, when non-nil, is the persistent second tier: an in-memory miss
 	// probes the disk before computing, and freshly computed results are
@@ -92,6 +100,16 @@ func (c *RewriteCache) Len() int {
 // Budget reports the cache's byte budget (≤ 0 = unbounded).
 func (c *RewriteCache) Budget() int { return c.entries.Budget() }
 
+// Probes reports the memory-tier probe counters: hits (including probes
+// that attached to an in-flight computation) and misses (probes that had
+// to compute or go to disk). Nil-safe.
+func (c *RewriteCache) Probes() (hits, misses uint64) {
+	if c == nil {
+		return 0, 0
+	}
+	return c.hits.Load(), c.misses.Load()
+}
+
 // Rewrite is core.Rewrite memoized through the cache. A nil *RewriteCache
 // computes directly (the uncached path). On a hit no progress events are
 // emitted — the rewrite simply did not run again.
@@ -105,9 +123,27 @@ func (c *RewriteCache) Rewrite(ctx context.Context, m *mig.MIG, kind RewriteKind
 		return Rewrite(ctx, m, kind, effort, obs, label)
 	}
 	key := rewriteKey{fp: m.Fingerprint(), kind: kind, effort: effort}
+	// One cache span per probe, a child of the enclosing rewrite task span.
+	// It covers the lookup (and, for a coalesced caller, the wait on the
+	// in-flight computation), never the computation itself, and is annotated
+	// with the resolved outcome: memory-hit / disk-hit / verify-miss /
+	// compute. Zero Handle (free no-ops) when ctx carries no trace.
+	sp := trace.StartNoCtx(ctx, "cache", "rewrite-probe")
+	if sp.Traced() {
+		sp.Attr("fp", fmt.Sprintf("%016x", key.fp))
+	}
+	first := true
 	for {
 		c.mu.Lock()
 		ent, ok := c.entries.Get(key)
+		if first {
+			first = false
+			if ok {
+				c.hits.Add(1)
+			} else {
+				c.misses.Add(1)
+			}
+		}
 		if !ok {
 			e := &rewriteEntry{done: make(chan struct{})}
 			handle := c.entries.Add(key, e)
@@ -137,16 +173,27 @@ func (c *RewriteCache) Rewrite(ctx context.Context, m *mig.MIG, kind RewriteKind
 					close(e.done)
 				}()
 				if c.disk != nil {
-					if dm, dst, ok := c.disk.LoadRewrite(key.fp, uint8(kind), effort); ok {
+					dm, dst, out := c.disk.ProbeRewrite(key.fp, uint8(kind), effort)
+					if out == diskcache.ProbeHit {
 						// Disk hit: the stored graph was computed (possibly by
 						// another process) from a fingerprint-identical input,
 						// so it is byte-identical to what Rewrite would
 						// produce. No progress events, like any cache hit.
 						e.m, e.st = dm, dst
 						completed = true
+						sp.Attr("outcome", "disk-hit")
+						sp.End()
 						return
 					}
+					if out == diskcache.ProbeVerifyMiss {
+						sp.Attr("outcome", "verify-miss")
+					} else {
+						sp.Attr("outcome", "compute")
+					}
+				} else {
+					sp.Attr("outcome", "compute")
 				}
+				sp.End() // the computation itself is the task span's time
 				e.m, e.st, e.err = Rewrite(ctx, m, kind, effort, obs, label)
 				if e.err == nil && e.m == m {
 					// Effort 0 (or RewriteNone on an already-clean graph) can
@@ -171,12 +218,15 @@ func (c *RewriteCache) Rewrite(ctx context.Context, m *mig.MIG, kind RewriteKind
 		select {
 		case <-e.done:
 			if e.err == nil {
+				sp.Attr("outcome", "memory-hit")
+				sp.End()
 				return e.m, e.st, nil
 			}
 			// The computing caller failed; its entry is gone. Retry: either
 			// this caller computes (and reports its own error) or it waits
 			// on a newer computation.
 		case <-ctx.Done():
+			sp.End()
 			return nil, rewrite.Stats{}, ctx.Err()
 		}
 	}

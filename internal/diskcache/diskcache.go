@@ -63,6 +63,29 @@ const (
 	kindBenchmark = "bench"
 )
 
+// ProbeOutcome classifies one disk probe for trace spans and metrics:
+// ProbeVerifyMiss is the subset of misses where a structurally readable
+// entry was rejected solely by SetVerify fingerprint re-verification.
+type ProbeOutcome uint8
+
+// Probe outcomes.
+const (
+	ProbeMiss ProbeOutcome = iota
+	ProbeHit
+	ProbeVerifyMiss
+)
+
+// String names the outcome the way trace spans and metrics label it.
+func (o ProbeOutcome) String() string {
+	switch o {
+	case ProbeHit:
+		return "hit"
+	case ProbeVerifyMiss:
+		return "verify_miss"
+	}
+	return "miss"
+}
+
 // Counters is a snapshot of a cache's hit/miss/store accounting. Loads
 // that fail verification (corrupt, truncated, version-mismatched entries)
 // count as misses.
@@ -239,62 +262,69 @@ func (c *Cache) StoreRewrite(fp uint64, kind uint8, effort int, m *mig.MIG, st r
 // LoadRewrite probes the cache for a rewrite result. ok is false on any
 // miss, including unreadable, corrupt or version-mismatched entries.
 func (c *Cache) LoadRewrite(fp uint64, kind uint8, effort int) (m *mig.MIG, st rewrite.Stats, ok bool) {
+	m, st, out := c.ProbeRewrite(fp, kind, effort)
+	return m, st, out == ProbeHit
+}
+
+// ProbeRewrite is LoadRewrite reporting how the probe resolved, so callers
+// can annotate trace spans with hit / miss / verify_miss.
+func (c *Cache) ProbeRewrite(fp uint64, kind uint8, effort int) (m *mig.MIG, st rewrite.Stats, out ProbeOutcome) {
 	payload, header, ok := c.load(rewritePath(c.dir, fp, kind, effort), kindRewrite)
 	if ok {
-		m, st, ok = c.parseRewrite(payload, header, fp, kind, effort)
+		m, st, out = c.parseRewrite(payload, header, fp, kind, effort)
 	}
-	if ok {
+	if out == ProbeHit {
 		c.rewriteHits.Add(1)
 	} else {
 		c.rewriteMisses.Add(1)
 	}
-	return m, st, ok
+	return m, st, out
 }
 
-func (c *Cache) parseRewrite(payload []byte, header []string, fp uint64, kind uint8, effort int) (*mig.MIG, rewrite.Stats, bool) {
+func (c *Cache) parseRewrite(payload []byte, header []string, fp uint64, kind uint8, effort int) (*mig.MIG, rewrite.Stats, ProbeOutcome) {
 	var st rewrite.Stats
 	if len(header) != 3 {
-		return nil, st, false
+		return nil, st, ProbeMiss
 	}
 	var gotFP uint64
 	var gotKind, gotEffort int
 	if _, err := fmt.Sscanf(header[0], "key %x %d %d", &gotFP, &gotKind, &gotEffort); err != nil ||
 		gotFP != fp || gotKind != int(kind) || gotEffort != effort {
-		return nil, st, false
+		return nil, st, ProbeMiss
 	}
 	if _, err := fmt.Sscanf(header[2], "stats %d %d %d %d %d %d %d %d %d %d %d %d %d",
 		&st.Cycles, &st.NodesBefore, &st.NodesAfter, &st.DepthBefore, &st.DepthAfter,
 		&st.CompHistBefore[0], &st.CompHistBefore[1], &st.CompHistBefore[2], &st.CompHistBefore[3],
 		&st.CompHistAfter[0], &st.CompHistAfter[1], &st.CompHistAfter[2], &st.CompHistAfter[3]); err != nil {
-		return nil, st, false
+		return nil, st, ProbeMiss
 	}
 	m, err := mig.Read(bytes.NewReader(payload))
 	if err != nil || m.Validate() != nil {
-		return nil, st, false
+		return nil, st, ProbeMiss
 	}
-	if !c.checkOut(header[1], m) {
-		return nil, st, false
+	if out := c.checkOut(header[1], m); out != ProbeHit {
+		return nil, st, out
 	}
-	return m, st, true
+	return m, st, ProbeHit
 }
 
 // checkOut re-verifies a parsed graph against the "out <fingerprint>"
 // header line recorded at store time. The line must parse regardless of
 // the verify switch (it is part of the v2 layout); the fingerprint itself
 // is only recomputed and compared when SetVerify armed the cache.
-func (c *Cache) checkOut(line string, m *mig.MIG) bool {
+func (c *Cache) checkOut(line string, m *mig.MIG) ProbeOutcome {
 	var want uint64
 	if _, err := fmt.Sscanf(line, "out %x", &want); err != nil {
-		return false
+		return ProbeMiss
 	}
 	if !c.verify.Load() {
-		return true
+		return ProbeHit
 	}
 	if m.Fingerprint() != want {
 		c.verifyMisses.Add(1)
-		return false
+		return ProbeVerifyMiss
 	}
-	return true
+	return ProbeHit
 }
 
 // StoreBenchmark persists a benchmark build under (name, shrink).
@@ -308,37 +338,42 @@ func (c *Cache) StoreBenchmark(name string, shrink int, m *mig.MIG) error {
 
 // LoadBenchmark probes the cache for a benchmark build.
 func (c *Cache) LoadBenchmark(name string, shrink int) (*mig.MIG, bool) {
+	m, out := c.ProbeBenchmark(name, shrink)
+	return m, out == ProbeHit
+}
+
+// ProbeBenchmark is LoadBenchmark reporting how the probe resolved.
+func (c *Cache) ProbeBenchmark(name string, shrink int) (m *mig.MIG, out ProbeOutcome) {
 	payload, header, ok := c.load(benchPath(c.dir, name, shrink), kindBenchmark)
-	var m *mig.MIG
 	if ok {
-		m, ok = c.parseBenchmark(payload, header, name, shrink)
+		m, out = c.parseBenchmark(payload, header, name, shrink)
 	}
-	if ok {
+	if out == ProbeHit {
 		c.benchHits.Add(1)
 	} else {
 		c.benchMisses.Add(1)
 	}
-	return m, ok
+	return m, out
 }
 
-func (c *Cache) parseBenchmark(payload []byte, header []string, name string, shrink int) (*mig.MIG, bool) {
+func (c *Cache) parseBenchmark(payload []byte, header []string, name string, shrink int) (*mig.MIG, ProbeOutcome) {
 	if len(header) != 2 {
-		return nil, false
+		return nil, ProbeMiss
 	}
 	var gotName string
 	var gotShrink int
 	if _, err := fmt.Sscanf(header[0], "key %q %d", &gotName, &gotShrink); err != nil ||
 		gotName != name || gotShrink != shrink {
-		return nil, false
+		return nil, ProbeMiss
 	}
 	m, err := mig.Read(bytes.NewReader(payload))
 	if err != nil || m.Validate() != nil {
-		return nil, false
+		return nil, ProbeMiss
 	}
-	if !c.checkOut(header[1], m) {
-		return nil, false
+	if out := c.checkOut(header[1], m); out != ProbeHit {
+		return nil, out
 	}
-	return m, true
+	return m, ProbeHit
 }
 
 // store writes one entry atomically: serialize into memory, write a temp

@@ -4,10 +4,12 @@ import (
 	"context"
 	"fmt"
 	"math/bits"
+	"strconv"
 
 	"plim/internal/cost"
 	"plim/internal/isa"
 	"plim/internal/rram"
+	"plim/internal/trace"
 )
 
 // op is one flattened RM3 instruction: state-slice indices for both source
@@ -179,6 +181,10 @@ func (pl *Plan) runRange(ctx context.Context, b *Batch, run []op, writeOutputs b
 		if err := ctx.Err(); err != nil {
 			return err
 		}
+		// One span per 64-lane chunk, annotated with its lane occupancy —
+		// a zero Handle (all no-ops, no allocation) when ctx carries no
+		// trace, which keeps RunContext's allocs/op pin intact.
+		sp := trace.StartNoCtx(ctx, "exec_chunk", pl.src.Name)
 		for i := range state[:pl.numCells] {
 			state[i] = 0
 		}
@@ -202,6 +208,11 @@ func (pl *Plan) runRange(ctx context.Context, b *Batch, run []op, writeOutputs b
 				}
 				outputs.SetWord(i, c, w)
 			}
+		}
+		if sp.Traced() {
+			sp.Attr("chunk", strconv.Itoa(c))
+			sp.Attr("lanes", strconv.Itoa(bits.OnesCount64(mask)))
+			sp.End()
 		}
 		if onChunk != nil {
 			onChunk(c)

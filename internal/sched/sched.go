@@ -42,11 +42,13 @@ package sched
 import (
 	"context"
 	"math"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"plim/internal/progress"
+	"plim/internal/trace"
 )
 
 // Kind classifies a task for latency accounting and progress events.
@@ -112,6 +114,13 @@ type Task struct {
 	// both zero.
 	enqNs       int64
 	effDeadline int64
+
+	// Tracing state: readyNs is when the task became runnable (injector
+	// enqueue or local push — queue wait = start − readyNs), and stolen is
+	// 1 + the victim worker's id when the task changed deques via a steal
+	// (0 = ran where it was pushed). Both feed per-task trace spans only.
+	readyNs int64
+	stolen  int32
 }
 
 // Graph is a set of tasks with dependency edges, executed by a Pool.
@@ -140,6 +149,7 @@ type GraphOptions struct {
 
 // worker is one scheduler worker's state.
 type worker struct {
+	id     int     // index into Pool.workers, recorded on task trace spans
 	deque  []*Task // LIFO: push/pop at the tail
 	steals atomic.Uint64
 	rng    uint64 // xorshift state for victim selection
@@ -181,7 +191,7 @@ func New(n int) *Pool {
 	p := &Pool{workers: make([]*worker, n)}
 	p.cond = sync.NewCond(&p.mu)
 	for i := range p.workers {
-		p.workers[i] = &worker{rng: uint64(i)*0x9e3779b97f4a7c15 + 1}
+		p.workers[i] = &worker{id: i, rng: uint64(i)*0x9e3779b97f4a7c15 + 1}
 	}
 	return p
 }
@@ -275,6 +285,7 @@ func (g *Graph) Wait() error {
 // seq and deadline-free tasks stay FIFO among themselves. Pool mutex held.
 func (p *Pool) injectLocked(t *Task) {
 	t.enqNs = time.Now().UnixNano()
+	t.readyNs = t.enqNs
 	t.effDeadline = t.g.deadline
 	if aged := t.enqNs + int64(AgingHorizon); aged < t.effDeadline {
 		t.effDeadline = aged
@@ -310,6 +321,12 @@ func (p *Pool) noteDequeuedLocked(t *Task) {
 // and wakes one parked worker per task beyond the one w will pop itself.
 // Pool mutex held.
 func (p *Pool) pushLocalLocked(w *worker, ts []*Task) {
+	if len(ts) > 0 {
+		now := time.Now().UnixNano()
+		for _, t := range ts {
+			t.readyNs = now
+		}
+	}
 	w.deque = append(w.deque, ts...)
 	p.runnable.Add(int64(len(ts)))
 	for _, t := range ts {
@@ -382,6 +399,9 @@ func (p *Pool) stealLocked(w *worker) *Task {
 		stolen := v.deque[:half]
 		v.deque = append([]*Task(nil), v.deque[half:]...)
 		w.steals.Add(1)
+		for _, s := range stolen {
+			s.stolen = int32(v.id) + 1
+		}
 		t := stolen[0]
 		// stolen is oldest-first; keep that age order on our LIFO deque by
 		// pushing the rest newest-first (t, the oldest, runs right now).
@@ -413,9 +433,22 @@ func (p *Pool) exec(w *worker, t *Task) {
 	g := t.g
 	if g.ctx.Err() == nil {
 		g.obs.Emit(progress.TaskStart{Kind: t.kind.String(), Label: t.label})
+		// One span per executed task. When the graph context carries no
+		// trace this is a zero Handle and tctx == g.ctx — no allocation.
+		tctx, sp := trace.Start(g.ctx, t.kind.String(), t.label)
 		start := time.Now()
-		t.fn(g.ctx)
+		if sp.Traced() {
+			sp.SetWorker(w.id)
+			if t.readyNs > 0 {
+				sp.SetQueueWait(time.Duration(start.UnixNano() - t.readyNs))
+			}
+			if t.stolen > 0 {
+				sp.Attr("stolen_from", "w"+strconv.Itoa(int(t.stolen-1)))
+			}
+		}
+		t.fn(tctx)
 		elapsed := time.Since(start)
+		sp.End()
 		p.lat[t.kind].observe(elapsed)
 		g.obs.Emit(progress.TaskDone{Kind: t.kind.String(), Label: t.label, Elapsed: elapsed})
 	}

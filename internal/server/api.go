@@ -106,6 +106,14 @@ type computeRequest struct {
 	// 0 uses the server default. Coalesced requests share the deadline of
 	// the request that started the computation.
 	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+
+	// Trace records a span-per-task execution trace of the flight and
+	// returns it as the response's "trace" block (plus a Server-Timing
+	// header with per-stage totals and, on SSE requests, a final "trace"
+	// frame). Traced responses embed timings, so the flag joins the
+	// coalescing key: traced and untraced requests never share a flight and
+	// the untraced warm path stays byte-identical.
+	Trace bool `json:"trace,omitempty"`
 }
 
 // packedVectors is the bit-sliced wire form of a plim.Batch: line-major

@@ -9,13 +9,18 @@ import (
 )
 
 // response is the finished outcome of one computation flight, shared
-// verbatim by every coalesced request. Bodies contain only deterministic
-// content (no timestamps), so two flights over the same inputs produce
-// byte-identical responses — the warm-path contract the CI smoke job pins.
+// verbatim by every coalesced request. Untraced bodies contain only
+// deterministic content (no timestamps), so two flights over the same
+// inputs produce byte-identical responses — the warm-path contract the CI
+// smoke job pins. Traced flights embed timings (the "trace" block), which
+// is why the trace flag joins the coalescing key: a traced request never
+// shares a flight with an untraced one.
 type response struct {
-	status     int
-	body       []byte        // JSON, newline-terminated
-	retryAfter time.Duration // > 0 on 429: the Retry-After header value
+	status       int
+	body         []byte        // JSON, newline-terminated
+	retryAfter   time.Duration // > 0 on 429: the Retry-After header value
+	serverTiming string        // Server-Timing header of a traced flight
+	trace        []byte        // raw trace JSON block of a traced flight (SSE "trace" frame)
 }
 
 // flight is one in-flight computation plus its fan-out state: the progress

@@ -1,0 +1,10 @@
+//go:build race
+
+package server
+
+// Under the race detector every uninstrumented gap — request decoding,
+// context plumbing, mutex handoffs between spans — dilates several-fold,
+// so the coverage bar drops. The real 95% acceptance bar is enforced by
+// the non-race build (coverage_norace_test.go), which is what CI's tier-1
+// run executes.
+const minSpanCoverage = 0.75

@@ -2,6 +2,8 @@ package server
 
 import (
 	"fmt"
+	"runtime"
+	"runtime/debug"
 	"sort"
 	"strconv"
 	"strings"
@@ -110,15 +112,33 @@ func (m *metrics) observeExecute(vectors, chunks int) {
 	m.mu.Unlock()
 }
 
+// buildVersion resolves the module version stamped into the binary
+// ("(devel)" for plain go build/test).
+func buildVersion() string {
+	if bi, ok := debug.ReadBuildInfo(); ok && bi.Main.Version != "" {
+		return bi.Main.Version
+	}
+	return "unknown"
+}
+
+// header writes the HELP/TYPE preamble of one metric family. Every family
+// rendered below goes through it, which is what the exposition-format test
+// relies on to assert HELP/TYPE pairing.
+func header(b *strings.Builder, name, kind, help string) {
+	fmt.Fprintf(b, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, kind)
+}
+
 // render produces the Prometheus text exposition of every counter plus the
 // live gauges supplied by the server (admission occupancy, cache state).
 // Output is deterministically ordered so scrapes and tests are stable.
 func (m *metrics) render(s *Server) string {
 	var b strings.Builder
 
+	header(&b, "plimserve_build_info", "gauge", "Build metadata carried in labels; the value is always 1.")
+	fmt.Fprintf(&b, "plimserve_build_info{go_version=%q,version=%q} 1\n", runtime.Version(), buildVersion())
+
 	m.mu.Lock()
-	writeSorted := func(header string, rows map[string]string) {
-		b.WriteString(header)
+	writeSorted := func(rows map[string]string) {
 		keys := make([]string, 0, len(rows))
 		for k := range rows {
 			keys = append(keys, k)
@@ -134,9 +154,10 @@ func (m *metrics) render(s *Server) string {
 		route, code, _ := strings.Cut(k, "|")
 		reqRows[fmt.Sprintf("plimserve_requests_total{route=%q,code=%q}", route, code)] = fmt.Sprint(v)
 	}
-	writeSorted("# TYPE plimserve_requests_total counter\n", reqRows)
+	header(&b, "plimserve_requests_total", "counter", "Requests served, by route and HTTP status code.")
+	writeSorted(reqRows)
 
-	b.WriteString("# TYPE plimserve_request_seconds histogram\n")
+	header(&b, "plimserve_request_seconds", "histogram", "Request latency, by route.")
 	routes := make([]string, 0, len(m.latency))
 	for r := range m.latency {
 		routes = append(routes, r)
@@ -159,34 +180,45 @@ func (m *metrics) render(s *Server) string {
 	for k, v := range m.events {
 		evRows[fmt.Sprintf("plimserve_progress_events_total{type=%q}", k)] = fmt.Sprint(v)
 	}
-	writeSorted("# TYPE plimserve_progress_events_total counter\n", evRows)
+	header(&b, "plimserve_progress_events_total", "counter", "Engine progress events published to flights, by event type.")
+	writeSorted(evRows)
 
-	fmt.Fprintf(&b, "# TYPE plimserve_flights_total counter\nplimserve_flights_total %d\n", m.flights)
-	fmt.Fprintf(&b, "# TYPE plimserve_coalesced_requests_total counter\nplimserve_coalesced_requests_total %d\n", m.coalesced)
-	fmt.Fprintf(&b, "# TYPE plimserve_admission_rejected_total counter\nplimserve_admission_rejected_total %d\n", m.rejected)
-	fmt.Fprintf(&b, "# TYPE plimserve_execute_vectors_total counter\nplimserve_execute_vectors_total %d\n", m.execVectors)
-	fmt.Fprintf(&b, "# TYPE plimserve_execute_chunks_total counter\nplimserve_execute_chunks_total %d\n", m.execChunks)
-	fmt.Fprintf(&b, "# TYPE plimserve_execute_lane_slots_total counter\nplimserve_execute_lane_slots_total %d\n", m.execLaneSlots)
+	header(&b, "plimserve_flights_total", "counter", "Computations started (coalescing leaders).")
+	fmt.Fprintf(&b, "plimserve_flights_total %d\n", m.flights)
+	header(&b, "plimserve_coalesced_requests_total", "counter", "Requests that attached to an already in-flight computation.")
+	fmt.Fprintf(&b, "plimserve_coalesced_requests_total %d\n", m.coalesced)
+	header(&b, "plimserve_admission_rejected_total", "counter", "Flights rejected by admission control (HTTP 429).")
+	fmt.Fprintf(&b, "plimserve_admission_rejected_total %d\n", m.rejected)
+	header(&b, "plimserve_execute_vectors_total", "counter", "Input vectors evaluated by /v1/execute.")
+	fmt.Fprintf(&b, "plimserve_execute_vectors_total %d\n", m.execVectors)
+	header(&b, "plimserve_execute_chunks_total", "counter", "64-lane execution chunks processed by /v1/execute.")
+	fmt.Fprintf(&b, "plimserve_execute_chunks_total %d\n", m.execChunks)
+	header(&b, "plimserve_execute_lane_slots_total", "counter", "Lane slots offered by processed chunks (chunks times 64).")
+	fmt.Fprintf(&b, "plimserve_execute_lane_slots_total %d\n", m.execLaneSlots)
 	m.mu.Unlock()
 
 	// Live gauges: admission occupancy, the engine's task scheduler and the
 	// two cache tiers.
-	fmt.Fprintf(&b, "# TYPE plimserve_inflight_computations gauge\nplimserve_inflight_computations %d\n", s.adm.running())
-	fmt.Fprintf(&b, "# TYPE plimserve_queued_computations gauge\nplimserve_queued_computations %d\n", s.adm.queuedWaiting())
+	header(&b, "plimserve_inflight_computations", "gauge", "Flights currently computing (admission running set).")
+	fmt.Fprintf(&b, "plimserve_inflight_computations %d\n", s.adm.running())
+	header(&b, "plimserve_queued_computations", "gauge", "Flights admitted beyond the running set, waiting in the queue.")
+	fmt.Fprintf(&b, "plimserve_queued_computations %d\n", s.adm.queuedWaiting())
 	st := s.eng.SchedulerStats()
-	fmt.Fprintf(&b, "# TYPE plimserve_sched_runnable_tasks gauge\nplimserve_sched_runnable_tasks %d\n", st.Runnable)
-	b.WriteString("# TYPE plimserve_sched_runnable_tasks_by_kind gauge\n")
+	header(&b, "plimserve_sched_runnable_tasks", "gauge", "Tasks runnable in the engine scheduler.")
+	fmt.Fprintf(&b, "plimserve_sched_runnable_tasks %d\n", st.Runnable)
+	header(&b, "plimserve_sched_runnable_tasks_by_kind", "gauge", "Tasks runnable in the engine scheduler, by task kind.")
 	for _, k := range sched.Kinds() {
 		if n, ok := st.RunnableByKind[k]; ok {
 			fmt.Fprintf(&b, "plimserve_sched_runnable_tasks_by_kind{kind=%q} %d\n", k.String(), n)
 		}
 	}
-	fmt.Fprintf(&b, "# TYPE plimserve_sched_injector_max_wait_seconds gauge\nplimserve_sched_injector_max_wait_seconds %g\n", st.MaxInjectorWaitSeconds)
-	b.WriteString("# TYPE plimserve_sched_worker_steals_total counter\n")
+	header(&b, "plimserve_sched_injector_max_wait_seconds", "gauge", "Age of the oldest task waiting in the scheduler injector.")
+	fmt.Fprintf(&b, "plimserve_sched_injector_max_wait_seconds %g\n", st.MaxInjectorWaitSeconds)
+	header(&b, "plimserve_sched_worker_steals_total", "counter", "Tasks stolen by each scheduler worker.")
 	for i, n := range st.Steals {
 		fmt.Fprintf(&b, "plimserve_sched_worker_steals_total{worker=\"%d\"} %d\n", i, n)
 	}
-	b.WriteString("# TYPE plimserve_sched_task_seconds histogram\n")
+	header(&b, "plimserve_sched_task_seconds", "histogram", "Scheduler task run time, by task kind.")
 	bounds := sched.LatencyBuckets()
 	for _, k := range sched.Kinds() {
 		h, ok := st.Latency[k]
@@ -204,19 +236,41 @@ func (m *metrics) render(s *Server) string {
 		fmt.Fprintf(&b, "plimserve_sched_task_seconds_count{kind=%q} %d\n", k.String(), h.Count)
 	}
 	rw, bench := s.eng.MemoryCacheLens()
-	fmt.Fprintf(&b, "# TYPE plimserve_cache_memory_entries gauge\n")
+	header(&b, "plimserve_cache_memory_entries", "gauge", "Entries held by the in-memory cache tier, by kind.")
 	fmt.Fprintf(&b, "plimserve_cache_memory_entries{kind=\"benchmark\"} %d\n", bench)
 	fmt.Fprintf(&b, "plimserve_cache_memory_entries{kind=\"rewrite\"} %d\n", rw)
-	if st, ok := s.eng.PersistentCacheStats(); ok {
-		fmt.Fprintf(&b, "# TYPE plimserve_cache_disk_hits_total counter\n")
+
+	// Probe outcomes across both tiers under one family, so hit ratios per
+	// tier are a single PromQL expression. The disk tier's verify_miss is
+	// the subset of probes rejected by fingerprint re-verification alone;
+	// it is split out of miss so the outcomes partition the probes.
+	diskStats, hasDisk := s.eng.PersistentCacheStats()
+	header(&b, "plimserve_cache_probe_total", "counter", "Cache probes, by tier (memory, disk) and outcome (hit, miss, verify_miss).")
+	mh, mm := s.eng.MemoryCacheProbes()
+	fmt.Fprintf(&b, "plimserve_cache_probe_total{tier=\"memory\",outcome=\"hit\"} %d\n", mh)
+	fmt.Fprintf(&b, "plimserve_cache_probe_total{tier=\"memory\",outcome=\"miss\"} %d\n", mm)
+	if hasDisk {
+		miss := diskStats.RewriteMisses + diskStats.BenchmarkMisses
+		vm := diskStats.VerifyMisses
+		if vm > miss { // racy snapshots: never render a negative miss count
+			vm = miss
+		}
+		fmt.Fprintf(&b, "plimserve_cache_probe_total{tier=\"disk\",outcome=\"hit\"} %d\n", diskStats.RewriteHits+diskStats.BenchmarkHits)
+		fmt.Fprintf(&b, "plimserve_cache_probe_total{tier=\"disk\",outcome=\"miss\"} %d\n", miss-vm)
+		fmt.Fprintf(&b, "plimserve_cache_probe_total{tier=\"disk\",outcome=\"verify_miss\"} %d\n", vm)
+	}
+
+	if hasDisk {
+		st := diskStats
+		header(&b, "plimserve_cache_disk_hits_total", "counter", "Persistent cache loads served, by kind.")
 		fmt.Fprintf(&b, "plimserve_cache_disk_hits_total{kind=\"benchmark\"} %d\n", st.BenchmarkHits)
 		fmt.Fprintf(&b, "plimserve_cache_disk_hits_total{kind=\"rewrite\"} %d\n", st.RewriteHits)
-		fmt.Fprintf(&b, "# TYPE plimserve_cache_disk_misses_total counter\n")
+		header(&b, "plimserve_cache_disk_misses_total", "counter", "Persistent cache loads that missed (including verification failures), by kind.")
 		fmt.Fprintf(&b, "plimserve_cache_disk_misses_total{kind=\"benchmark\"} %d\n", st.BenchmarkMisses)
 		fmt.Fprintf(&b, "plimserve_cache_disk_misses_total{kind=\"rewrite\"} %d\n", st.RewriteMisses)
-		fmt.Fprintf(&b, "# TYPE plimserve_cache_disk_stores_total counter\n")
+		header(&b, "plimserve_cache_disk_stores_total", "counter", "Persistent cache entries written.")
 		fmt.Fprintf(&b, "plimserve_cache_disk_stores_total %d\n", st.Stores)
-		fmt.Fprintf(&b, "# TYPE plimserve_cache_disk_store_errors_total counter\n")
+		header(&b, "plimserve_cache_disk_store_errors_total", "counter", "Persistent cache writes that failed.")
 		fmt.Fprintf(&b, "plimserve_cache_disk_store_errors_total %d\n", st.StoreErrors)
 	}
 	return b.String()

@@ -9,6 +9,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"math"
 	"net/http"
 	"strconv"
@@ -17,6 +18,7 @@ import (
 	"time"
 
 	"plim"
+	"plim/internal/trace"
 	"plim/internal/verify"
 )
 
@@ -42,6 +44,11 @@ type Options struct {
 	// MaxBodyBytes bounds request bodies (default 8 MiB). Netlists beyond
 	// it are rejected with 400.
 	MaxBodyBytes int64
+	// Logger receives structured access and flight logs (default: discard).
+	// Access lines log every request with route/status/duration; flight
+	// lines are keyed by the flight's coalescing key, so the lifecycle of a
+	// computation shared by many requests reads as one story.
+	Logger *slog.Logger
 }
 
 func (o Options) withDefaults(eng *plim.Engine) Options {
@@ -60,6 +67,9 @@ func (o Options) withDefaults(eng *plim.Engine) Options {
 	if o.MaxBodyBytes <= 0 {
 		o.MaxBodyBytes = 8 << 20
 	}
+	if o.Logger == nil {
+		o.Logger = slog.New(slog.DiscardHandler)
+	}
 	return o
 }
 
@@ -77,6 +87,8 @@ type Server struct {
 	adm      *admission
 	flights  *flightGroup
 	met      *metrics
+	log      *slog.Logger
+	traces   *traceRing
 	draining atomic.Bool
 }
 
@@ -91,6 +103,8 @@ func New(eng *plim.Engine, opts Options) *Server {
 		adm:     newAdmission(opts.Concurrency, opts.QueueDepth),
 		flights: newFlightGroup(),
 		met:     newMetrics(),
+		log:     opts.Logger,
+		traces:  &traceRing{},
 	}
 	s.mux.HandleFunc("GET /healthz", s.instrument("healthz", s.handleHealthz))
 	s.mux.HandleFunc("GET /metrics", s.instrument("metrics", s.handleMetrics))
@@ -152,6 +166,12 @@ func flusherOf(w http.ResponseWriter) (http.Flusher, bool) {
 }
 
 func (s *Server) instrument(route string, h http.HandlerFunc) http.HandlerFunc {
+	// Probe routes (health checks, scrapes) log at debug so an idle but
+	// monitored server stays quiet at the default info level.
+	level := slog.LevelInfo
+	if route == "healthz" || route == "metrics" {
+		level = slog.LevelDebug
+	}
 	return func(w http.ResponseWriter, r *http.Request) {
 		rec := &statusRecorder{ResponseWriter: w}
 		start := time.Now()
@@ -159,7 +179,14 @@ func (s *Server) instrument(route string, h http.HandlerFunc) http.HandlerFunc {
 		if rec.status == 0 {
 			rec.status = http.StatusOK
 		}
-		s.met.observeRequest(route, rec.status, time.Since(start))
+		elapsed := time.Since(start)
+		s.met.observeRequest(route, rec.status, elapsed)
+		s.log.LogAttrs(r.Context(), level, "request",
+			slog.String("route", route),
+			slog.String("method", r.Method),
+			slog.Int("status", rec.status),
+			slog.Duration("elapsed", elapsed),
+			slog.String("remote", r.RemoteAddr))
 	}
 }
 
@@ -214,7 +241,7 @@ func (s *Server) decodeRequest(w http.ResponseWriter, r *http.Request) (computeR
 // sourceMIG resolves the request's function source. Benchmark sources
 // return a loader (so cache-served flights never build eagerly); netlist
 // sources parse immediately — the fingerprint is the coalescing key.
-func (s *Server) sourceMIG(req computeRequest) (key string, shrink int, load func() (*plim.MIG, error), err error) {
+func (s *Server) sourceMIG(req computeRequest) (key string, shrink int, load func(ctx context.Context) (*plim.MIG, error), err error) {
 	shrink = req.Shrink
 	if shrink == 0 {
 		shrink = s.eng.Shrink()
@@ -228,7 +255,7 @@ func (s *Server) sourceMIG(req computeRequest) (key string, shrink int, load fun
 		}
 		name := req.Benchmark
 		return fmt.Sprintf("bench:%s@%d", name, shrink), shrink,
-			func() (*plim.MIG, error) { return s.eng.BenchmarkScaled(name, shrink) }, nil
+			func(ctx context.Context) (*plim.MIG, error) { return s.eng.BenchmarkScaledContext(ctx, name, shrink) }, nil
 	case req.Netlist != "":
 		if req.Shrink != 0 {
 			return "", 0, nil, badRequest{"shrink applies to benchmark sources only"}
@@ -238,7 +265,7 @@ func (s *Server) sourceMIG(req computeRequest) (key string, shrink int, load fun
 			return "", 0, nil, badRequest{fmt.Sprintf("invalid netlist: %s", err)}
 		}
 		return fmt.Sprintf("mig:%016x", m.Fingerprint()), 0,
-			func() (*plim.MIG, error) { return m, nil }, nil
+			func(context.Context) (*plim.MIG, error) { return m, nil }, nil
 	}
 	return "", 0, nil, badRequest{"need benchmark or netlist"}
 }
@@ -305,7 +332,7 @@ func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 	}
 	var srcKey string
 	var shrink int
-	var load func() (*plim.MIG, error)
+	var load func(ctx context.Context) (*plim.MIG, error)
 	if err == nil {
 		srcKey, shrink, load, err = s.sourceMIG(req)
 	}
@@ -315,9 +342,9 @@ func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 	}
 	// The cost model name joins the key: responses embed priced totals, so
 	// requests served by engines priced differently must never coalesce.
-	key := fmt.Sprintf("compile|%s|%s|%s|verify=%t|cm=%s", srcKey, cfg.Name, req.Emit, req.Verify, s.eng.CostModelName())
-	s.dispatch(w, r, req.TimeoutMS, key, func(ctx context.Context, publish func(plim.Event)) response {
-		m, err := load()
+	key := fmt.Sprintf("compile|%s|%s|%s|verify=%t|cm=%s|trace=%t", srcKey, cfg.Name, req.Emit, req.Verify, s.eng.CostModelName(), req.Trace)
+	s.dispatch(w, r, req.TimeoutMS, key, req.Trace, func(ctx context.Context, publish func(plim.Event)) response {
+		m, err := load(ctx)
 		if err != nil {
 			return errorResult(err)
 		}
@@ -325,6 +352,10 @@ func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 		if err != nil {
 			return errorResult(err)
 		}
+		// The tail — verify, program emission, JSON encoding — is wall time
+		// too; the span keeps traced flights accounted end to end.
+		esp := trace.StartNoCtx(ctx, "encode", "response")
+		defer esp.End()
 		out := compileResponse{
 			Function:     m.Name,
 			Config:       cfg.Name,
@@ -571,10 +602,10 @@ func (s *Server) dispatchExecute(w http.ResponseWriter, r *http.Request, req com
 		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
 		return
 	}
-	key := fmt.Sprintf("execute|%s|%s|e%d|%s|%s|cm=%s", srcKey, cfg.Name, req.Endurance, vecKey, req.Output, s.eng.CostModelName())
+	key := fmt.Sprintf("execute|%s|%s|e%d|%s|%s|cm=%s|trace=%t", srcKey, cfg.Name, req.Endurance, vecKey, req.Output, s.eng.CostModelName(), req.Trace)
 	endurance, packedOut := req.Endurance, req.Output == "packed"
-	s.dispatch(w, r, req.TimeoutMS, key, func(ctx context.Context, publish func(plim.Event)) response {
-		m, err := load()
+	s.dispatch(w, r, req.TimeoutMS, key, req.Trace, func(ctx context.Context, publish func(plim.Event)) response {
+		m, err := load(ctx)
 		if err != nil {
 			return errorResult(err)
 		}
@@ -598,6 +629,8 @@ func (s *Server) dispatchExecute(w http.ResponseWriter, r *http.Request, req com
 			return errorResult(err)
 		}
 		s.met.observeExecute(b.Len(), b.Chunks())
+		esp := trace.StartNoCtx(ctx, "encode", "response")
+		defer esp.End()
 		out := executeResponse{
 			Function:     m.Name,
 			Config:       cfg.Name,
@@ -640,7 +673,7 @@ func (s *Server) handleRewrite(w http.ResponseWriter, r *http.Request) {
 	}
 	var srcKey string
 	var shrink int
-	var load func() (*plim.MIG, error)
+	var load func(ctx context.Context) (*plim.MIG, error)
 	if err == nil {
 		srcKey, shrink, load, err = s.sourceMIG(req)
 	}
@@ -648,9 +681,9 @@ func (s *Server) handleRewrite(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
 		return
 	}
-	key := fmt.Sprintf("rewrite|%s|%s", srcKey, kind)
-	s.dispatch(w, r, req.TimeoutMS, key, func(ctx context.Context, publish func(plim.Event)) response {
-		m, err := load()
+	key := fmt.Sprintf("rewrite|%s|%s|trace=%t", srcKey, kind, req.Trace)
+	s.dispatch(w, r, req.TimeoutMS, key, req.Trace, func(ctx context.Context, publish func(plim.Event)) response {
+		m, err := load(ctx)
 		if err != nil {
 			return errorResult(err)
 		}
@@ -658,6 +691,8 @@ func (s *Server) handleRewrite(w http.ResponseWriter, r *http.Request) {
 		if err != nil {
 			return errorResult(err)
 		}
+		esp := trace.StartNoCtx(ctx, "encode", "response")
+		defer esp.End()
 		var mig bytes.Buffer
 		if err := out.Write(&mig); err != nil {
 			return errorResult(err)
@@ -712,13 +747,15 @@ func (s *Server) handleSuite(w http.ResponseWriter, r *http.Request) {
 	for i, c := range cfgs {
 		cfgNames[i] = c.Name
 	}
-	key := fmt.Sprintf("suite|%s|%s|cm=%s", strings.Join(req.Benchmarks, ","), strings.Join(cfgNames, ","), s.eng.CostModelName())
+	key := fmt.Sprintf("suite|%s|%s|cm=%s|trace=%t", strings.Join(req.Benchmarks, ","), strings.Join(cfgNames, ","), s.eng.CostModelName(), req.Trace)
 	benchmarks := req.Benchmarks
-	s.dispatch(w, r, req.TimeoutMS, key, func(ctx context.Context, publish func(plim.Event)) response {
+	s.dispatch(w, r, req.TimeoutMS, key, req.Trace, func(ctx context.Context, publish func(plim.Event)) response {
 		sr, err := s.eng.RunSuite(plim.ContextWithProgress(ctx, publish), cfgs, benchmarks...)
 		if err != nil {
 			return errorResult(err)
 		}
+		esp := trace.StartNoCtx(ctx, "encode", "response")
+		defer esp.End()
 		out := suiteResponse{
 			Shrink:  s.eng.Shrink(),
 			Effort:  s.eng.Effort(),
@@ -763,8 +800,12 @@ func (s *Server) effectiveTimeout(ms int64) time.Duration {
 
 // dispatch is the shared serving path of the three compute endpoints:
 // apply the request deadline, coalesce onto (or start) the flight for key,
-// then either stream progress (SSE) or wait for the shared response.
-func (s *Server) dispatch(w http.ResponseWriter, r *http.Request, timeoutMS int64, key string, fn func(context.Context, func(plim.Event)) response) {
+// then either stream progress (SSE) or wait for the shared response. With
+// traced set, the leader opens a per-flight trace whose root "request" span
+// carries the flight key and the leader role; coalesced followers receive
+// the shared trace (their coalescing is visible as the X-Plim-Coalesced
+// header plus the follower's own access-log line).
+func (s *Server) dispatch(w http.ResponseWriter, r *http.Request, timeoutMS int64, key string, traced bool, fn func(context.Context, func(plim.Event)) response) {
 	reqCtx := r.Context()
 	if d := s.effectiveTimeout(timeoutMS); d > 0 {
 		var cancel context.CancelFunc
@@ -786,8 +827,19 @@ func (s *Server) dispatch(w http.ResponseWriter, r *http.Request, timeoutMS int6
 		} else {
 			cctx, cancel = context.WithCancel(cctx)
 		}
+		var tr *trace.Trace
+		var root trace.Handle
+		if traced {
+			tr = trace.New()
+			endpoint, _, _ := strings.Cut(key, "|")
+			cctx, root = trace.Start(trace.NewContext(cctx, tr), "request", endpoint)
+			root.Attr("flight", key)
+			root.Attr("role", "leader")
+		}
 		s.flights.setCancel(f, cancel)
-		go s.runFlight(cctx, cancel, f, fn)
+		s.log.LogAttrs(reqCtx, slog.LevelInfo, "flight start",
+			slog.String("flight", key), slog.Bool("trace", traced))
+		go s.runFlight(cctx, cancel, f, tr, root, fn)
 	} else {
 		s.met.requestCoalesced()
 		w.Header().Set("X-Plim-Coalesced", "1")
@@ -815,8 +867,9 @@ func (s *Server) dispatch(w http.ResponseWriter, r *http.Request, timeoutMS int6
 // flight holds exactly one in-flight seat no matter how many requests share
 // it), then the engine call, whose work the engine's scheduler multiplexes
 // with every other flight's by request deadline.
-func (s *Server) runFlight(ctx context.Context, cancel context.CancelFunc, f *flight, fn func(context.Context, func(plim.Event)) response) {
+func (s *Server) runFlight(ctx context.Context, cancel context.CancelFunc, f *flight, tr *trace.Trace, root trace.Handle, fn func(context.Context, func(plim.Event)) response) {
 	defer cancel()
+	start := time.Now()
 	var resp response
 	release, err := s.adm.admit()
 	if err != nil {
@@ -830,8 +883,21 @@ func (s *Server) runFlight(ctx context.Context, cancel context.CancelFunc, f *fl
 		resp = s.safeCompute(ctx, f, fn)
 		release()
 	}
+	if tr != nil {
+		root.Attr("status", strconv.Itoa(resp.status))
+		root.End()
+		blob, serverTiming, wallMS := buildTrace(tr)
+		resp.body = spliceTrace(resp.body, blob)
+		resp.serverTiming = serverTiming
+		resp.trace = blob
+		s.traces.record(f.key, wallMS, blob)
+	}
 	s.flights.forget(f)
 	f.finish(resp)
+	s.log.LogAttrs(ctx, slog.LevelInfo, "flight done",
+		slog.String("flight", f.key),
+		slog.Int("status", resp.status),
+		slog.Duration("elapsed", time.Since(start)))
 }
 
 // retryAfter estimates when a rejected client should try again. The
@@ -932,6 +998,12 @@ func (s *Server) streamSSE(w http.ResponseWriter, ctx context.Context, f *flight
 		}
 		return
 	}
+	if resp.trace != nil {
+		// Traced flights get their own frame before the result, so SSE
+		// consumers can render the trace without parsing the result body.
+		fmt.Fprintf(w, "event: trace\ndata: %s\n\n", resp.trace)
+		fl.Flush()
+	}
 	final := "result"
 	if resp.status >= 400 {
 		final = "error"
@@ -982,6 +1054,9 @@ func writeResponse(w http.ResponseWriter, resp response) {
 	w.Header().Set("Content-Type", "application/json")
 	if resp.retryAfter > 0 {
 		w.Header().Set("Retry-After", strconv.Itoa(int(resp.retryAfter/time.Second)))
+	}
+	if resp.serverTiming != "" {
+		w.Header().Set("Server-Timing", resp.serverTiming)
 	}
 	w.WriteHeader(resp.status)
 	w.Write(resp.body)

@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"plim"
+	"plim/internal/trace"
 )
 
 // testServer builds a small fast engine (shrink 8) behind a Server and an
@@ -407,7 +408,7 @@ func TestComputationPanicFailsOneFlightNotTheServer(t *testing.T) {
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	s.flights.setCancel(f, cancel)
-	go s.runFlight(ctx, cancel, f, func(context.Context, func(plim.Event)) response {
+	go s.runFlight(ctx, cancel, f, nil, trace.Handle{}, func(context.Context, func(plim.Event)) response {
 		panic("compiler invariant violated")
 	})
 	resp, err := f.wait(context.Background())

@@ -1,0 +1,179 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"plim/internal/trace"
+)
+
+// traceJSON is the "trace" block embedded in the response of a traced
+// flight ("trace": true on the request): the flight's wall time, per-stage
+// totals and every recorded span. Spans reference their parent by id
+// (parent -1 is the root request span).
+type traceJSON struct {
+	WallMS float64         `json:"wall_ms"`
+	Stages []stageJSON     `json:"stages_ms"`
+	Spans  []traceSpanJSON `json:"spans"`
+}
+
+// stageJSON is one aggregate stage total (queue wait plus per-kind span
+// time), in the fixed queue/generate/rewrite/compile/exec/cache order with
+// zero stages omitted.
+type stageJSON struct {
+	Name string  `json:"name"`
+	MS   float64 `json:"ms"`
+}
+
+// traceSpanJSON is one span on the wire. Worker -1 means the span did not
+// run on a scheduler worker.
+type traceSpanJSON struct {
+	ID          int32             `json:"id"`
+	Parent      int32             `json:"parent"`
+	Kind        string            `json:"kind"`
+	Name        string            `json:"name"`
+	StartMS     float64           `json:"start_ms"`
+	DurMS       float64           `json:"dur_ms"`
+	Worker      int               `json:"worker"`
+	QueueWaitMS float64           `json:"queue_wait_ms,omitempty"`
+	Attrs       map[string]string `json:"attrs,omitempty"`
+}
+
+// buildTrace renders a finished flight trace into its response artifacts:
+// the raw JSON block, the Server-Timing header value and the flight's wall
+// time in milliseconds.
+func buildTrace(tr *trace.Trace) (blob []byte, serverTiming string, wallMS float64) {
+	spans := tr.Spans()
+	var wall time.Duration
+	tj := traceJSON{Spans: make([]traceSpanJSON, len(spans))}
+	for i, sp := range spans {
+		if end := sp.Start + sp.Dur; sp.Dur >= 0 && end > wall {
+			wall = end
+		}
+		sj := traceSpanJSON{
+			ID:      sp.ID,
+			Parent:  sp.Parent,
+			Kind:    sp.Kind,
+			Name:    sp.Name,
+			StartMS: ms(sp.Start),
+			DurMS:   ms(sp.Dur),
+			Worker:  sp.Worker,
+		}
+		if sp.Dur < 0 {
+			sj.DurMS = 0 // still open at export: clamp, like the Chrome export
+		}
+		if sp.QueueWait > 0 {
+			sj.QueueWaitMS = ms(sp.QueueWait)
+		}
+		if len(sp.Attrs) > 0 {
+			sj.Attrs = make(map[string]string, len(sp.Attrs))
+			for _, a := range sp.Attrs {
+				sj.Attrs[a.Key] = a.Value
+			}
+		}
+		tj.Spans[i] = sj
+	}
+	tj.WallMS = ms(wall)
+
+	var st strings.Builder
+	fmt.Fprintf(&st, "total;dur=%.3f", tj.WallMS)
+	for _, t := range tr.Totals() {
+		d := ms(t.Dur)
+		tj.Stages = append(tj.Stages, stageJSON{Name: t.Name, MS: d})
+		fmt.Fprintf(&st, ", %s;dur=%.3f", t.Name, d)
+	}
+	blob, err := json.Marshal(tj)
+	if err != nil {
+		blob = []byte(`{"error":"trace encoding failure"}`)
+	}
+	return blob, st.String(), tj.WallMS
+}
+
+// spliceTrace inserts the trace block as a top-level "trace" member of a
+// JSON-object response body, so every endpoint's response carries the
+// trace without each handler knowing about tracing. Non-object bodies are
+// returned unchanged.
+func spliceTrace(body, blob []byte) []byte {
+	i := bytes.LastIndexByte(body, '}')
+	if i <= 0 {
+		return body
+	}
+	out := make([]byte, 0, len(body)+len(blob)+16)
+	out = append(out, body[:i]...)
+	if body[i-1] != '{' {
+		out = append(out, ',')
+	}
+	out = append(out, `"trace":`...)
+	out = append(out, blob...)
+	out = append(out, body[i:]...)
+	return out
+}
+
+// traceRingSize bounds the /debug/trace/last ring: the N slowest traced
+// flights since the server started.
+const traceRingSize = 32
+
+// traceRing keeps the slowest traced flights for post-hoc inspection. Only
+// flights that asked for tracing are recorded — tracing is opt-in, so the
+// ring never makes untraced requests pay for span bookkeeping.
+type traceRing struct {
+	mu      sync.Mutex
+	entries []ringEntry
+}
+
+// ringEntry is one retained flight trace.
+type ringEntry struct {
+	Flight string          `json:"flight"`
+	WallMS float64         `json:"wall_ms"`
+	UnixMS int64           `json:"unix_ms"` // completion time
+	Trace  json.RawMessage `json:"trace"`
+}
+
+// record retains the trace when the ring has room or the flight is slower
+// than the ring's current fastest entry.
+func (r *traceRing) record(flight string, wallMS float64, blob []byte) {
+	e := ringEntry{Flight: flight, WallMS: wallMS, UnixMS: time.Now().UnixMilli(), Trace: blob}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.entries) < traceRingSize {
+		r.entries = append(r.entries, e)
+		return
+	}
+	min := 0
+	for i := range r.entries {
+		if r.entries[i].WallMS < r.entries[min].WallMS {
+			min = i
+		}
+	}
+	if e.WallMS > r.entries[min].WallMS {
+		r.entries[min] = e
+	}
+}
+
+// snapshot returns the retained traces, slowest first.
+func (r *traceRing) snapshot() []ringEntry {
+	r.mu.Lock()
+	out := append([]ringEntry(nil), r.entries...)
+	r.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].WallMS > out[j].WallMS })
+	return out
+}
+
+// TraceLastHandler serves the ring of the slowest traced flights as a JSON
+// array (slowest first). cmd/plimserve mounts it at /debug/trace/last on
+// the -debug-addr listener, next to net/http/pprof.
+func (s *Server) TraceLastHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		entries := s.traces.snapshot()
+		if entries == nil {
+			entries = []ringEntry{}
+		}
+		writeJSON(w, http.StatusOK, entries)
+	})
+}

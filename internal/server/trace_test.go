@@ -1,0 +1,264 @@
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// tracedBody is a response envelope that only looks at the spliced trace
+// block, leaving the endpoint-specific members alone.
+type tracedBody struct {
+	Trace *traceJSON `json:"trace"`
+}
+
+// spanCoverage returns the fraction of the wall time covered by the union
+// of all non-root span intervals — the acceptance metric for "the trace
+// explains where the time went" (gaps are untraced wall time).
+func spanCoverage(tj *traceJSON) float64 {
+	type iv struct{ lo, hi float64 }
+	var ivs []iv
+	for _, sp := range tj.Spans {
+		if sp.Kind == "request" {
+			continue
+		}
+		ivs = append(ivs, iv{sp.StartMS, sp.StartMS + sp.DurMS})
+	}
+	if len(ivs) == 0 || tj.WallMS <= 0 {
+		return 0
+	}
+	sort.Slice(ivs, func(i, j int) bool { return ivs[i].lo < ivs[j].lo })
+	var covered, hi float64
+	for _, v := range ivs {
+		if v.lo > hi {
+			covered += v.hi - v.lo
+			hi = v.hi
+		} else if v.hi > hi {
+			covered += v.hi - hi
+			hi = v.hi
+		}
+	}
+	return covered / tj.WallMS
+}
+
+func TestCompileTraceBlock(t *testing.T) {
+	_, ts, _ := newTestServer(t, Options{})
+	resp, b := postJSON(t, ts.URL+"/v1/compile", `{"benchmark":"ctrl","config":"full","trace":true}`, nil)
+	if resp.StatusCode != 200 {
+		t.Fatalf("traced compile: %d %s", resp.StatusCode, b)
+	}
+
+	// The body stays a valid compile response with the trace spliced in.
+	var out compileResponse
+	if err := json.Unmarshal(b, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Instructions == 0 || out.RRAMs == 0 {
+		t.Fatalf("traced response lost the compile payload: %+v", out)
+	}
+	var env tracedBody
+	if err := json.Unmarshal(b, &env); err != nil {
+		t.Fatal(err)
+	}
+	tj := env.Trace
+	if tj == nil {
+		t.Fatalf("no trace block in traced response: %s", b)
+	}
+	if tj.WallMS <= 0 || len(tj.Spans) == 0 || len(tj.Stages) == 0 {
+		t.Fatalf("empty trace: wall=%v spans=%d stages=%d", tj.WallMS, len(tj.Spans), len(tj.Stages))
+	}
+
+	// Exactly one root span: the request itself, annotated with the flight
+	// key, leader role and final status.
+	kinds := map[string]int{}
+	var roots int
+	for _, sp := range tj.Spans {
+		kinds[sp.Kind]++
+		if sp.Parent != -1 {
+			continue
+		}
+		roots++
+		if sp.Kind != "request" || sp.Name != "compile" {
+			t.Fatalf("root span is %s/%s, want request/compile", sp.Kind, sp.Name)
+		}
+		if sp.Attrs["role"] != "leader" || sp.Attrs["status"] != "200" {
+			t.Fatalf("root attrs: %v", sp.Attrs)
+		}
+		if !strings.HasPrefix(sp.Attrs["flight"], "compile|") {
+			t.Fatalf("root flight attr: %q", sp.Attrs["flight"])
+		}
+	}
+	if roots != 1 {
+		t.Fatalf("want 1 root span, got %d", roots)
+	}
+	if kinds["rewrite"] == 0 || kinds["compile"] == 0 {
+		t.Fatalf("trace misses pipeline stages: %v", kinds)
+	}
+
+	// Acceptance bar: the spans explain at least 95% of the wall time
+	// (relaxed under the race detector, whose overhead inflates the
+	// untraced gaps between spans — see minSpanCoverage).
+	if cov := spanCoverage(tj); cov < minSpanCoverage {
+		t.Fatalf("spans cover %.1f%% of wall time, want >= %.0f%%", 100*cov, 100*minSpanCoverage)
+	}
+
+	// Server-Timing mirrors the stage totals for browser dev tools.
+	st := resp.Header.Get("Server-Timing")
+	if !strings.HasPrefix(st, "total;dur=") || !strings.Contains(st, "compile;dur=") {
+		t.Fatalf("Server-Timing: %q", st)
+	}
+}
+
+func TestTracedAndUntracedFlightsStayApart(t *testing.T) {
+	_, ts, _ := newTestServer(t, Options{})
+	body := `{"benchmark":"ctrl","config":"full"}`
+	traced := `{"benchmark":"ctrl","config":"full","trace":true}`
+
+	_, before := postJSON(t, ts.URL+"/v1/compile", body, nil)
+	if bytes.Contains(before, []byte(`"trace"`)) {
+		t.Fatalf("untraced response carries a trace block: %s", before)
+	}
+	resp, withTrace := postJSON(t, ts.URL+"/v1/compile", traced, nil)
+	if resp.StatusCode != 200 {
+		t.Fatalf("traced: %d %s", resp.StatusCode, withTrace)
+	}
+	if !bytes.Contains(withTrace, []byte(`"trace"`)) {
+		t.Fatal("traced response has no trace block")
+	}
+	// The traced flight must not have replaced the untraced cache entry:
+	// warm untraced repeats stay byte-identical across a traced interleave.
+	_, after := postJSON(t, ts.URL+"/v1/compile", body, nil)
+	if !bytes.Equal(before, after) {
+		t.Fatalf("untraced warm response changed after a traced request:\nbefore: %s\nafter:  %s", before, after)
+	}
+	if resp2, _ := postJSON(t, ts.URL+"/v1/compile", body, nil); resp2.Header.Get("Server-Timing") != "" {
+		t.Fatal("untraced response carries a Server-Timing header")
+	}
+}
+
+func TestSSETraceFrame(t *testing.T) {
+	_, ts, _ := newTestServer(t, Options{})
+	req, _ := http.NewRequest("POST", ts.URL+"/v1/compile",
+		strings.NewReader(`{"benchmark":"ctrl","config":"full","trace":true}`))
+	req.Header.Set("Accept", "text/event-stream")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("SSE request: %d", resp.StatusCode)
+	}
+
+	var order []string
+	var traceData []byte
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var current string
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "event: "):
+			current = strings.TrimPrefix(line, "event: ")
+			if current == "trace" || current == "result" {
+				order = append(order, current)
+			}
+		case strings.HasPrefix(line, "data: ") && current == "trace":
+			traceData = []byte(strings.TrimPrefix(line, "data: "))
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != 2 || order[0] != "trace" || order[1] != "result" {
+		t.Fatalf("want a trace frame then the result, got %v", order)
+	}
+	var tj traceJSON
+	if err := json.Unmarshal(traceData, &tj); err != nil {
+		t.Fatalf("trace frame does not parse: %v\n%s", err, traceData)
+	}
+	if tj.WallMS <= 0 || len(tj.Spans) == 0 {
+		t.Fatalf("empty SSE trace frame: %s", traceData)
+	}
+}
+
+func TestTraceLastRing(t *testing.T) {
+	s, ts, _ := newTestServer(t, Options{})
+	if resp, b := postJSON(t, ts.URL+"/v1/compile", `{"benchmark":"ctrl","trace":true}`, nil); resp.StatusCode != 200 {
+		t.Fatalf("traced compile: %d %s", resp.StatusCode, b)
+	}
+
+	rec := httptest.NewRecorder()
+	s.TraceLastHandler().ServeHTTP(rec, httptest.NewRequest("GET", "/debug/trace/last", nil))
+	if rec.Code != 200 {
+		t.Fatalf("trace ring: %d", rec.Code)
+	}
+	var entries []ringEntry
+	if err := json.Unmarshal(rec.Body.Bytes(), &entries); err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Fatalf("want 1 retained trace, got %d", len(entries))
+	}
+	e := entries[0]
+	if !strings.HasPrefix(e.Flight, "compile|") || e.WallMS <= 0 || e.UnixMS == 0 {
+		t.Fatalf("implausible ring entry: %+v", e)
+	}
+	var tj traceJSON
+	if err := json.Unmarshal(e.Trace, &tj); err != nil {
+		t.Fatalf("retained trace does not parse: %v", err)
+	}
+	if len(tj.Spans) == 0 {
+		t.Fatal("retained trace has no spans")
+	}
+}
+
+func TestTraceLastEmptyRingServesEmptyArray(t *testing.T) {
+	s, _, _ := newTestServer(t, Options{})
+	rec := httptest.NewRecorder()
+	s.TraceLastHandler().ServeHTTP(rec, httptest.NewRequest("GET", "/debug/trace/last", nil))
+	if got := strings.TrimSpace(rec.Body.String()); got != "[]" {
+		t.Fatalf("empty ring: want [], got %q", got)
+	}
+}
+
+func TestTraceRingKeepsSlowest(t *testing.T) {
+	r := &traceRing{}
+	for i := 0; i < traceRingSize+8; i++ {
+		r.record(fmt.Sprintf("f%d", i), float64(i), []byte("{}"))
+	}
+	got := r.snapshot()
+	if len(got) != traceRingSize {
+		t.Fatalf("ring holds %d entries, want %d", len(got), traceRingSize)
+	}
+	// Slowest first, and the 8 fastest flights evicted.
+	for i, e := range got {
+		want := float64(traceRingSize + 7 - i)
+		if e.WallMS != want {
+			t.Fatalf("entry %d: wall %v, want %v", i, e.WallMS, want)
+		}
+	}
+}
+
+func TestSpliceTrace(t *testing.T) {
+	blob := []byte(`{"wall_ms":1}`)
+	cases := []struct{ in, want string }{
+		{`{"a":1}` + "\n", `{"a":1,"trace":{"wall_ms":1}}` + "\n"},
+		{`{}`, `{"trace":{"wall_ms":1}}`},
+		{`not json`, `not json`},
+	}
+	for _, c := range cases {
+		if got := string(spliceTrace([]byte(c.in), blob)); got != c.want {
+			t.Fatalf("spliceTrace(%q) = %q, want %q", c.in, got, c.want)
+		}
+		if json.Valid([]byte(c.want)) != json.Valid([]byte(c.in)) {
+			t.Fatalf("splice changed JSON validity for %q", c.in)
+		}
+	}
+}

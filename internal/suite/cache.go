@@ -1,12 +1,15 @@
 package suite
 
 import (
+	"context"
 	"errors"
 	"sync"
+	"sync/atomic"
 
 	"plim/internal/diskcache"
 	"plim/internal/lru"
 	"plim/internal/mig"
+	"plim/internal/trace"
 )
 
 // errBuildPanicked is what waiters observe when the building caller
@@ -39,6 +42,10 @@ type Cache struct {
 	// output serializes fingerprint-faithfully, so a disk-served graph is
 	// structurally identical to a fresh build.
 	disk *diskcache.Cache
+
+	// hits/misses count memory-tier probe outcomes (probes attaching to an
+	// in-flight build count as hits). Feeds plimserve_cache_probe_total.
+	hits, misses atomic.Uint64
 }
 
 type buildKey struct {
@@ -80,17 +87,48 @@ func (c *Cache) Len() int {
 // Budget reports the cache's byte budget (≤ 0 = unbounded).
 func (c *Cache) Budget() int { return c.entries.Budget() }
 
+// Probes reports the memory-tier probe counters. Nil-safe.
+func (c *Cache) Probes() (hits, misses uint64) {
+	if c == nil {
+		return 0, 0
+	}
+	return c.hits.Load(), c.misses.Load()
+}
+
 // BuildScaled is suite.BuildScaled memoized through the cache. The
 // returned MIG is shared: callers must not mutate it. A nil *Cache builds
 // afresh.
 func (c *Cache) BuildScaled(name string, shrink int) (*mig.MIG, error) {
+	return c.BuildScaledContext(context.Background(), name, shrink)
+}
+
+// BuildScaledContext is BuildScaled with a context whose trace (if any)
+// receives a cache-probe span annotated with the outcome — memory-hit /
+// disk-hit / verify-miss / compute — as a child of the enclosing generate
+// task span. The context does not cancel the build: generators are fast
+// and singleflight-shared, so a build always runs to completion once
+// started.
+func (c *Cache) BuildScaledContext(ctx context.Context, name string, shrink int) (*mig.MIG, error) {
 	if c == nil {
 		return BuildScaled(name, shrink)
 	}
+	sp := trace.StartNoCtx(ctx, "cache", "benchmark-probe")
+	if sp.Traced() {
+		sp.Attr("benchmark", name)
+	}
 	key := buildKey{name: name, shrink: shrink}
+	first := true
 	for {
 		c.mu.Lock()
 		ent, ok := c.entries.Get(key)
+		if first {
+			first = false
+			if ok {
+				c.hits.Add(1)
+			} else {
+				c.misses.Add(1)
+			}
+		}
 		if !ok {
 			e := &buildEntry{done: make(chan struct{})}
 			handle := c.entries.Add(key, e)
@@ -116,12 +154,23 @@ func (c *Cache) BuildScaled(name string, shrink int) (*mig.MIG, error) {
 					close(e.done)
 				}()
 				if c.disk != nil {
-					if dm, ok := c.disk.LoadBenchmark(name, shrink); ok {
+					dm, out := c.disk.ProbeBenchmark(name, shrink)
+					if out == diskcache.ProbeHit {
 						e.m = dm
 						completed = true
+						sp.Attr("outcome", "disk-hit")
+						sp.End()
 						return
 					}
+					if out == diskcache.ProbeVerifyMiss {
+						sp.Attr("outcome", "verify-miss")
+					} else {
+						sp.Attr("outcome", "compute")
+					}
+				} else {
+					sp.Attr("outcome", "compute")
 				}
+				sp.End() // generator time belongs to the generate task span
 				e.m, e.err = BuildScaled(name, shrink)
 				completed = true
 				if e.err == nil && c.disk != nil {
@@ -134,6 +183,8 @@ func (c *Cache) BuildScaled(name string, shrink int) (*mig.MIG, error) {
 		c.mu.Unlock()
 		<-e.done
 		if e.err == nil {
+			sp.Attr("outcome", "memory-hit")
+			sp.End()
 			return e.m, nil
 		}
 		// The building caller failed and removed the entry; retry so this

@@ -163,7 +163,7 @@ func (sr *SuiteResult) addBenchmark(g *sched.Graph, idx int, name string, cfgs [
 			genErr = fmt.Errorf("tables: unknown benchmark %q", name)
 			return
 		}
-		built, err := opts.BenchCache.BuildScaled(name, opts.Shrink)
+		built, err := opts.BenchCache.BuildScaledContext(ctx, name, opts.Shrink)
 		if err != nil {
 			genErr = err
 			return

@@ -1,0 +1,73 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// chromeEvent is one Chrome trace-event ("X" = complete event). Timestamps
+// and durations are microseconds; pid/tid group spans into tracks —
+// Perfetto and chrome://tracing both render one row per tid.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`
+	Dur  float64        `json:"dur"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+type chromeFile struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// WriteChrome writes the trace as Chrome trace-event JSON, loadable in
+// Perfetto (ui.perfetto.dev) or chrome://tracing. Each scheduler worker
+// becomes one track (tid = worker+1); spans not run by the pool (root
+// request span, cache probes on the caller goroutine) land on tid 0.
+// Still-open spans are clamped to zero duration.
+func (t *Trace) WriteChrome(w io.Writer) error {
+	spans := t.Spans()
+	evs := make([]chromeEvent, 0, len(spans))
+	for _, sp := range spans {
+		dur := sp.Dur
+		if dur < 0 {
+			dur = 0
+		}
+		args := make(map[string]any, len(sp.Attrs)+2)
+		for _, a := range sp.Attrs {
+			args[a.Key] = a.Value
+		}
+		if sp.QueueWait > 0 {
+			args["queue_wait_us"] = float64(sp.QueueWait.Microseconds())
+		}
+		if sp.Parent >= 0 {
+			args["parent"] = fmt.Sprintf("%d:%s", sp.Parent, spans[sp.Parent].Name)
+		}
+		evs = append(evs, chromeEvent{
+			Name: sp.Name,
+			Cat:  sp.Kind,
+			Ph:   "X",
+			Ts:   float64(sp.Start.Nanoseconds()) / 1e3,
+			Dur:  float64(dur.Nanoseconds()) / 1e3,
+			Pid:  1,
+			Tid:  sp.Worker + 1,
+			Args: args,
+		})
+	}
+	// Chrome sorts internally, but a deterministic (ts, tid) order keeps the
+	// exported file stable for tests and diffing.
+	sort.SliceStable(evs, func(i, j int) bool {
+		if evs[i].Ts != evs[j].Ts {
+			return evs[i].Ts < evs[j].Ts
+		}
+		return evs[i].Tid < evs[j].Tid
+	})
+	enc := json.NewEncoder(w)
+	return enc.Encode(chromeFile{TraceEvents: evs, DisplayTimeUnit: "ms"})
+}

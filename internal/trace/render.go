@@ -1,0 +1,133 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"time"
+)
+
+// Render writes a human-readable span tree — the `-v` summary shared by the
+// CLIs. Children print in creation order under their parent, with duration,
+// worker, queue wait and attrs:
+//
+//	request /v1/compile 12.4ms
+//	├─ rewrite adder 8.1ms [w0 queue 12µs]
+//	│  └─ cache rewrite-probe 80µs outcome=compute fp=ab12…
+//	└─ compile adder/full 3.9ms [w1]
+func (t *Trace) Render(w io.Writer) {
+	spans := t.Spans()
+	children := make([][]int32, len(spans))
+	var roots []int32
+	for _, sp := range spans {
+		if sp.Parent >= 0 && int(sp.Parent) < len(spans) {
+			children[sp.Parent] = append(children[sp.Parent], sp.ID)
+		} else {
+			roots = append(roots, sp.ID)
+		}
+	}
+	var rec func(id int32, prefix string, last bool, top bool)
+	rec = func(id int32, prefix string, last, top bool) {
+		sp := spans[id]
+		branch, childPrefix := "", ""
+		if !top {
+			if last {
+				branch, childPrefix = prefix+"└─ ", prefix+"   "
+			} else {
+				branch, childPrefix = prefix+"├─ ", prefix+"│  "
+			}
+		}
+		var b strings.Builder
+		fmt.Fprintf(&b, "%s%s %s %s", branch, sp.Kind, sp.Name, fmtDur(sp.Dur))
+		if sp.Worker >= 0 || sp.QueueWait > 0 {
+			b.WriteString(" [")
+			if sp.Worker >= 0 {
+				fmt.Fprintf(&b, "w%d", sp.Worker)
+			}
+			if sp.QueueWait > 0 {
+				if sp.Worker >= 0 {
+					b.WriteByte(' ')
+				}
+				fmt.Fprintf(&b, "queue %s", fmtDur(sp.QueueWait))
+			}
+			b.WriteByte(']')
+		}
+		for _, a := range sp.Attrs {
+			fmt.Fprintf(&b, " %s=%s", a.Key, a.Value)
+		}
+		fmt.Fprintln(w, b.String())
+		for i, c := range children[id] {
+			rec(c, childPrefix, i == len(children[id])-1, false)
+		}
+	}
+	for _, r := range roots {
+		rec(r, "", true, true)
+	}
+}
+
+// RenderString returns Render's output as a string.
+func (t *Trace) RenderString() string {
+	var b strings.Builder
+	t.Render(&b)
+	return b.String()
+}
+
+func fmtDur(d time.Duration) string {
+	if d < 0 {
+		return "open"
+	}
+	return d.Round(time.Microsecond).String()
+}
+
+// A StageTotal is one pipeline stage's aggregate time across a trace.
+type StageTotal struct {
+	Name string
+	Dur  time.Duration
+}
+
+// Totals aggregates span time by pipeline stage for the server's
+// Server-Timing header: queue is the summed scheduler queue-wait across all
+// tasks, cache the summed cache-probe time, and generate/rewrite/compile/
+// exec the summed task run time per kind. Stages appear in a fixed order and
+// zero stages are omitted; nested spans count toward their own stage, so the
+// stages are independent measurements, not a partition of wall time.
+func (t *Trace) Totals() []StageTotal {
+	var queue, generate, rewrite, compile, exec, cache time.Duration
+	t.mu.Lock()
+	for i := range t.spans {
+		sp := &t.spans[i]
+		queue += sp.QueueWait
+		d := sp.Dur
+		if d < 0 {
+			d = 0
+		}
+		switch sp.Kind {
+		case "generate":
+			generate += d
+		case "rewrite":
+			rewrite += d
+		case "compile":
+			compile += d
+		case "exec_chunk":
+			exec += d
+		case "cache":
+			cache += d
+		}
+	}
+	t.mu.Unlock()
+	all := []StageTotal{
+		{"queue", queue},
+		{"generate", generate},
+		{"rewrite", rewrite},
+		{"compile", compile},
+		{"exec", exec},
+		{"cache", cache},
+	}
+	out := all[:0]
+	for _, st := range all {
+		if st.Dur > 0 {
+			out = append(out, st)
+		}
+	}
+	return out
+}

@@ -1,0 +1,254 @@
+package trace
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestStartNestsUnderParent(t *testing.T) {
+	tr := New()
+	ctx := NewContext(context.Background(), tr)
+	ctx, root := Start(ctx, "request", "/v1/compile")
+	cctx, task := Start(ctx, "rewrite", "adder")
+	probe := StartNoCtx(cctx, "cache", "rewrite-probe")
+	probe.Attr("outcome", "compute")
+	probe.End()
+	task.SetWorker(2)
+	task.SetQueueWait(5 * time.Microsecond)
+	task.End()
+	root.End()
+
+	spans := tr.Spans()
+	if len(spans) != 3 {
+		t.Fatalf("got %d spans, want 3", len(spans))
+	}
+	if spans[0].Parent != -1 {
+		t.Errorf("root parent = %d, want -1", spans[0].Parent)
+	}
+	if spans[1].Parent != spans[0].ID {
+		t.Errorf("task parent = %d, want %d", spans[1].Parent, spans[0].ID)
+	}
+	if spans[2].Parent != spans[1].ID {
+		t.Errorf("probe parent = %d, want %d", spans[2].Parent, spans[1].ID)
+	}
+	if spans[1].Worker != 2 {
+		t.Errorf("task worker = %d, want 2", spans[1].Worker)
+	}
+	if spans[1].QueueWait != 5*time.Microsecond {
+		t.Errorf("task queue wait = %v", spans[1].QueueWait)
+	}
+	if len(spans[2].Attrs) != 1 || spans[2].Attrs[0] != (Attr{"outcome", "compute"}) {
+		t.Errorf("probe attrs = %v", spans[2].Attrs)
+	}
+	for _, sp := range spans {
+		if sp.Dur < 0 {
+			t.Errorf("span %q still open after End", sp.Name)
+		}
+	}
+}
+
+func TestUntracedContextIsInert(t *testing.T) {
+	ctx := context.Background()
+	if got := FromContext(ctx); got != nil {
+		t.Fatalf("FromContext on bare ctx = %v", got)
+	}
+	ctx2, h := Start(ctx, "compile", "x")
+	if ctx2 != ctx {
+		t.Error("Start without a trace should return ctx unchanged")
+	}
+	if h.Traced() || h.ID() != -1 {
+		t.Errorf("zero handle: Traced=%v ID=%d", h.Traced(), h.ID())
+	}
+	// All methods must be safe no-ops.
+	h.Attr("k", "v")
+	h.SetWorker(1)
+	h.SetQueueWait(time.Second)
+	h.End()
+	if h2 := StartNoCtx(ctx, "cache", "p"); h2.Traced() {
+		t.Error("StartNoCtx without a trace should be inert")
+	}
+}
+
+func TestUntracedStartDoesNotAllocate(t *testing.T) {
+	ctx := context.Background()
+	allocs := testing.AllocsPerRun(200, func() {
+		c, h := Start(ctx, "compile", "x")
+		h.End()
+		_ = c
+		StartNoCtx(ctx, "cache", "p").End()
+		_ = FromContext(ctx)
+	})
+	if allocs != 0 {
+		t.Fatalf("untraced trace calls allocate %v allocs/op, want 0", allocs)
+	}
+}
+
+func TestNewContextNilTrace(t *testing.T) {
+	ctx := context.Background()
+	if got := NewContext(ctx, nil); got != ctx {
+		t.Error("NewContext(nil) should return ctx unchanged")
+	}
+}
+
+// TestWriteChromeFormat asserts the structural contract of the Chrome
+// trace-event export: a traceEvents array of complete ("X") events with
+// microsecond ts/dur, pid/tid, and span attrs flattened into args.
+func TestWriteChromeFormat(t *testing.T) {
+	tr := New()
+	ctx := NewContext(context.Background(), tr)
+	ctx, root := Start(ctx, "request", "req")
+	_, task := Start(ctx, "compile", "adder/full")
+	task.SetWorker(1)
+	task.SetQueueWait(3 * time.Microsecond)
+	task.Attr("config", "full")
+	time.Sleep(time.Millisecond)
+	task.End()
+	root.End()
+
+	var buf bytes.Buffer
+	if err := tr.WriteChrome(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var f struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Cat  string         `json:"cat"`
+			Ph   string         `json:"ph"`
+			Ts   *float64       `json:"ts"`
+			Dur  *float64       `json:"dur"`
+			Pid  int            `json:"pid"`
+			Tid  int            `json:"tid"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &f); err != nil {
+		t.Fatalf("export is not valid JSON: %v", err)
+	}
+	if f.DisplayTimeUnit != "ms" {
+		t.Errorf("displayTimeUnit = %q", f.DisplayTimeUnit)
+	}
+	if len(f.TraceEvents) != 2 {
+		t.Fatalf("got %d events, want 2", len(f.TraceEvents))
+	}
+	kinds := map[string]bool{}
+	for _, ev := range f.TraceEvents {
+		if ev.Ph != "X" {
+			t.Errorf("event %q ph = %q, want X", ev.Name, ev.Ph)
+		}
+		if ev.Ts == nil || ev.Dur == nil {
+			t.Fatalf("event %q missing ts/dur", ev.Name)
+		}
+		if *ev.Ts < 0 || *ev.Dur < 0 {
+			t.Errorf("event %q negative ts/dur", ev.Name)
+		}
+		if ev.Pid != 1 {
+			t.Errorf("event %q pid = %d", ev.Name, ev.Pid)
+		}
+		kinds[ev.Cat] = true
+	}
+	if !kinds["request"] || !kinds["compile"] {
+		t.Errorf("event categories = %v, want request+compile", kinds)
+	}
+	for _, ev := range f.TraceEvents {
+		if ev.Cat != "compile" {
+			continue
+		}
+		if ev.Tid != 2 { // worker 1 → tid 2
+			t.Errorf("compile tid = %d, want 2", ev.Tid)
+		}
+		if ev.Args["config"] != "full" {
+			t.Errorf("compile args = %v", ev.Args)
+		}
+		if _, ok := ev.Args["queue_wait_us"]; !ok {
+			t.Errorf("compile args missing queue_wait_us: %v", ev.Args)
+		}
+		if *ev.Dur < 900 { // slept 1ms; dur is µs
+			t.Errorf("compile dur = %vµs, want ≈1000", *ev.Dur)
+		}
+	}
+}
+
+func TestRenderTree(t *testing.T) {
+	tr := New()
+	ctx := NewContext(context.Background(), tr)
+	ctx, root := Start(ctx, "request", "/v1/compile")
+	cctx, task := Start(ctx, "rewrite", "adder")
+	p := StartNoCtx(cctx, "cache", "rewrite-probe")
+	p.Attr("outcome", "memory-hit")
+	p.End()
+	task.End()
+	_, c2 := Start(ctx, "compile", "adder/full")
+	c2.End()
+	root.End()
+
+	out := tr.RenderString()
+	for _, want := range []string{
+		"request /v1/compile",
+		"├─ rewrite adder",
+		"│  └─ cache rewrite-probe",
+		"outcome=memory-hit",
+		"└─ compile adder/full",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Render output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTotals(t *testing.T) {
+	tr := New()
+	ctx := NewContext(context.Background(), tr)
+	_, task := Start(ctx, "compile", "a")
+	task.SetQueueWait(2 * time.Millisecond)
+	time.Sleep(time.Millisecond)
+	task.End()
+	p := StartNoCtx(ctx, "cache", "probe")
+	p.End()
+
+	totals := tr.Totals()
+	got := map[string]time.Duration{}
+	var order []string
+	for _, st := range totals {
+		got[st.Name] = st.Dur
+		order = append(order, st.Name)
+	}
+	if got["queue"] != 2*time.Millisecond {
+		t.Errorf("queue total = %v", got["queue"])
+	}
+	if got["compile"] < time.Millisecond {
+		t.Errorf("compile total = %v", got["compile"])
+	}
+	if _, ok := got["rewrite"]; ok {
+		t.Error("zero rewrite stage should be omitted")
+	}
+	if strings.Join(order, ",") != "queue,compile,cache" {
+		t.Errorf("stage order = %v", order)
+	}
+}
+
+func TestConcurrentSpans(t *testing.T) {
+	tr := New()
+	ctx := NewContext(context.Background(), tr)
+	done := make(chan struct{})
+	for i := 0; i < 8; i++ {
+		go func() {
+			defer func() { done <- struct{}{} }()
+			for j := 0; j < 100; j++ {
+				_, h := Start(ctx, "compile", "x")
+				h.Attr("k", "v")
+				h.End()
+			}
+		}()
+	}
+	for i := 0; i < 8; i++ {
+		<-done
+	}
+	if n := tr.Len(); n != 800 {
+		t.Fatalf("got %d spans, want 800", n)
+	}
+}
